@@ -1,0 +1,75 @@
+// Ablation (DESIGN.md): the paper's radius refinement min(R_max, mu+sigma)
+// vs. the raw maximum-distance radius. Measures cluster statistics and
+// retrieval precision under both settings.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/ground_truth.h"
+#include "core/index.h"
+#include "core/similarity.h"
+#include "core/vitri_builder.h"
+#include "harness/bench_common.h"
+
+int main() {
+  using namespace vitri;
+  using namespace vitri::core;
+  const double scale = bench::EnvDouble("VITRI_SCALE", 0.01);
+  const int num_queries = bench::EnvInt("VITRI_QUERIES", 25);
+  const double epsilon = bench::EnvDouble("VITRI_EPSILON",
+                                          bench::kDefaultEpsilon);
+
+  bench::PrintHeader("Ablation", "Radius refinement min(R, mu+sigma)");
+
+  bench::WorkloadOptions wo;
+  wo.scale = scale;
+  wo.epsilon = epsilon;
+  wo.num_queries = num_queries;
+  bench::Workload w = bench::BuildWorkload(wo);
+
+  std::printf("%-12s %-12s %-12s %-12s %-14s\n", "refine", "clusters",
+              "avg radius", "avg |C|", "precision@10");
+  for (bool refine : {true, false}) {
+    ViTriBuilderOptions bo;
+    bo.epsilon = epsilon;
+    bo.refine_radius = refine;
+    ViTriBuilder builder(bo);
+    auto set = builder.BuildDatabase(w.db);
+    if (!set.ok()) return 1;
+
+    double avg_radius = 0.0;
+    double avg_size = 0.0;
+    for (const ViTri& v : set->vitris) {
+      avg_radius += v.radius;
+      avg_size += v.cluster_size;
+    }
+    avg_radius /= static_cast<double>(set->size());
+    avg_size /= static_cast<double>(set->size());
+
+    ViTriIndexOptions io;
+    io.epsilon = epsilon;
+    auto index = ViTriIndex::Build(*set, io);
+    if (!index.ok()) return 1;
+
+    std::vector<double> precisions;
+    for (const video::VideoSequence& query : w.queries) {
+      const auto exact_sims = ExactSimilarities(w.db, query, epsilon);
+      bool any = false;
+      for (double s : exact_sims) any = any || s > 0.0;
+      if (!any) continue;
+      auto summary = builder.Build(query);
+      if (!summary.ok()) return 1;
+      auto results = index->Knn(
+          *summary, static_cast<uint32_t>(query.num_frames()), 10,
+          KnnMethod::kComposed);
+      if (!results.ok()) return 1;
+      precisions.push_back(TieAwarePrecision(exact_sims, 10, *results));
+    }
+    std::printf("%-12s %-12zu %-12.4f %-12.1f %-14.3f\n",
+                refine ? "mu+sigma" : "raw max", set->size(), avg_radius,
+                avg_size, bench::Mean(precisions));
+  }
+  std::printf("\n# expected: refinement gives tighter radii (so sharper "
+              "density estimates) at equal or better precision\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces Figure 14: retrieval precision vs. epsilon for the ViTri
+// method and the keyframe baseline [5]. Ground truth is the exact
+// frame-level similarity of Section 3.1; per-query nearest-frame
+// distances are computed once and re-thresholded per epsilon. Precision
+// is tie-aware (a retrieved video counts if its exact similarity reaches
+// the K-th best), so ground-truth ties at large epsilon do not depend
+// on id order.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/ground_truth.h"
+#include "core/index.h"
+#include "core/keyframe_baseline.h"
+#include "core/similarity.h"
+#include "harness/bench_common.h"
+
+int main() {
+  using namespace vitri;
+  using namespace vitri::core;
+  const double scale = bench::EnvDouble("VITRI_SCALE", 0.012);
+  const int num_queries = bench::EnvInt("VITRI_QUERIES", 50);
+  const size_t k = static_cast<size_t>(bench::EnvInt("VITRI_K", 10));
+
+  bench::PrintHeader("Figure 14", "Retrieval precision vs. epsilon");
+
+  bench::WorkloadOptions wo;
+  wo.scale = scale;
+  wo.num_queries = num_queries;
+  bench::Workload w = bench::BuildWorkload(wo);
+
+  // Nearest-frame distances per (query, video): the expensive part,
+  // shared across the epsilon sweep.
+  std::printf("# computing frame-level ground truth (%d queries x %zu "
+              "videos)...\n",
+              num_queries, w.db.num_videos());
+  std::vector<std::vector<NearestDistances>> nearest(w.queries.size());
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    nearest[q].reserve(w.db.num_videos());
+    for (const video::VideoSequence& v : w.db.videos) {
+      nearest[q].push_back(ComputeNearestDistances(w.queries[q], v));
+    }
+  }
+
+  // Keyframe summaries use [5]'s own duration-based budget, independent
+  // of epsilon.
+  std::vector<KeyframeSummary> kf_db;
+  for (const video::VideoSequence& v : w.db.videos) {
+    auto s = BuildKeyframeSummary(
+        v, DefaultKeyframeBudget(v.duration_seconds));
+    if (!s.ok()) return 1;
+    kf_db.push_back(std::move(*s));
+  }
+  std::vector<KeyframeSummary> kf_queries;
+  for (const video::VideoSequence& query : w.queries) {
+    auto s = BuildKeyframeSummary(
+        query, DefaultKeyframeBudget(query.duration_seconds));
+    if (!s.ok()) return 1;
+    kf_queries.push_back(std::move(*s));
+  }
+
+  std::printf("%-10s %-16s %-16s\n", "epsilon", "ViTri precision",
+              "Keyframe precision");
+  for (double epsilon : bench::kEpsilonSweep) {
+    // Summaries and index at this epsilon (epsilon shapes the
+    // clustering itself, as in the paper).
+    ViTriBuilderOptions bo;
+    bo.epsilon = epsilon;
+    ViTriBuilder builder(bo);
+    auto set = builder.BuildDatabase(w.db);
+    if (!set.ok()) return 1;
+    ViTriIndexOptions io;
+    io.epsilon = epsilon;
+    auto index = ViTriIndex::Build(*set, io);
+    if (!index.ok()) return 1;
+
+    std::vector<double> vitri_precision;
+    std::vector<double> keyframe_precision;
+    for (size_t q = 0; q < w.queries.size(); ++q) {
+      std::vector<double> exact_sims(w.db.num_videos(), 0.0);
+      bool any = false;
+      for (size_t v = 0; v < w.db.num_videos(); ++v) {
+        exact_sims[v] = SimilarityFromNearest(nearest[q][v], epsilon);
+        any = any || exact_sims[v] > 0.0;
+      }
+      if (!any) continue;
+
+      const auto summary = bench::Summarize(w.queries[q], epsilon);
+      auto vit = index->Knn(
+          summary, static_cast<uint32_t>(w.queries[q].num_frames()), k,
+          KnnMethod::kComposed);
+      if (!vit.ok()) return 1;
+      vitri_precision.push_back(TieAwarePrecision(exact_sims, k, *vit));
+
+      keyframe_precision.push_back(TieAwarePrecision(
+          exact_sims, k,
+          KeyframeKnn(kf_db, kf_queries[q], k, epsilon)));
+    }
+    std::printf("%-10.2f %-16.3f %-16.3f\n", epsilon,
+                bench::Mean(vitri_precision),
+                bench::Mean(keyframe_precision));
+  }
+  std::printf("\n# expected shape (paper): both curves fall as epsilon "
+              "grows; ViTri above keyframe.\n"
+              "# known artifact: around eps=0.45 our synthetic corpus "
+              "has no distances between the intra-shot (~0.2) and\n"
+              "# inter-shot (~0.5) scales, so the geometric reach of the "
+              "summaries lags the frame-level ground truth there\n"
+              "# (see EXPERIMENTS.md).\n");
+  return 0;
+}

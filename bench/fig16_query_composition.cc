@@ -1,0 +1,62 @@
+// Reproduces Figure 16: I/O cost (page accesses per query) of the naive
+// KNN processing (one B+-tree range search per query ViTri) vs. query
+// composition (overlapping ranges merged), as the number of indexed
+// ViTris grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/index.h"
+#include "harness/bench_common.h"
+
+int main() {
+  using namespace vitri;
+  using namespace vitri::core;
+  const double base_scale = bench::EnvDouble("VITRI_SCALE", 0.04);
+  const int num_queries = bench::EnvInt("VITRI_QUERIES", 25);
+
+  bench::PrintHeader("Figure 16",
+                     "Query composition vs. naive KNN processing (I/O)");
+
+  std::printf("%-12s %-14s %-14s %-12s\n", "num ViTris", "naive I/O",
+              "composed I/O", "naive/comp");
+  for (double factor : {0.25, 0.5, 1.0, 2.0}) {
+    bench::WorkloadOptions wo;
+    wo.scale = base_scale * factor;
+    wo.num_queries = num_queries;
+    wo.keep_frames = false;
+    bench::Workload w = bench::BuildWorkload(wo);
+
+    ViTriIndexOptions io;
+    io.epsilon = w.epsilon;
+    auto index = ViTriIndex::Build(w.set, io);
+    if (!index.ok()) return 1;
+
+    uint64_t naive_pages = 0;
+    uint64_t composed_pages = 0;
+    for (const video::VideoSequence& query : w.queries) {
+      const auto summary = bench::Summarize(query, w.epsilon);
+      const uint32_t frames = static_cast<uint32_t>(query.num_frames());
+      QueryCosts naive_costs;
+      QueryCosts composed_costs;
+      if (!index->Knn(summary, frames, 50, KnnMethod::kNaive, &naive_costs)
+               .ok() ||
+          !index->Knn(summary, frames, 50, KnnMethod::kComposed,
+                      &composed_costs)
+               .ok()) {
+        return 1;
+      }
+      naive_pages += naive_costs.page_accesses;
+      composed_pages += composed_costs.page_accesses;
+    }
+    const double naive_avg =
+        static_cast<double>(naive_pages) / w.queries.size();
+    const double composed_avg =
+        static_cast<double>(composed_pages) / w.queries.size();
+    std::printf("%-12zu %-14.1f %-14.1f %-12.2f\n", w.set.size(),
+                naive_avg, composed_avg, naive_avg / composed_avg);
+  }
+  std::printf("\n# expected shape (paper): composition consistently below "
+              "naive, both growing with N\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Reproduces Figure 17: I/O cost and CPU cost per 50NN query as the
+// number of indexed ViTris grows, for sequential scan and for the
+// one-dimensional transformation with space-center / data-center /
+// optimal reference points.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/index.h"
+#include "core/pyramid.h"
+#include "core/transform.h"
+#include "harness/bench_common.h"
+
+int main() {
+  using namespace vitri;
+  using namespace vitri::core;
+  const double base_scale = bench::EnvDouble("VITRI_SCALE", 0.04);
+  const int num_queries = bench::EnvInt("VITRI_QUERIES", 20);
+
+  bench::PrintHeader("Figure 17", "Effect of the number of ViTris");
+
+  std::printf("%-10s | %-9s %-9s %-9s %-9s %-9s | %-8s %-8s %-8s %-8s "
+              "%-8s\n",
+              "vitris", "seqscan", "space", "data", "optimal", "pyramid",
+              "seqscan", "space", "data", "optimal", "pyramid");
+  std::printf("%-10s | %-49s | %-44s\n", "",
+              "I/O (page accesses / query)", "CPU (ms / query)");
+
+  for (double factor : {0.25, 0.5, 1.0, 2.0}) {
+    bench::WorkloadOptions wo;
+    wo.scale = base_scale * factor;
+    wo.num_queries = num_queries;
+    wo.keep_frames = false;
+    bench::Workload w = bench::BuildWorkload(wo);
+
+    // Pre-summarized queries shared by every method.
+    std::vector<std::vector<ViTri>> summaries;
+    std::vector<uint32_t> frames;
+    for (const video::VideoSequence& query : w.queries) {
+      summaries.push_back(bench::Summarize(query, w.epsilon));
+      frames.push_back(static_cast<uint32_t>(query.num_frames()));
+    }
+
+    double io[5] = {0, 0, 0, 0, 0};
+    double cpu[5] = {0, 0, 0, 0, 0};
+
+    const ReferencePointKind kinds[3] = {ReferencePointKind::kSpaceCenter,
+                                         ReferencePointKind::kDataCenter,
+                                         ReferencePointKind::kOptimal};
+    for (int m = 0; m < 3; ++m) {
+      ViTriIndexOptions io_opts;
+      io_opts.epsilon = w.epsilon;
+      io_opts.reference = kinds[m];
+      auto index = ViTriIndex::Build(w.set, io_opts);
+      if (!index.ok()) return 1;
+      for (size_t q = 0; q < summaries.size(); ++q) {
+        QueryCosts costs;
+        if (!index->Knn(summaries[q], frames[q], 50,
+                        KnnMethod::kComposed, &costs)
+                 .ok()) {
+          return 1;
+        }
+        io[m + 1] += static_cast<double>(costs.page_accesses);
+        cpu[m + 1] += costs.cpu_seconds * 1e3;
+      }
+      if (m == 0) {
+        // Sequential scan measured once (independent of the transform).
+        for (size_t q = 0; q < summaries.size(); ++q) {
+          QueryCosts costs;
+          if (!index->SequentialScan(summaries[q], frames[q], 50, &costs)
+                   .ok()) {
+            return 1;
+          }
+          io[0] += static_cast<double>(costs.page_accesses);
+          cpu[0] += costs.cpu_seconds * 1e3;
+        }
+      }
+    }
+    // The Pyramid technique [2], the other 1-D mapping family the
+    // paper's related work cites.
+    {
+      auto pyramid = PyramidIndex::Build(w.set, ViTriIndexOptions{});
+      if (!pyramid.ok()) return 1;
+      for (size_t q = 0; q < summaries.size(); ++q) {
+        QueryCosts costs;
+        if (!pyramid->Knn(summaries[q], frames[q], 50, &costs).ok()) {
+          return 1;
+        }
+        io[4] += static_cast<double>(costs.page_accesses);
+        cpu[4] += costs.cpu_seconds * 1e3;
+      }
+    }
+
+    const double nq = static_cast<double>(summaries.size());
+    std::printf("%-10zu | %-9.1f %-9.1f %-9.1f %-9.1f %-9.1f | "
+                "%-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
+                w.set.size(), io[0] / nq, io[1] / nq, io[2] / nq,
+                io[3] / nq, io[4] / nq, cpu[0] / nq, cpu[1] / nq,
+                cpu[2] / nq, cpu[3] / nq, cpu[4] / nq);
+
+    // Per-range-search I/O: the pruning power of one ViTri's range
+    // search, where the reference-point quality shows undiluted (a
+    // whole-video query unions many ranges, which caps the visible
+    // gap; see EXPERIMENTS.md).
+    double range_io[3] = {0, 0, 0};
+    uint64_t range_count = 0;
+    for (int m = 0; m < 3; ++m) {
+      ViTriIndexOptions io_opts;
+      io_opts.epsilon = w.epsilon;
+      io_opts.reference = kinds[m];
+      auto index = ViTriIndex::Build(w.set, io_opts);
+      if (!index.ok()) return 1;
+      uint64_t ranges_this = 0;
+      for (size_t q = 0; q < summaries.size(); ++q) {
+        for (const ViTri& v : summaries[q]) {
+          QueryCosts costs;
+          std::vector<ViTri> one{v};
+          if (!index->Knn(one, frames[q], 50, KnnMethod::kComposed,
+                          &costs)
+                   .ok()) {
+            return 1;
+          }
+          range_io[m] += static_cast<double>(costs.page_accesses);
+          ++ranges_this;
+        }
+      }
+      range_count = ranges_this;
+    }
+    std::printf("%-10s | per range-search: space=%.1f data=%.1f "
+                "optimal=%.1f pages (seq-scan leaf level=%.1f)\n",
+                "", range_io[0] / range_count,
+                range_io[1] / range_count, range_io[2] / range_count,
+                io[0] / nq);
+  }
+  std::printf("\n# expected shape (paper): seq-scan worst and linear in N; "
+              "optimal best (2-5x better than space/data center)\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Figure 18: I/O cost and CPU cost per 50NN query as the
+// feature-space dimensionality grows, for sequential scan and the three
+// reference-point transforms.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/index.h"
+#include "core/pyramid.h"
+#include "core/transform.h"
+#include "harness/bench_common.h"
+
+int main() {
+  using namespace vitri;
+  using namespace vitri::core;
+  const double scale = bench::EnvDouble("VITRI_SCALE", 0.04);
+  const int num_queries = bench::EnvInt("VITRI_QUERIES", 20);
+
+  bench::PrintHeader("Figure 18", "Effect of dimensionality");
+
+  std::printf("%-6s | %-9s %-9s %-9s %-9s %-9s | %-8s %-8s %-8s %-8s "
+              "%-8s\n",
+              "dim", "seqscan", "space", "data", "optimal", "pyramid",
+              "seqscan", "space", "data", "optimal", "pyramid");
+  std::printf("%-6s | %-49s | %-44s\n", "",
+              "I/O (page accesses / query)", "CPU (ms / query)");
+
+  for (int dim : {16, 32, 64, 128}) {
+    bench::WorkloadOptions wo;
+    wo.scale = scale;
+    wo.num_queries = num_queries;
+    wo.dimension = dim;
+    wo.keep_frames = false;
+    bench::Workload w = bench::BuildWorkload(wo);
+
+    std::vector<std::vector<ViTri>> summaries;
+    std::vector<uint32_t> frames;
+    for (const video::VideoSequence& query : w.queries) {
+      summaries.push_back(bench::Summarize(query, w.epsilon));
+      frames.push_back(static_cast<uint32_t>(query.num_frames()));
+    }
+
+    double io[5] = {0, 0, 0, 0, 0};
+    double cpu[5] = {0, 0, 0, 0, 0};
+    const ReferencePointKind kinds[3] = {ReferencePointKind::kSpaceCenter,
+                                         ReferencePointKind::kDataCenter,
+                                         ReferencePointKind::kOptimal};
+    for (int m = 0; m < 3; ++m) {
+      ViTriIndexOptions io_opts;
+      io_opts.epsilon = w.epsilon;
+      io_opts.dimension = dim;
+      io_opts.reference = kinds[m];
+      auto index = ViTriIndex::Build(w.set, io_opts);
+      if (!index.ok()) {
+        std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t q = 0; q < summaries.size(); ++q) {
+        QueryCosts costs;
+        if (!index->Knn(summaries[q], frames[q], 50,
+                        KnnMethod::kComposed, &costs)
+                 .ok()) {
+          return 1;
+        }
+        io[m + 1] += static_cast<double>(costs.page_accesses);
+        cpu[m + 1] += costs.cpu_seconds * 1e3;
+      }
+      if (m == 0) {
+        for (size_t q = 0; q < summaries.size(); ++q) {
+          QueryCosts costs;
+          if (!index->SequentialScan(summaries[q], frames[q], 50, &costs)
+                   .ok()) {
+            return 1;
+          }
+          io[0] += static_cast<double>(costs.page_accesses);
+          cpu[0] += costs.cpu_seconds * 1e3;
+        }
+      }
+    }
+    // Pyramid technique [2] comparator.
+    {
+      ViTriIndexOptions io_opts;
+      io_opts.epsilon = w.epsilon;
+      io_opts.dimension = dim;
+      auto pyramid = PyramidIndex::Build(w.set, io_opts);
+      if (!pyramid.ok()) return 1;
+      for (size_t q = 0; q < summaries.size(); ++q) {
+        QueryCosts costs;
+        if (!pyramid->Knn(summaries[q], frames[q], 50, &costs).ok()) {
+          return 1;
+        }
+        io[4] += static_cast<double>(costs.page_accesses);
+        cpu[4] += costs.cpu_seconds * 1e3;
+      }
+    }
+
+    const double nq = static_cast<double>(summaries.size());
+    std::printf("%-6d | %-9.1f %-9.1f %-9.1f %-9.1f %-9.1f | "
+                "%-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
+                dim, io[0] / nq, io[1] / nq, io[2] / nq, io[3] / nq,
+                io[4] / nq, cpu[0] / nq, cpu[1] / nq, cpu[2] / nq,
+                cpu[3] / nq, cpu[4] / nq);
+  }
+  std::printf("\n# expected shape (paper): all costs grow with "
+              "dimensionality; optimal grows slowest and stays best\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "harness/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vitri::bench {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+Workload BuildWorkload(const WorkloadOptions& options) {
+  Workload w;
+  w.epsilon = options.epsilon;
+
+  video::SynthesizerOptions so;
+  so.dimension = options.dimension;
+  so.seed = options.seed;
+  video::VideoSynthesizer synth(so);
+  w.db = synth.GenerateDatabase(options.scale);
+
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = options.epsilon;
+  core::ViTriBuilder builder(bo);
+  auto set = builder.BuildDatabase(w.db);
+  if (!set.ok()) {
+    std::fprintf(stderr, "workload summarization failed: %s\n",
+                 set.status().ToString().c_str());
+    std::exit(1);
+  }
+  w.set = std::move(*set);
+
+  for (int q = 0; q < options.num_queries; ++q) {
+    const uint32_t src =
+        static_cast<uint32_t>((q * 131) % w.db.num_videos());
+    w.queries.push_back(synth.MakeNearDuplicate(
+        w.db.videos[src],
+        static_cast<uint32_t>(w.db.num_videos() + q)));
+    w.sources.push_back(src);
+  }
+
+  std::printf("# workload: scale=%.3g videos=%zu frames=%zu vitris=%zu "
+              "dim=%d epsilon=%.2f queries=%d\n",
+              options.scale, w.db.num_videos(), w.db.total_frames(),
+              w.set.size(), options.dimension, options.epsilon,
+              options.num_queries);
+
+  if (!options.keep_frames) {
+    for (video::VideoSequence& v : w.db.videos) {
+      v.frames.clear();
+      v.frames.shrink_to_fit();
+    }
+  }
+  return w;
+}
+
+std::vector<core::ViTri> Summarize(const video::VideoSequence& seq,
+                                   double epsilon) {
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = epsilon;
+  core::ViTriBuilder builder(bo);
+  auto result = builder.Build(seq);
+  if (!result.ok()) {
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *result;
+}
+
+void PrintHeader(const std::string& artifact, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), title.c_str());
+  std::printf("(synthetic reproduction; see EXPERIMENTS.md for the\n"
+              " paper-vs-measured comparison and scale notes)\n");
+  std::printf("================================================================\n");
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace vitri::bench

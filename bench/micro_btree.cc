@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks for the B+-tree substrate with
+// ViTri-sized payloads on 4K pages (the paper's configuration).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace {
+
+using namespace vitri;
+using btree::BPlusTree;
+using btree::Entry;
+
+constexpr uint32_t kViTriPayload = 528;  // 64-d serialized ViTri.
+
+std::vector<Entry> MakeEntries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  double key = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    key += rng.Uniform(0.0, 1.0);
+    entries.push_back(Entry{key, i, std::vector<uint8_t>(kViTriPayload,
+                                                         uint8_t(i))});
+  }
+  return entries;
+}
+
+std::vector<Entry> Shuffled(std::vector<Entry> entries, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = entries.size(); i > 1; --i) {
+    std::swap(entries[i - 1], entries[rng.Index(i)]);
+  }
+  return entries;
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto entries = Shuffled(MakeEntries(n, 7), 13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::MemPager pager(4096);
+    storage::BufferPool pool(&pager, 1024);
+    auto tree = BPlusTree::Create(&pool, kViTriPayload);
+    state.ResumeTiming();
+    for (const Entry& e : entries) {
+      benchmark::DoNotOptimize(tree->Insert(e.key, e.rid, e.value).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto entries = MakeEntries(n, 11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::MemPager pager(4096);
+    storage::BufferPool pool(&pager, 1024);
+    auto tree = BPlusTree::Create(&pool, kViTriPayload);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree->BulkLoad(entries).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  const size_t n = 20000;
+  const auto entries = MakeEntries(n, 17);
+  storage::MemPager pager(4096);
+  storage::BufferPool pool(&pager, 4096);
+  auto tree = BPlusTree::Create(&pool, kViTriPayload);
+  (void)tree->BulkLoad(entries);
+  const double span = entries.back().key;
+  const double width = span * static_cast<double>(state.range(0)) / 100.0;
+  double lo = 0.0;
+  for (auto _ : state) {
+    uint64_t count = 0;
+    benchmark::DoNotOptimize(
+        tree->RangeScan(lo, lo + width,
+                        [&](double, uint64_t, std::span<const uint8_t>) {
+                          ++count;
+                          return true;
+                        }));
+    benchmark::DoNotOptimize(count);
+    lo += width;
+    if (lo > span) lo = 0.0;
+  }
+}
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const size_t n = 20000;
+  const auto entries = MakeEntries(n, 23);
+  storage::MemPager pager(4096);
+  storage::BufferPool pool(&pager, 4096);
+  auto tree = BPlusTree::Create(&pool, kViTriPayload);
+  (void)tree->BulkLoad(entries);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Entry& e = entries[i % n];
+    benchmark::DoNotOptimize(tree->Lookup(e.key, e.rid, nullptr));
+    ++i;
+  }
+}
+
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_BTreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_BTreeRangeScan)->Arg(1)->Arg(10)->Arg(50);
+BENCHMARK(BM_BTreeLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

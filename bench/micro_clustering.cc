@@ -1,0 +1,55 @@
+// google-benchmark microbenchmarks for the summarization substrate:
+// k-means bisection and the full recursive cluster generator.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "clustering/cluster_generator.h"
+#include "clustering/kmeans.h"
+#include "video/synthesizer.h"
+
+namespace {
+
+using namespace vitri;
+
+void BM_KMeansBisect(benchmark::State& state) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip =
+      synth.GenerateClip(0, static_cast<double>(state.range(0)));
+  std::vector<uint32_t> indices(clip.num_frames());
+  std::iota(indices.begin(), indices.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clustering::KMeans(clip.frames, indices, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * clip.num_frames());
+}
+BENCHMARK(BM_KMeansBisect)->Arg(10)->Arg(30);
+
+void BM_GenerateClusters(benchmark::State& state) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip =
+      synth.GenerateClip(0, static_cast<double>(state.range(0)));
+  clustering::ClusterGeneratorOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clustering::GenerateClusters(clip.frames, options));
+  }
+  state.SetItemsProcessed(state.iterations() * clip.num_frames());
+}
+BENCHMARK(BM_GenerateClusters)->Arg(10)->Arg(30);
+
+void BM_FeatureSynthesis(benchmark::State& state) {
+  video::VideoSynthesizer synth;
+  uint32_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.GenerateClip(id++, static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_FeatureSynthesis)->Arg(10)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks for the geometry kernels that sit on
+// the similarity hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "geometry/hypersphere.h"
+#include "geometry/paper_series.h"
+#include "geometry/special_functions.h"
+
+namespace {
+
+using namespace vitri::geometry;
+
+void BM_LogGamma(benchmark::State& state) {
+  double x = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogGamma(x));
+    x += 0.25;
+    if (x > 200.0) x = 0.5;
+  }
+}
+BENCHMARK(BM_LogGamma);
+
+void BM_RegularizedIncompleteBeta(benchmark::State& state) {
+  const double a = 0.5 * (state.range(0) + 1);
+  double x = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularizedIncompleteBeta(a, 0.5, x));
+    x += 0.013;
+    if (x >= 1.0) x = 0.01;
+  }
+}
+BENCHMARK(BM_RegularizedIncompleteBeta)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CapVolumeFraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double h = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CapVolumeFraction(n, 1.0, h));
+    h += 0.017;
+    if (h >= 2.0) h = 0.01;
+  }
+}
+BENCHMARK(BM_CapVolumeFraction)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PaperCapSeries(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double alpha = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaperCapVolume(n, 1.0, alpha));
+    alpha += 0.011;
+    if (alpha >= 3.1) alpha = 0.05;
+  }
+}
+BENCHMARK(BM_PaperCapSeries)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_IntersectBalls(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectBalls(n, d, 1.0, 0.8));
+    d += 0.007;
+    if (d >= 2.0) d = 0.0;
+  }
+}
+BENCHMARK(BM_IntersectBalls)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

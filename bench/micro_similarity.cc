@@ -1,0 +1,93 @@
+// google-benchmark microbenchmarks for the similarity kernels: the
+// ViTri pair measure (the paper's claim: cheaper than a raw Euclidean
+// frame comparison at equal dimensionality) and the exact frame-level
+// measure it replaces.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/similarity.h"
+#include "core/vitri.h"
+#include "core/vitri_builder.h"
+#include "linalg/vec.h"
+#include "video/synthesizer.h"
+
+namespace {
+
+using namespace vitri;
+using core::ViTri;
+
+ViTri RandomViTri(int dim, Rng& rng) {
+  ViTri v;
+  v.video_id = 0;
+  v.cluster_size = 20 + static_cast<uint32_t>(rng.Index(200));
+  v.radius = rng.Uniform(0.02, 0.08);
+  v.position.resize(dim);
+  for (double& x : v.position) x = rng.Uniform(0.0, 0.2);
+  return v;
+}
+
+void BM_ViTriPairSimilarity(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<ViTri> pool;
+  for (int i = 0; i < 256; ++i) pool.push_back(RandomViTri(dim, rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EstimatedSharedFrames(
+        pool[i % 256], pool[(i * 7 + 1) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ViTriPairSimilarity)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FrameEuclideanDistance(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(6);
+  linalg::Vec a(dim), b(dim);
+  for (int i = 0; i < dim; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Distance(a, b));
+  }
+}
+BENCHMARK(BM_FrameEuclideanDistance)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ExactVideoSimilarity(benchmark::State& state) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence x =
+      synth.GenerateClip(0, static_cast<double>(state.range(0)));
+  const video::VideoSequence y =
+      synth.GenerateClip(1, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ExactVideoSimilarity(x, y, 0.15));
+  }
+  state.SetItemsProcessed(state.iterations() * x.num_frames() *
+                          y.num_frames());
+}
+BENCHMARK(BM_ExactVideoSimilarity)->Arg(5)->Arg(10);
+
+void BM_EstimatedVideoSimilarity(benchmark::State& state) {
+  // The same comparison at summary level: M x M' ViTri pairs instead of
+  // |X| x |Y| frame pairs.
+  video::VideoSynthesizer synth;
+  const video::VideoSequence x =
+      synth.GenerateClip(0, static_cast<double>(state.range(0)));
+  const video::VideoSequence y =
+      synth.GenerateClip(1, static_cast<double>(state.range(0)));
+  core::ViTriBuilder builder;
+  const auto sx = builder.Build(x);
+  const auto sy = builder.Build(y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EstimatedVideoSimilarity(
+        *sx, *sy, static_cast<uint32_t>(x.num_frames()),
+        static_cast<uint32_t>(y.num_frames())));
+  }
+}
+BENCHMARK(BM_EstimatedVideoSimilarity)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Streaming ingest: an index built on an initial batch, new videos
+// inserted as they arrive (standard B+-tree insertions with the original
+// reference point), principal-component drift monitored, and the index
+// rebuilt when the Section 6.3.3 rebuild policy triggers.
+//
+//   ./build/examples/dynamic_ingest
+
+#include <cstdio>
+
+#include "core/index.h"
+#include "core/vitri_builder.h"
+#include "video/synthesizer.h"
+
+int main() {
+  using namespace vitri;
+
+  video::VideoSynthesizer synth;
+  video::VideoDatabase db = synth.GenerateDatabase(0.03);
+  const size_t initial = db.num_videos() / 3;
+
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = 0.15;
+  core::ViTriBuilder builder(bo);
+
+  // Build on the first third.
+  core::ViTriSet first;
+  first.dimension = db.dimension;
+  first.frame_counts.assign(db.num_videos(), 0);
+  for (size_t i = 0; i < initial; ++i) {
+    first.frame_counts[i] =
+        static_cast<uint32_t>(db.videos[i].num_frames());
+    auto vitris = builder.Build(db.videos[i]);
+    if (!vitris.ok()) return 1;
+    for (core::ViTri& v : *vitris) first.vitris.push_back(std::move(v));
+  }
+
+  core::ViTriIndexOptions io;
+  io.epsilon = bo.epsilon;
+  io.rebuild_angle_threshold = 0.20;  // Rebuild past ~11.5 degrees.
+  auto index = core::ViTriIndex::Build(first, io);
+  if (!index.ok()) return 1;
+  std::printf("initial index: %zu ViTris from %zu videos\n",
+              index->num_vitris(), initial);
+
+  // Stream in the rest, checking drift every 20 videos.
+  size_t rebuilds = 0;
+  for (size_t i = initial; i < db.num_videos(); ++i) {
+    auto vitris = builder.Build(db.videos[i]);
+    if (!vitris.ok()) return 1;
+    if (!index
+             ->Insert(db.videos[i].id,
+                      static_cast<uint32_t>(db.videos[i].num_frames()),
+                      *vitris)
+             .ok()) {
+      return 1;
+    }
+    if ((i - initial + 1) % 20 == 0 || i + 1 == db.num_videos()) {
+      auto drift = index->DriftAngle();
+      auto needs = index->NeedsRebuild();
+      if (!drift.ok() || !needs.ok()) return 1;
+      std::printf("after %zu videos: %zu ViTris, first-PC drift %.3f rad"
+                  "%s\n",
+                  i + 1, index->num_vitris(), *drift,
+                  *needs ? "  -> rebuilding" : "");
+      if (*needs) {
+        if (!index->Rebuild().ok()) return 1;
+        ++rebuilds;
+      }
+    }
+  }
+  std::printf("ingest complete: %zu ViTris, %zu rebuild(s)\n",
+              index->num_vitris(), rebuilds);
+
+  // A query against the fully loaded index still works and finds a
+  // late-inserted video.
+  const uint32_t target = static_cast<uint32_t>(db.num_videos() - 1);
+  video::VideoSequence query =
+      synth.MakeNearDuplicate(db.videos[target], 888888);
+  auto query_summary = builder.Build(query);
+  if (!query_summary.ok()) return 1;
+  auto results = index->Knn(*query_summary,
+                            static_cast<uint32_t>(query.num_frames()), 3,
+                            core::KnnMethod::kComposed);
+  if (!results.ok()) return 1;
+  std::printf("\nquery for a near-duplicate of the last inserted video:\n");
+  for (const core::VideoMatch& match : *results) {
+    std::printf("  video %-6u similarity %.3f%s\n", match.video_id,
+                match.similarity,
+                match.video_id == target ? "   <-- inserted last" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+#ifndef VITRI_BTREE_BPLUS_TREE_H_
+#define VITRI_BTREE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace vitri::btree {
+
+/// One entry handed to bulk-load / returned by scans.
+struct Entry {
+  /// Search key — the one-dimensional transform value of a ViTri.
+  double key = 0.0;
+  /// Record id, unique per entry; tie-breaks equal keys so the tree
+  /// stores strictly ordered composite keys (key, rid).
+  uint64_t rid = 0;
+  /// Fixed-size opaque payload (the serialized ViTri).
+  std::vector<uint8_t> value;
+};
+
+/// Callback for range scans: return false to stop early. `value` points
+/// into the pinned page and is only valid during the call.
+using ScanCallback = std::function<bool(double key, uint64_t rid,
+                                        std::span<const uint8_t> value)>;
+
+/// Disk-paged B+-tree over composite keys (double, uint64) with
+/// fixed-size values, built on a BufferPool. Single-threaded.
+///
+/// Page 0 of the pager is the tree's meta page; interior pages hold
+/// (separator, child) arrays, leaves hold (key, rid, value) records and
+/// are doubly linked for ordered scans. Page-access counts (what the
+/// paper reports as I/O cost) are read from the buffer pool's IoStats.
+class BPlusTree {
+ public:
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept = default;
+  BPlusTree& operator=(BPlusTree&&) noexcept = default;
+
+  /// Creates a fresh tree in an *empty* pager behind `pool`. `value_size`
+  /// is the byte size of every record payload and must fit a page.
+  static Result<BPlusTree> Create(storage::BufferPool* pool,
+                                  uint32_t value_size);
+
+  /// Opens an existing tree (meta page must be present and valid).
+  static Result<BPlusTree> Open(storage::BufferPool* pool);
+
+  /// Inserts one record. (key, rid) pairs must be unique; inserting a
+  /// duplicate composite key fails with InvalidArgument.
+  Status Insert(double key, uint64_t rid,
+                std::span<const uint8_t> value);
+
+  /// Deletes the record with composite key (key, rid). Returns true if
+  /// it existed. Rebalances (borrow/merge) on underflow.
+  Result<bool> Delete(double key, uint64_t rid);
+
+  /// Looks up a single record; returns false if absent. On success the
+  /// payload is copied into *value (resized).
+  Result<bool> Lookup(double key, uint64_t rid,
+                      std::vector<uint8_t>* value);
+
+  /// Visits every record with lo <= key <= hi in ascending (key, rid)
+  /// order. Returns the number of records visited.
+  Result<uint64_t> RangeScan(double lo, double hi,
+                             const ScanCallback& callback);
+
+  /// Bulk-loads `entries` (must be sorted by (key, rid), strictly
+  /// increasing, all values of value_size bytes) into an empty tree,
+  /// packing leaves to `fill_factor` occupancy.
+  Status BulkLoad(const std::vector<Entry>& entries,
+                  double fill_factor = 0.9);
+
+  /// Number of records in the tree.
+  uint64_t num_entries() const { return num_entries_; }
+  /// Levels, counting the root: an empty tree (single leaf root) has
+  /// height 1.
+  uint32_t height() const { return height_; }
+  /// Records per full leaf.
+  uint32_t leaf_capacity() const { return leaf_capacity_; }
+  /// Separators per full interior node.
+  uint32_t internal_capacity() const { return internal_capacity_; }
+  uint32_t value_size() const { return value_size_; }
+
+  storage::BufferPool* pool() const { return pool_; }
+
+  /// Exhaustively checks structural invariants (ordering, occupancy,
+  /// leaf chaining, entry count, separator correctness). Test hook.
+  Status ValidateStructure() const;
+
+ private:
+  explicit BPlusTree(storage::BufferPool* pool) : pool_(pool) {}
+
+  // --- internal helpers, defined in the .cc ---
+  struct SplitResult;
+  struct DeleteResult;
+
+  Status InitEmpty();
+  Status LoadMeta();
+  Status StoreMeta();
+  Result<storage::PageRef> AllocNode();
+  Status FreeNode(storage::PageId id);
+  Result<SplitResult> InsertRec(storage::PageId node_id, double key,
+                                uint64_t rid,
+                                std::span<const uint8_t> value);
+  Result<DeleteResult> DeleteRec(storage::PageId node_id, double key,
+                                 uint64_t rid);
+  Status RebalanceChild(storage::PageRef& parent, uint32_t child_pos,
+                        bool* parent_underflow);
+  Status ValidateNode(storage::PageId node_id, uint32_t depth, bool has_lo,
+                      double lo_key, uint64_t lo_rid, bool has_hi,
+                      double hi_key, uint64_t hi_rid, uint64_t* entry_count,
+                      std::vector<storage::PageId>* leaves_in_order) const;
+
+  storage::BufferPool* pool_ = nullptr;
+  uint32_t value_size_ = 0;
+  storage::PageId root_ = storage::kInvalidPageId;
+  storage::PageId first_leaf_ = storage::kInvalidPageId;
+  storage::PageId free_head_ = storage::kInvalidPageId;
+  uint32_t height_ = 0;
+  uint64_t num_entries_ = 0;
+  uint32_t leaf_capacity_ = 0;
+  uint32_t internal_capacity_ = 0;
+};
+
+}  // namespace vitri::btree
+
+#endif  // VITRI_BTREE_BPLUS_TREE_H_

@@ -1,0 +1,147 @@
+#include "clustering/cluster_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "clustering/kmeans.h"
+#include "common/logging.h"
+
+namespace vitri::clustering {
+
+using linalg::Vec;
+
+ClusterSummary SummarizeMembers(const std::vector<Vec>& points,
+                                std::vector<uint32_t> members,
+                                bool refine_radius) {
+  ClusterSummary out;
+  out.members = std::move(members);
+  if (out.members.empty()) return out;
+
+  const size_t dim = points[out.members[0]].size();
+  out.center.assign(dim, 0.0);
+  for (uint32_t idx : out.members) {
+    linalg::AddInPlace(out.center, points[idx]);
+  }
+  linalg::ScaleInPlace(out.center,
+                       1.0 / static_cast<double>(out.members.size()));
+
+  double max_dist = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (uint32_t idx : out.members) {
+    const double d = linalg::Distance(points[idx], out.center);
+    max_dist = std::max(max_dist, d);
+    sum += d;
+    sum_sq += d * d;
+  }
+  const double n = static_cast<double>(out.members.size());
+  out.mean_distance = sum / n;
+  const double variance =
+      std::max(0.0, sum_sq / n - out.mean_distance * out.mean_distance);
+  out.stddev_distance = std::sqrt(variance);
+  out.radius = refine_radius
+                   ? std::min(max_dist,
+                              out.mean_distance + out.stddev_distance)
+                   : max_dist;
+  return out;
+}
+
+namespace {
+
+// Recursive body of Generate_Clusters. `seed_salt` decorrelates the
+// 2-means seeding across recursion branches.
+Status Recurse(const std::vector<Vec>& points,
+               std::vector<uint32_t> indices,
+               const ClusterGeneratorOptions& options, int depth,
+               uint64_t seed_salt, std::vector<ClusterSummary>* out) {
+  ClusterSummary summary =
+      SummarizeMembers(points, indices, options.refine_radius);
+  const double half_epsilon = options.epsilon / 2.0;
+
+  if (summary.radius <= half_epsilon || indices.size() == 1) {
+    out->push_back(std::move(summary));
+    return Status::OK();
+  }
+  if (depth >= options.max_depth) {
+    VITRI_LOG(kWarn) << "cluster recursion depth cap hit (size="
+                     << indices.size() << ", radius=" << summary.radius
+                     << "); accepting oversized cluster";
+    out->push_back(std::move(summary));
+    return Status::OK();
+  }
+
+  KMeansOptions km;
+  km.max_iterations = options.kmeans_max_iterations;
+  km.seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + depth);
+  VITRI_ASSIGN_OR_RETURN(KMeansResult km_result,
+                         KMeans(points, indices, /*k=*/2, km));
+
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    (km_result.assignments[i] == 0 ? left : right).push_back(indices[i]);
+  }
+
+  if (left.empty() || right.empty()) {
+    // 2-means failed to split (e.g., duplicated points dominating).
+    // Fall back to splitting off the single farthest point so progress
+    // is guaranteed.
+    std::vector<uint32_t>& full = left.empty() ? right : left;
+    std::vector<uint32_t>& empty = left.empty() ? left : right;
+    double worst = -1.0;
+    size_t worst_pos = 0;
+    for (size_t i = 0; i < full.size(); ++i) {
+      const double d = linalg::Distance(points[full[i]], summary.center);
+      if (d > worst) {
+        worst = d;
+        worst_pos = i;
+      }
+    }
+    if (worst <= 0.0) {
+      // All points identical yet radius > epsilon/2 cannot happen; guard
+      // against degenerate float behaviour by accepting.
+      out->push_back(std::move(summary));
+      return Status::OK();
+    }
+    empty.push_back(full[worst_pos]);
+    full.erase(full.begin() + static_cast<std::ptrdiff_t>(worst_pos));
+  }
+
+  VITRI_RETURN_IF_ERROR(Recurse(points, std::move(left), options, depth + 1,
+                                seed_salt * 2 + 1, out));
+  VITRI_RETURN_IF_ERROR(Recurse(points, std::move(right), options,
+                                depth + 1, seed_salt * 2 + 2, out));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ClusterSummary>> GenerateClustersForSubset(
+    const std::vector<Vec>& points, const std::vector<uint32_t>& indices,
+    const ClusterGeneratorOptions& options) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (indices.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty sequence");
+  }
+  for (uint32_t idx : indices) {
+    if (idx >= points.size()) {
+      return Status::InvalidArgument("index out of range");
+    }
+  }
+  std::vector<ClusterSummary> out;
+  VITRI_RETURN_IF_ERROR(
+      Recurse(points, indices, options, /*depth=*/0, /*seed_salt=*/1, &out));
+  return out;
+}
+
+Result<std::vector<ClusterSummary>> GenerateClusters(
+    const std::vector<Vec>& points, const ClusterGeneratorOptions& options) {
+  std::vector<uint32_t> indices(points.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return GenerateClustersForSubset(points, indices, options);
+}
+
+}  // namespace vitri::clustering

@@ -1,0 +1,71 @@
+#ifndef VITRI_CLUSTERING_CLUSTER_GENERATOR_H_
+#define VITRI_CLUSTERING_CLUSTER_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/vec.h"
+
+namespace vitri::clustering {
+
+/// One cluster of mutually similar frames, as produced by the paper's
+/// Generate_Clusters algorithm (Figure 3).
+struct ClusterSummary {
+  /// Cluster center O.
+  linalg::Vec center;
+  /// Refined radius R = min(max distance, mu + sigma), capped so that
+  /// R <= epsilon / 2 on acceptance.
+  double radius = 0.0;
+  /// Mean of member distances to the center.
+  double mean_distance = 0.0;
+  /// Population standard deviation of member distances to the center.
+  double stddev_distance = 0.0;
+  /// Indices (into the input point set) of the member frames.
+  std::vector<uint32_t> members;
+
+  size_t size() const { return members.size(); }
+};
+
+/// Options for the recursive bisecting cluster generator.
+struct ClusterGeneratorOptions {
+  /// Frame similarity threshold epsilon; clusters are accepted once their
+  /// refined radius is <= epsilon / 2.
+  double epsilon = 0.15;
+  /// Seed for the underlying 2-means runs.
+  uint64_t seed = 42;
+  /// Maximum Lloyd iterations per bisection.
+  int kmeans_max_iterations = 25;
+  /// Safety bound on the bisection recursion depth; a cluster that still
+  /// exceeds the radius bound at this depth is accepted as-is (only
+  /// reachable with pathological/duplicate-heavy inputs).
+  int max_depth = 64;
+  /// Use the paper's radius refinement min(R, mu + sigma). When false,
+  /// the raw maximum distance is used (ablation knob for
+  /// bench/ablation_radius_refinement).
+  bool refine_radius = true;
+};
+
+/// Implements the paper's Generate_Clusters (Figure 3): recursively
+/// 2-means-bisect `points` until each cluster's refined radius
+/// min(R_max, mu + sigma) is <= epsilon / 2. Every input point belongs
+/// to exactly one output cluster.
+Result<std::vector<ClusterSummary>> GenerateClusters(
+    const std::vector<linalg::Vec>& points,
+    const ClusterGeneratorOptions& options = {});
+
+/// Same, restricted to the subset points[indices].
+Result<std::vector<ClusterSummary>> GenerateClustersForSubset(
+    const std::vector<linalg::Vec>& points,
+    const std::vector<uint32_t>& indices,
+    const ClusterGeneratorOptions& options = {});
+
+/// Recomputes center/radius/statistics of a member set (used after
+/// external edits and by tests to check invariants).
+ClusterSummary SummarizeMembers(const std::vector<linalg::Vec>& points,
+                                std::vector<uint32_t> members,
+                                bool refine_radius = true);
+
+}  // namespace vitri::clustering
+
+#endif  // VITRI_CLUSTERING_CLUSTER_GENERATOR_H_

@@ -1,0 +1,153 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vitri::clustering {
+
+using linalg::Vec;
+using linalg::VecView;
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent ones sampled
+// proportional to squared distance to the nearest chosen centroid.
+std::vector<Vec> SeedPlusPlus(const std::vector<Vec>& points,
+                              const std::vector<uint32_t>& indices, int k,
+                              Rng& rng) {
+  std::vector<Vec> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[indices[rng.Index(indices.size())]]);
+
+  std::vector<double> d2(indices.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const double d = linalg::SquaredDistance(points[indices[i]],
+                                               centroids.back());
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    size_t chosen = 0;
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; any pick works.
+      chosen = rng.Index(indices.size());
+    } else {
+      double target = rng.NextDouble() * total;
+      for (size_t i = 0; i < indices.size(); ++i) {
+        target -= d2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centroids.push_back(points[indices[chosen]]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<Vec>& points,
+                            const std::vector<uint32_t>& indices, int k,
+                            const KMeansOptions& options) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (indices.empty()) {
+    return Status::InvalidArgument("k-means needs at least one point");
+  }
+  for (uint32_t idx : indices) {
+    if (idx >= points.size()) {
+      return Status::InvalidArgument("index out of range");
+    }
+  }
+  const size_t dim = points[indices[0]].size();
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, indices, k, rng);
+  result.assignments.assign(indices.size(), 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const VecView p = points[indices[i]];
+      double best = std::numeric_limits<double>::infinity();
+      uint32_t best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = linalg::SquaredDistance(p, result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+
+    // Update step.
+    std::vector<Vec> sums(k, Vec(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      linalg::AddInPlace(sums[result.assignments[i]], points[indices[i]]);
+      ++counts[result.assignments[i]];
+    }
+
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its
+        // current centroid, keeping all k clusters in play.
+        double worst = -1.0;
+        size_t worst_i = 0;
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const double d = linalg::SquaredDistance(
+              points[indices[i]], result.centroids[result.assignments[i]]);
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        movement += linalg::SquaredDistance(result.centroids[c],
+                                            points[indices[worst_i]]);
+        result.centroids[c] = points[indices[worst_i]];
+        changed = true;
+        continue;
+      }
+      Vec next = sums[c];
+      linalg::ScaleInPlace(next, 1.0 / static_cast<double>(counts[c]));
+      movement += linalg::SquaredDistance(result.centroids[c], next);
+      result.centroids[c] = std::move(next);
+    }
+
+    if (!changed || movement < options.tolerance) break;
+  }
+
+  // Final assignment pass so assignments match the final centroids.
+  result.inertia = 0.0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const VecView p = points[indices[i]];
+    double best = std::numeric_limits<double>::infinity();
+    uint32_t best_c = 0;
+    for (int c = 0; c < k; ++c) {
+      const double d = linalg::SquaredDistance(p, result.centroids[c]);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<uint32_t>(c);
+      }
+    }
+    result.assignments[i] = best_c;
+    result.inertia += best;
+  }
+  return result;
+}
+
+}  // namespace vitri::clustering

@@ -1,0 +1,50 @@
+#ifndef VITRI_CLUSTERING_KMEANS_H_
+#define VITRI_CLUSTERING_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "linalg/vec.h"
+
+namespace vitri::clustering {
+
+/// Options for Lloyd's k-means.
+struct KMeansOptions {
+  /// Maximum Lloyd iterations.
+  int max_iterations = 50;
+  /// Stop when no assignment changes, or total centroid movement
+  /// (squared) falls below this.
+  double tolerance = 1e-10;
+  /// Seed for k-means++ initialization.
+  uint64_t seed = 42;
+};
+
+/// Result of one k-means run over a subset of points.
+struct KMeansResult {
+  /// k centroids.
+  std::vector<linalg::Vec> centroids;
+  /// assignment[i] in [0, k) for the i-th *input index*.
+  std::vector<uint32_t> assignments;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  /// Lloyd iterations executed.
+  int iterations = 0;
+};
+
+/// Runs k-means over points[indices], with k-means++ seeding. `points`
+/// is the backing store; `indices` selects the subset to cluster (the
+/// recursive bisecting generator clusters sub-ranges without copying).
+///
+/// Guarantees non-empty clusters when indices contain at least k distinct
+/// points: an empty cluster is re-seeded with the point farthest from its
+/// centroid. If the subset has fewer distinct points than k, some
+/// clusters may stay empty and their centroids duplicate others.
+Result<KMeansResult> KMeans(const std::vector<linalg::Vec>& points,
+                            const std::vector<uint32_t>& indices, int k,
+                            const KMeansOptions& options = {});
+
+}  // namespace vitri::clustering
+
+#endif  // VITRI_CLUSTERING_KMEANS_H_

@@ -1,0 +1,41 @@
+#ifndef VITRI_COMMON_CODING_H_
+#define VITRI_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace vitri {
+
+/// Fixed-width little-endian encoding helpers for on-page records.
+/// memcpy-based so they are alignment-safe and well-defined for any
+/// byte buffer.
+
+inline void EncodeU16(uint8_t* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+inline void EncodeDouble(uint8_t* dst, double v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeU16(const uint8_t* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeU32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+inline double DecodeDouble(const uint8_t* src) {
+  double v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace vitri
+
+#endif  // VITRI_COMMON_CODING_H_

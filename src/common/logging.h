@@ -1,0 +1,50 @@
+#ifndef VITRI_COMMON_LOGGING_H_
+#define VITRI_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vitri {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Global threshold defaults to
+/// kWarn so library internals stay quiet in benchmarks unless asked.
+class Logger {
+ public:
+  /// Sets the global minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+
+  /// Current global minimum level.
+  static LogLevel GetLevel();
+
+  /// Emits one line at `level` (no-op below the threshold).
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style one-line log statement; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vitri
+
+#define VITRI_LOG(level) \
+  ::vitri::internal::LogMessage(::vitri::LogLevel::level).stream()
+
+#endif  // VITRI_COMMON_LOGGING_H_

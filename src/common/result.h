@@ -1,0 +1,79 @@
+#ifndef VITRI_COMMON_RESULT_H_
+#define VITRI_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vitri {
+
+/// A value-or-error holder: either an OK Status plus a T, or a non-OK
+/// Status and no value. Accessing the value of an error Result aborts
+/// in debug builds (assert) — callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: makes `return value;` work in functions
+  /// returning Result<T>.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit from error status. Constructing from an OK status without a
+  /// value is a programming error.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+/// otherwise moves the value into `lhs`.
+#define VITRI_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  VITRI_ASSIGN_OR_RETURN_IMPL_(                              \
+      VITRI_RESULT_CONCAT_(_vitri_result, __LINE__), lhs, rexpr)
+
+#define VITRI_RESULT_CONCAT_INNER_(a, b) a##b
+#define VITRI_RESULT_CONCAT_(a, b) VITRI_RESULT_CONCAT_INNER_(a, b)
+#define VITRI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace vitri
+
+#endif  // VITRI_COMMON_RESULT_H_

@@ -1,0 +1,35 @@
+#ifndef VITRI_COMMON_STOPWATCH_H_
+#define VITRI_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vitri {
+
+/// Wall-clock stopwatch used by the benchmark harnesses to report CPU-side
+/// costs. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vitri
+
+#endif  // VITRI_COMMON_STOPWATCH_H_

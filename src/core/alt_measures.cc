@@ -1,0 +1,117 @@
+#include "core/alt_measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vec.h"
+
+namespace vitri::core {
+
+Result<double> WarpingDistance(const video::VideoSequence& x,
+                               const video::VideoSequence& y,
+                               size_t band) {
+  const size_t n = x.frames.size();
+  const size_t m = y.frames.size();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("warping distance needs frames");
+  }
+  if (band > 0 && band < (n > m ? n - m : m - n)) {
+    return Status::InvalidArgument(
+        "Sakoe-Chiba band narrower than the length difference");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Rolling two-row DP over the alignment matrix. dp[j] = cost of the
+  // best warping path ending at (i, j); steps (i-1,j), (i,j-1),
+  // (i-1,j-1). Path length is tracked to report a per-step average so
+  // the value is comparable across clip lengths.
+  struct Cell {
+    double cost = kInf;
+    uint32_t steps = 0;
+  };
+  std::vector<Cell> prev(m + 1), cur(m + 1);
+  prev[0] = Cell{0.0, 0};
+
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), Cell{kInf, 0});
+    const size_t j_lo =
+        band > 0 ? (i > band ? std::max<size_t>(1, i - band) : 1) : 1;
+    const size_t j_hi = band > 0 ? std::min(m, i + band) : m;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d =
+          linalg::Distance(x.frames[i - 1], y.frames[j - 1]);
+      const Cell& diag = prev[j - 1];
+      const Cell& up = prev[j];
+      const Cell& left = cur[j - 1];
+      const Cell* best = &diag;
+      if (up.cost < best->cost) best = &up;
+      if (left.cost < best->cost) best = &left;
+      if (best->cost == kInf) continue;
+      cur[j] = Cell{best->cost + d, best->steps + 1};
+    }
+    std::swap(prev, cur);
+  }
+  if (prev[m].cost == kInf) {
+    return Status::Internal("warping DP found no path (band too small)");
+  }
+  return prev[m].cost / std::max<uint32_t>(1, prev[m].steps);
+}
+
+Result<double> HausdorffDistance(const video::VideoSequence& x,
+                                 const video::VideoSequence& y) {
+  if (x.frames.empty() || y.frames.empty()) {
+    return Status::InvalidArgument("Hausdorff distance needs frames");
+  }
+  auto directed = [](const video::VideoSequence& a,
+                     const video::VideoSequence& b) {
+    double worst = 0.0;
+    for (const linalg::Vec& fa : a.frames) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const linalg::Vec& fb : b.frames) {
+        best = std::min(best, linalg::SquaredDistance(fa, fb));
+        if (best == 0.0) break;
+      }
+      worst = std::max(worst, best);
+    }
+    return std::sqrt(worst);
+  };
+  return std::max(directed(x, y), directed(y, x));
+}
+
+double ShotDurationTemplateSimilarityFromSignatures(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+    double tolerance) {
+  if (a.empty() || b.empty()) return 0.0;
+  const std::vector<uint32_t>& shorter = a.size() <= b.size() ? a : b;
+  const std::vector<uint32_t>& longer = a.size() <= b.size() ? b : a;
+
+  double best = 0.0;
+  for (size_t offset = 0; offset + shorter.size() <= longer.size();
+       ++offset) {
+    size_t matched = 0;
+    for (size_t i = 0; i < shorter.size(); ++i) {
+      const double da = shorter[i];
+      const double db = longer[offset + i];
+      if (std::fabs(da - db) <= tolerance * std::max(da, db)) {
+        ++matched;
+      }
+    }
+    best = std::max(best, static_cast<double>(matched) /
+                              static_cast<double>(shorter.size()));
+  }
+  return best;
+}
+
+Result<double> ShotDurationTemplateSimilarity(
+    const video::VideoSequence& x, const video::VideoSequence& y,
+    double tolerance, const video::ShotDetectorOptions& detector) {
+  VITRI_ASSIGN_OR_RETURN(std::vector<uint32_t> sig_x,
+                         video::ShotDurationSignature(x, detector));
+  VITRI_ASSIGN_OR_RETURN(std::vector<uint32_t> sig_y,
+                         video::ShotDurationSignature(y, detector));
+  return ShotDurationTemplateSimilarityFromSignatures(sig_x, sig_y,
+                                                      tolerance);
+}
+
+}  // namespace vitri::core

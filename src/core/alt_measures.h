@@ -1,0 +1,50 @@
+#ifndef VITRI_CORE_ALT_MEASURES_H_
+#define VITRI_CORE_ALT_MEASURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "video/shot_detector.h"
+#include "video/video.h"
+
+namespace vitri::core {
+
+/// The alternative full-sequence video measures surveyed in the paper's
+/// Section 2 — each requires (most of) the raw frames and pairwise frame
+/// comparisons, which is exactly the cost the ViTri summary avoids.
+/// They serve as quality/cost comparators in bench/measure_comparison.
+
+/// Warping distance [13]: dynamic time warping over the two frame
+/// sequences with Euclidean frame cost, optionally constrained to a
+/// Sakoe-Chiba band of half-width `band` (0 = unconstrained). Returns
+/// the average per-step matched frame distance (lower = more similar).
+Result<double> WarpingDistance(const video::VideoSequence& x,
+                               const video::VideoSequence& y,
+                               size_t band = 0);
+
+/// Hausdorff distance [5]: max over frames of the distance to the
+/// nearest frame of the other sequence (symmetric max of the two
+/// directed distances). Lower = more similar.
+Result<double> HausdorffDistance(const video::VideoSequence& x,
+                                 const video::VideoSequence& y);
+
+/// Template matching of shot-change durations [7]: both sequences are
+/// segmented into shots; the shorter duration signature is slid over
+/// the longer one and the best overlap score is reported. The score is
+/// in [0, 1]: 1 means some alignment matches every overlapping shot
+/// duration exactly. `tolerance` is the allowed relative duration
+/// mismatch for two shots to count as matching.
+Result<double> ShotDurationTemplateSimilarity(
+    const video::VideoSequence& x, const video::VideoSequence& y,
+    double tolerance = 0.15,
+    const video::ShotDetectorOptions& detector = {});
+
+/// Same, on precomputed signatures (exposed for reuse and testing).
+double ShotDurationTemplateSimilarityFromSignatures(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+    double tolerance = 0.15);
+
+}  // namespace vitri::core
+
+#endif  // VITRI_CORE_ALT_MEASURES_H_

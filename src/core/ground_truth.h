@@ -1,0 +1,42 @@
+#ifndef VITRI_CORE_GROUND_TRUTH_H_
+#define VITRI_CORE_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/index.h"
+#include "video/video.h"
+
+namespace vitri::core {
+
+/// Exact KNN by the frame-level similarity of Section 3.1, used as the
+/// ground truth `rel` of the precision experiments. O(DB frames x query
+/// frames) — run on scaled datasets only.
+std::vector<VideoMatch> ExactKnn(const video::VideoDatabase& db,
+                                 const video::VideoSequence& query,
+                                 size_t k, double epsilon);
+
+/// precision = |rel intersect ret| / |rel| (Section 6.1). Operates on
+/// video-id sets.
+double Precision(const std::vector<VideoMatch>& relevant,
+                 const std::vector<VideoMatch>& retrieved);
+
+/// Tie-aware precision: `exact_sims[video_id]` holds the exact
+/// frame-level similarity of every database video to the query. A
+/// retrieved video counts as relevant if its exact similarity is
+/// positive and at least the K-th best — so ground-truth ties (common
+/// at large epsilon, where many videos match equally) do not depend on
+/// id order. Denominator is min(k, number of positive-similarity
+/// videos). The first k retrieved entries are considered.
+double TieAwarePrecision(const std::vector<double>& exact_sims, size_t k,
+                         const std::vector<VideoMatch>& retrieved);
+
+/// Exact similarities of the query to every database video (the input
+/// of TieAwarePrecision).
+std::vector<double> ExactSimilarities(const video::VideoDatabase& db,
+                                      const video::VideoSequence& query,
+                                      double epsilon);
+
+}  // namespace vitri::core
+
+#endif  // VITRI_CORE_GROUND_TRUTH_H_

@@ -1,0 +1,340 @@
+#include "core/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "core/similarity.h"
+
+namespace vitri::core {
+
+using btree::BPlusTree;
+using storage::BufferPool;
+using storage::IoStats;
+using storage::MemPager;
+
+Result<ViTriIndex> ViTriIndex::Build(const ViTriSet& set,
+                                     const ViTriIndexOptions& options) {
+  if (set.vitris.empty()) {
+    return Status::InvalidArgument("cannot build an index over no ViTris");
+  }
+  if (set.dimension != options.dimension) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  ViTriIndex index;
+  index.options_ = options;
+  index.vitris_ = set.vitris;
+  index.frame_counts_ = set.frame_counts;
+  index.positions_.reserve(set.vitris.size());
+  for (const ViTri& v : set.vitris) {
+    if (v.dimension() != options.dimension) {
+      return Status::InvalidArgument("ViTri dimension mismatch");
+    }
+    index.positions_.push_back(v.position);
+  }
+  VITRI_ASSIGN_OR_RETURN(
+      OneDimensionalTransform t,
+      OneDimensionalTransform::Fit(index.positions_, options.reference,
+                                   options.margin_factor));
+  index.transform_ = std::move(t);
+  VITRI_RETURN_IF_ERROR(index.LoadTree());
+  return index;
+}
+
+Status ViTriIndex::LoadTree() {
+  // Tear down in dependency order: the tree and pool reference the pager.
+  tree_.reset();
+  pool_.reset();
+  pager_.reset();
+  pager_ = std::make_unique<MemPager>(options_.page_size);
+  pool_ = std::make_unique<BufferPool>(pager_.get(),
+                                       options_.buffer_pool_pages);
+  VITRI_ASSIGN_OR_RETURN(
+      BPlusTree tree,
+      BPlusTree::Create(pool_.get(),
+                        static_cast<uint32_t>(
+                            ViTri::SerializedSize(options_.dimension))));
+  tree_ = std::move(tree);
+
+  std::vector<btree::Entry> entries;
+  entries.reserve(vitris_.size());
+  for (size_t i = 0; i < vitris_.size(); ++i) {
+    btree::Entry e;
+    e.key = transform_->Key(vitris_[i].position);
+    e.rid = i;
+    vitris_[i].Serialize(&e.value);
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const btree::Entry& a, const btree::Entry& b) {
+              return a.key < b.key || (a.key == b.key && a.rid < b.rid);
+            });
+  return tree_->BulkLoad(entries);
+}
+
+Status ViTriIndex::Insert(uint32_t video_id, uint32_t num_frames,
+                          const std::vector<ViTri>& vitris) {
+  if (video_id >= frame_counts_.size()) {
+    frame_counts_.resize(video_id + 1, 0);
+  }
+  frame_counts_[video_id] = num_frames;
+  for (const ViTri& v : vitris) {
+    if (v.dimension() != options_.dimension) {
+      return Status::InvalidArgument("ViTri dimension mismatch");
+    }
+    const uint64_t rid = vitris_.size();
+    const double key = transform_->Key(v.position);
+    std::vector<uint8_t> value;
+    v.Serialize(&value);
+    VITRI_RETURN_IF_ERROR(tree_->Insert(key, rid, value));
+    vitris_.push_back(v);
+    positions_.push_back(v.position);
+  }
+  return Status::OK();
+}
+
+std::vector<ViTriIndex::RangeSpec> ViTriIndex::MakeRanges(
+    const std::vector<ViTri>& query) const {
+  std::vector<RangeSpec> ranges;
+  ranges.reserve(query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    const double key = transform_->Key(query[i].position);
+    const double gamma = query[i].radius + options_.epsilon / 2.0;
+    ranges.push_back(RangeSpec{key - gamma, key + gamma, i});
+  }
+  return ranges;
+}
+
+Result<std::vector<VideoMatch>> ViTriIndex::RankResults(
+    const std::vector<double>& shared_by_video, uint32_t query_frames,
+    size_t k) const {
+  std::vector<VideoMatch> matches;
+  for (uint32_t vid = 0; vid < shared_by_video.size(); ++vid) {
+    if (shared_by_video[vid] <= 0.0) continue;
+    const uint32_t frames = frame_counts_[vid];
+    if (frames == 0) continue;
+    const double sim = std::clamp(
+        2.0 * shared_by_video[vid] /
+            static_cast<double>(query_frames + frames),
+        0.0, 1.0);
+    matches.push_back(VideoMatch{vid, sim});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const VideoMatch& a, const VideoMatch& b) {
+              return a.similarity > b.similarity ||
+                     (a.similarity == b.similarity &&
+                      a.video_id < b.video_id);
+            });
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+Result<std::vector<VideoMatch>> ViTriIndex::Knn(
+    const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
+    KnnMethod method, QueryCosts* costs) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query summary is empty");
+  }
+  Stopwatch watch;
+  const IoStats before = pool_->stats();
+  QueryCosts local;
+
+  // Per-query-ViTri keys and radii for candidate evaluation.
+  std::vector<RangeSpec> ranges = MakeRanges(query);
+
+  std::vector<double> shared(frame_counts_.size(), 0.0);
+
+  // Evaluates `record` against one query ViTri, accumulating shared
+  // frame estimates.
+  auto evaluate = [&](const ViTri& candidate, size_t query_index) {
+    ++local.similarity_evals;
+    const double est =
+        EstimatedSharedFrames(query[query_index], candidate);
+    if (est > 0.0 && candidate.video_id < shared.size()) {
+      shared[candidate.video_id] += est;
+    }
+  };
+
+  if (method == KnnMethod::kNaive) {
+    // One range search per query ViTri; candidates in overlapping
+    // ranges are re-read and re-evaluated (the paper's naive method).
+    for (const RangeSpec& r : ranges) {
+      ++local.range_searches;
+      auto scan_result = tree_->RangeScan(
+          r.lo, r.hi,
+          [&](double /*key*/, uint64_t /*rid*/,
+              std::span<const uint8_t> value) {
+            ++local.candidates;
+            auto candidate =
+                ViTri::Deserialize(value, options_.dimension);
+            if (candidate.ok()) evaluate(*candidate, r.query_index);
+            return true;
+          });
+      VITRI_RETURN_IF_ERROR(scan_result.status());
+    }
+  } else {
+    // Query composition: merge overlapping ranges, then evaluate each
+    // scanned record against every query ViTri whose range covers it.
+    std::vector<RangeSpec> sorted = ranges;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const RangeSpec& a, const RangeSpec& b) {
+                return a.lo < b.lo;
+              });
+    std::vector<RangeSpec> merged;
+    for (const RangeSpec& r : sorted) {
+      if (!merged.empty() && r.lo <= merged.back().hi) {
+        merged.back().hi = std::max(merged.back().hi, r.hi);
+      } else {
+        merged.push_back(r);
+      }
+    }
+    for (const RangeSpec& m : merged) {
+      ++local.range_searches;
+      auto scan_result = tree_->RangeScan(
+          m.lo, m.hi,
+          [&](double key, uint64_t /*rid*/,
+              std::span<const uint8_t> value) {
+            ++local.candidates;
+            auto candidate =
+                ViTri::Deserialize(value, options_.dimension);
+            if (!candidate.ok()) return true;
+            for (const RangeSpec& r : ranges) {
+              if (key >= r.lo && key <= r.hi) {
+                evaluate(*candidate, r.query_index);
+              }
+            }
+            return true;
+          });
+      VITRI_RETURN_IF_ERROR(scan_result.status());
+    }
+  }
+
+  auto result = RankResults(shared, query_frames, k);
+  const IoStats delta = pool_->stats() - before;
+  local.page_accesses = delta.logical_reads;
+  local.physical_reads = delta.physical_reads;
+  local.cpu_seconds = watch.ElapsedSeconds();
+  if (costs != nullptr) *costs = local;
+  return result;
+}
+
+Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
+    const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
+    QueryCosts* costs) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query summary is empty");
+  }
+  Stopwatch watch;
+  const IoStats before = pool_->stats();
+  QueryCosts local;
+  local.range_searches = 1;
+
+  std::vector<double> shared(frame_counts_.size(), 0.0);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto scan_result = tree_->RangeScan(
+      -kInf, kInf,
+      [&](double /*key*/, uint64_t /*rid*/,
+          std::span<const uint8_t> value) {
+        ++local.candidates;
+        auto candidate = ViTri::Deserialize(value, options_.dimension);
+        if (!candidate.ok()) return true;
+        for (const ViTri& q : query) {
+          ++local.similarity_evals;
+          const double est = EstimatedSharedFrames(q, *candidate);
+          if (est > 0.0 && candidate->video_id < shared.size()) {
+            shared[candidate->video_id] += est;
+          }
+        }
+        return true;
+      });
+  VITRI_RETURN_IF_ERROR(scan_result.status());
+
+  auto result = RankResults(shared, query_frames, k);
+  const IoStats delta = pool_->stats() - before;
+  local.page_accesses = delta.logical_reads;
+  local.physical_reads = delta.physical_reads;
+  local.cpu_seconds = watch.ElapsedSeconds();
+  if (costs != nullptr) *costs = local;
+  return result;
+}
+
+Result<std::vector<VideoMatch>> ViTriIndex::FrameSearch(
+    linalg::VecView frame, double epsilon, size_t k, QueryCosts* costs) {
+  if (frame.size() != static_cast<size_t>(options_.dimension)) {
+    return Status::InvalidArgument("frame dimension mismatch");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  Stopwatch watch;
+  const IoStats before = pool_->stats();
+  QueryCosts local;
+  local.range_searches = 1;
+
+  // A stored ViTri can contain matching frames only if its ball
+  // intersects ball(frame, epsilon): d(O, frame) < epsilon + R with
+  // R <= options.epsilon / 2, so the key range radius is
+  // epsilon + options.epsilon / 2 by the triangle inequality.
+  const double key = transform_->Key(frame);
+  const double gamma = epsilon + options_.epsilon / 2.0;
+
+  std::vector<double> matches_by_video(frame_counts_.size(), 0.0);
+  auto scan = tree_->RangeScan(
+      key - gamma, key + gamma,
+      [&](double /*key*/, uint64_t /*rid*/,
+          std::span<const uint8_t> value) {
+        ++local.candidates;
+        auto candidate = ViTri::Deserialize(value, options_.dimension);
+        if (!candidate.ok()) return true;
+        ++local.similarity_evals;
+        const double est =
+            EstimatedMatchingFrames(frame, epsilon, *candidate);
+        if (est > 0.0 && candidate->video_id < matches_by_video.size()) {
+          matches_by_video[candidate->video_id] += est;
+        }
+        return true;
+      });
+  VITRI_RETURN_IF_ERROR(scan.status());
+
+  std::vector<VideoMatch> out;
+  for (uint32_t vid = 0; vid < matches_by_video.size(); ++vid) {
+    if (matches_by_video[vid] > 0.0) {
+      out.push_back(VideoMatch{vid, matches_by_video[vid]});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VideoMatch& a, const VideoMatch& b) {
+              return a.similarity > b.similarity ||
+                     (a.similarity == b.similarity &&
+                      a.video_id < b.video_id);
+            });
+  if (out.size() > k) out.resize(k);
+
+  const IoStats delta = pool_->stats() - before;
+  local.page_accesses = delta.logical_reads;
+  local.physical_reads = delta.physical_reads;
+  local.cpu_seconds = watch.ElapsedSeconds();
+  if (costs != nullptr) *costs = local;
+  return out;
+}
+
+Result<double> ViTriIndex::DriftAngle() const {
+  return transform_->DriftAngle(positions_);
+}
+
+Result<bool> ViTriIndex::NeedsRebuild() const {
+  VITRI_ASSIGN_OR_RETURN(double angle, DriftAngle());
+  return angle > options_.rebuild_angle_threshold;
+}
+
+Status ViTriIndex::Rebuild() {
+  VITRI_ASSIGN_OR_RETURN(
+      OneDimensionalTransform t,
+      OneDimensionalTransform::Fit(positions_, options_.reference,
+                                   options_.margin_factor));
+  transform_ = std::move(t);
+  return LoadTree();
+}
+
+}  // namespace vitri::core

@@ -1,0 +1,182 @@
+#ifndef VITRI_CORE_INDEX_H_
+#define VITRI_CORE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/result.h"
+#include "core/transform.h"
+#include "core/vitri.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace vitri::core {
+
+/// Configuration of a ViTri index.
+struct ViTriIndexOptions {
+  /// Feature dimensionality of indexed ViTris.
+  int dimension = 64;
+  /// Frame similarity threshold used at build time; the per-query search
+  /// radius is R_i^Q + epsilon/2 (every indexed radius is <= epsilon/2).
+  double epsilon = 0.15;
+  /// Reference point of the one-dimensional transformation.
+  ReferencePointKind reference = ReferencePointKind::kOptimal;
+  /// Placement margin of the optimal reference point.
+  double margin_factor = 2.0;
+  /// Page size of the backing store (paper: 4K).
+  size_t page_size = 4096;
+  /// Buffer pool frames.
+  size_t buffer_pool_pages = 256;
+  /// First-principal-component drift (radians) beyond which
+  /// NeedsRebuild() reports true (Section 6.3.3 policy).
+  double rebuild_angle_threshold = 0.35;
+};
+
+/// KNN evaluation strategy (Section 5.2).
+enum class KnnMethod {
+  /// One B+-tree range search per query ViTri; overlapping ranges
+  /// re-access the same leaves.
+  kNaive,
+  /// Query composition: overlapping key ranges are merged first, so each
+  /// leaf is visited at most once per query.
+  kComposed,
+};
+
+/// Cost counters for one query, in the units the paper plots.
+struct QueryCosts {
+  uint64_t page_accesses = 0;      // Logical page fetches (I/O cost).
+  uint64_t physical_reads = 0;     // Of which missed the buffer pool.
+  uint64_t candidates = 0;         // Leaf records scanned (with repeats).
+  uint64_t similarity_evals = 0;   // ViTri-pair similarity computations.
+  uint64_t range_searches = 0;     // Range searches issued.
+  double cpu_seconds = 0.0;        // Wall time of the query.
+
+  QueryCosts& operator+=(const QueryCosts& rhs) {
+    page_accesses += rhs.page_accesses;
+    physical_reads += rhs.physical_reads;
+    candidates += rhs.candidates;
+    similarity_evals += rhs.similarity_evals;
+    range_searches += rhs.range_searches;
+    cpu_seconds += rhs.cpu_seconds;
+    return *this;
+  }
+};
+
+/// One KNN result row.
+struct VideoMatch {
+  uint32_t video_id = 0;
+  /// Estimated similarity in [0, 1].
+  double similarity = 0.0;
+};
+
+/// The paper's index: ViTri positions mapped to one-dimensional keys by
+/// a reference-point transform and stored in a disk-paged B+-tree whose
+/// leaves carry the full triplets. Supports bulk build, dynamic insert,
+/// naive and composed KNN search, a sequential-scan baseline, and the
+/// PCA-drift rebuild policy. Single-threaded.
+class ViTriIndex {
+ public:
+  ViTriIndex(ViTriIndex&&) noexcept = default;
+  ViTriIndex& operator=(ViTriIndex&&) noexcept = default;
+  ViTriIndex(const ViTriIndex&) = delete;
+  ViTriIndex& operator=(const ViTriIndex&) = delete;
+
+  /// Builds an index over a summarized database (bulk load).
+  static Result<ViTriIndex> Build(const ViTriSet& set,
+                                  const ViTriIndexOptions& options);
+
+  /// Inserts one new video's summary (standard B+-tree insertions with
+  /// the original reference point, as in Section 6.3.3).
+  Status Insert(uint32_t video_id, uint32_t num_frames,
+                const std::vector<ViTri>& vitris);
+
+  /// Top-k most similar videos to a query summary. `query_frames` is the
+  /// query video's frame count (for similarity normalization). Costs are
+  /// optional.
+  Result<std::vector<VideoMatch>> Knn(const std::vector<ViTri>& query,
+                                      uint32_t query_frames, size_t k,
+                                      KnnMethod method,
+                                      QueryCosts* costs = nullptr);
+
+  /// Baseline: evaluates the query against every stored ViTri by
+  /// scanning the whole leaf level.
+  Result<std::vector<VideoMatch>> SequentialScan(
+      const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
+      QueryCosts* costs = nullptr);
+
+  /// Frame point query: the top-k videos ranked by the estimated number
+  /// of their frames within `epsilon` of the single frame `frame`
+  /// (VideoMatch::similarity holds that estimate, not a [0,1] score).
+  /// One composed range search of radius epsilon + options.epsilon/2.
+  Result<std::vector<VideoMatch>> FrameSearch(linalg::VecView frame,
+                                              double epsilon, size_t k,
+                                              QueryCosts* costs = nullptr);
+
+  /// Angle between the build-time first principal component and the
+  /// current data's (0 for non-optimal reference kinds).
+  Result<double> DriftAngle() const;
+
+  /// True when DriftAngle() exceeds the configured threshold.
+  Result<bool> NeedsRebuild() const;
+
+  /// Re-fits the transform on the current contents and rebuilds the
+  /// tree by bulk load (the Section 6.3.3 "one-off construction").
+  Status Rebuild();
+
+  const ViTriIndexOptions& options() const { return options_; }
+  const OneDimensionalTransform& transform() const { return *transform_; }
+  size_t num_vitris() const { return vitris_.size(); }
+  size_t num_videos() const { return frame_counts_.size(); }
+  uint32_t tree_height() const { return tree_->height(); }
+  const storage::IoStats& io_stats() const { return pool_->stats(); }
+
+  /// Drops all cached pages (cold-cache experiments).
+  Status DropCaches() { return pool_->EvictAll(); }
+
+  /// A copy of the current contents as a ViTriSet (the input of
+  /// snapshot persistence; see core/snapshot.h).
+  ViTriSet Snapshot() const {
+    ViTriSet set;
+    set.dimension = options_.dimension;
+    set.vitris = vitris_;
+    set.frame_counts = frame_counts_;
+    return set;
+  }
+
+ private:
+  ViTriIndex() = default;
+
+  /// (Re)creates pager/pool/tree and bulk-loads all current ViTris using
+  /// the current transform.
+  Status LoadTree();
+
+  /// Accumulates per-video estimated shared frames for a scanned record.
+  struct RangeSpec {
+    double lo = 0.0;
+    double hi = 0.0;
+    size_t query_index = 0;  // Meaningful for naive ranges only.
+  };
+  std::vector<RangeSpec> MakeRanges(const std::vector<ViTri>& query) const;
+
+  Result<std::vector<VideoMatch>> RankResults(
+      const std::vector<double>& shared_by_video, uint32_t query_frames,
+      size_t k) const;
+
+  ViTriIndexOptions options_;
+  std::optional<OneDimensionalTransform> transform_;
+  std::unique_ptr<storage::MemPager> pager_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::optional<btree::BPlusTree> tree_;
+  /// In-memory copies used for rebuild and drift monitoring. Queries
+  /// never touch these; they go through the tree.
+  std::vector<ViTri> vitris_;
+  std::vector<linalg::Vec> positions_;
+  std::vector<uint32_t> frame_counts_;
+};
+
+}  // namespace vitri::core
+
+#endif  // VITRI_CORE_INDEX_H_

@@ -1,0 +1,52 @@
+#ifndef VITRI_CORE_KEYFRAME_BASELINE_H_
+#define VITRI_CORE_KEYFRAME_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/index.h"
+#include "linalg/vec.h"
+#include "video/video.h"
+
+namespace vitri::core {
+
+/// The keyframe summarization baseline of [5] (Chang/Sull/Lee): a video
+/// is reduced to k representative frames chosen to minimize the distance
+/// between the representatives and the original sequence; two videos are
+/// compared by the *percentage of similar keyframes* (center-to-center
+/// distance <= epsilon), discarding the per-cluster volume/density
+/// information ViTri keeps.
+struct KeyframeSummary {
+  uint32_t video_id = 0;
+  uint32_t num_frames = 0;
+  std::vector<linalg::Vec> keyframes;
+};
+
+/// Builds a k-representative summary: k-means over the frames, each
+/// centroid replaced by its nearest actual frame (a medoid), matching
+/// [5]'s "select the k feature vectors minimizing distance to the
+/// sequence" objective. `k` is clamped to the frame count.
+Result<KeyframeSummary> BuildKeyframeSummary(
+    const video::VideoSequence& sequence, size_t k, uint64_t seed = 42);
+
+/// [5]'s own summary budget: a compact, duration-proportional number of
+/// keyframes (about one per three seconds of video) — keyframe methods
+/// choose their budget independent of any epsilon.
+inline size_t DefaultKeyframeBudget(double duration_seconds) {
+  const double budget = duration_seconds / 3.0;
+  return budget < 1.0 ? 1 : static_cast<size_t>(budget);
+}
+
+/// Percentage-of-similar-keyframes similarity between two summaries.
+double KeyframeSimilarity(const KeyframeSummary& a,
+                          const KeyframeSummary& b, double epsilon);
+
+/// Linear-scan KNN over keyframe summaries.
+std::vector<VideoMatch> KeyframeKnn(
+    const std::vector<KeyframeSummary>& database,
+    const KeyframeSummary& query, size_t k, double epsilon);
+
+}  // namespace vitri::core
+
+#endif  // VITRI_CORE_KEYFRAME_BASELINE_H_

@@ -1,0 +1,144 @@
+#include "core/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace vitri::core {
+namespace {
+
+constexpr uint32_t kMagic = 0x56534e50;  // 'VSNP'
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const uint8_t* data, size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, uint8_t* data, size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::IoError("short read (truncated snapshot?)");
+  }
+  return Status::OK();
+}
+
+Status WriteU32(std::FILE* f, uint32_t v) {
+  uint8_t buf[4];
+  EncodeU32(buf, v);
+  return WriteAll(f, buf, 4);
+}
+
+Status WriteU64(std::FILE* f, uint64_t v) {
+  uint8_t buf[8];
+  EncodeU64(buf, v);
+  return WriteAll(f, buf, 8);
+}
+
+Result<uint32_t> ReadU32(std::FILE* f) {
+  uint8_t buf[4];
+  VITRI_RETURN_IF_ERROR(ReadAll(f, buf, 4));
+  return DecodeU32(buf);
+}
+
+Result<uint64_t> ReadU64(std::FILE* f) {
+  uint8_t buf[8];
+  VITRI_RETURN_IF_ERROR(ReadAll(f, buf, 8));
+  return DecodeU64(buf);
+}
+
+}  // namespace
+
+Status SaveViTriSet(const ViTriSet& set, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  FilePtr file(std::fopen(tmp.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + tmp + " for writing");
+  }
+  VITRI_RETURN_IF_ERROR(WriteU32(file.get(), kMagic));
+  VITRI_RETURN_IF_ERROR(WriteU32(file.get(), kVersion));
+  VITRI_RETURN_IF_ERROR(
+      WriteU32(file.get(), static_cast<uint32_t>(set.dimension)));
+  VITRI_RETURN_IF_ERROR(WriteU64(file.get(), set.frame_counts.size()));
+  for (uint32_t count : set.frame_counts) {
+    VITRI_RETURN_IF_ERROR(WriteU32(file.get(), count));
+  }
+  VITRI_RETURN_IF_ERROR(WriteU64(file.get(), set.vitris.size()));
+  std::vector<uint8_t> buffer;
+  for (const ViTri& v : set.vitris) {
+    if (v.dimension() != set.dimension) {
+      return Status::InvalidArgument("ViTri dimension mismatch in set");
+    }
+    v.Serialize(&buffer);
+    VITRI_RETURN_IF_ERROR(WriteAll(file.get(), buffer.data(),
+                                   buffer.size()));
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::IoError("flush failed");
+  }
+  file.reset();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<ViTriSet> LoadViTriSet(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  VITRI_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(file.get()));
+  if (magic != kMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  VITRI_ASSIGN_OR_RETURN(uint32_t version, ReadU32(file.get()));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+  ViTriSet set;
+  VITRI_ASSIGN_OR_RETURN(uint32_t dimension, ReadU32(file.get()));
+  if (dimension == 0 || dimension > 1 << 16) {
+    return Status::Corruption("implausible snapshot dimension");
+  }
+  set.dimension = static_cast<int>(dimension);
+  VITRI_ASSIGN_OR_RETURN(uint64_t num_videos, ReadU64(file.get()));
+  set.frame_counts.resize(num_videos);
+  for (uint64_t i = 0; i < num_videos; ++i) {
+    VITRI_ASSIGN_OR_RETURN(set.frame_counts[i], ReadU32(file.get()));
+  }
+  VITRI_ASSIGN_OR_RETURN(uint64_t num_vitris, ReadU64(file.get()));
+  const size_t record = ViTri::SerializedSize(set.dimension);
+  std::vector<uint8_t> buffer(record);
+  set.vitris.reserve(num_vitris);
+  for (uint64_t i = 0; i < num_vitris; ++i) {
+    VITRI_RETURN_IF_ERROR(ReadAll(file.get(), buffer.data(), record));
+    VITRI_ASSIGN_OR_RETURN(ViTri v,
+                           ViTri::Deserialize(buffer, set.dimension));
+    set.vitris.push_back(std::move(v));
+  }
+  return set;
+}
+
+Status SaveIndexSnapshot(const ViTriIndex& index, const std::string& path) {
+  return SaveViTriSet(index.Snapshot(), path);
+}
+
+Result<ViTriIndex> LoadIndexSnapshot(const std::string& path,
+                                     const ViTriIndexOptions& options) {
+  VITRI_ASSIGN_OR_RETURN(ViTriSet set, LoadViTriSet(path));
+  return ViTriIndex::Build(set, options);
+}
+
+}  // namespace vitri::core

@@ -1,0 +1,33 @@
+#ifndef VITRI_CORE_SNAPSHOT_H_
+#define VITRI_CORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/index.h"
+#include "core/vitri.h"
+
+namespace vitri::core {
+
+/// On-disk snapshots of summarized databases. A snapshot stores the
+/// ViTriSet (dimension, per-video frame counts, every triplet); loading
+/// one and calling ViTriIndex::Build reproduces the index exactly (the
+/// transform fit and bulk load are deterministic), so a snapshot+build
+/// is equivalent to the paper's "one-off construction".
+
+/// Writes `set` to `path` (atomically via rename of a .tmp file).
+Status SaveViTriSet(const ViTriSet& set, const std::string& path);
+
+/// Reads a snapshot written by SaveViTriSet.
+Result<ViTriSet> LoadViTriSet(const std::string& path);
+
+/// Convenience: snapshot an index's current contents.
+Status SaveIndexSnapshot(const ViTriIndex& index, const std::string& path);
+
+/// Convenience: load a snapshot and build an index over it.
+Result<ViTriIndex> LoadIndexSnapshot(const std::string& path,
+                                     const ViTriIndexOptions& options);
+
+}  // namespace vitri::core
+
+#endif  // VITRI_CORE_SNAPSHOT_H_

@@ -1,0 +1,45 @@
+#include "core/vitri.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/coding.h"
+#include "geometry/hypersphere.h"
+
+namespace vitri::core {
+
+double ViTri::LogDensity() const {
+  if (radius <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::log(static_cast<double>(cluster_size)) -
+         geometry::LogBallVolume(dimension(), radius);
+}
+
+void ViTri::Serialize(std::vector<uint8_t>* out) const {
+  out->resize(SerializedSize(dimension()));
+  uint8_t* p = out->data();
+  EncodeU32(p, video_id);
+  EncodeU32(p + 4, cluster_size);
+  EncodeDouble(p + 8, radius);
+  for (int i = 0; i < dimension(); ++i) {
+    EncodeDouble(p + 16 + 8 * static_cast<size_t>(i), position[i]);
+  }
+}
+
+Result<ViTri> ViTri::Deserialize(std::span<const uint8_t> bytes,
+                                 int dimension) {
+  if (bytes.size() != SerializedSize(dimension)) {
+    return Status::InvalidArgument("serialized ViTri size mismatch");
+  }
+  ViTri v;
+  const uint8_t* p = bytes.data();
+  v.video_id = DecodeU32(p);
+  v.cluster_size = DecodeU32(p + 4);
+  v.radius = DecodeDouble(p + 8);
+  v.position.resize(dimension);
+  for (int i = 0; i < dimension; ++i) {
+    v.position[i] = DecodeDouble(p + 16 + 8 * static_cast<size_t>(i));
+  }
+  return v;
+}
+
+}  // namespace vitri::core

@@ -1,0 +1,63 @@
+#include "core/vitri_builder.h"
+
+#include "clustering/cluster_generator.h"
+
+namespace vitri::core {
+
+Result<std::vector<ViTri>> ViTriBuilder::Build(
+    const video::VideoSequence& sequence) const {
+  if (sequence.frames.empty()) {
+    return Status::InvalidArgument("cannot summarize an empty sequence");
+  }
+  clustering::ClusterGeneratorOptions cg;
+  cg.epsilon = options_.epsilon;
+  // Seeded by the builder only (not the video id): identical frame
+  // sequences summarize to identical ViTris, as re-captures of the same
+  // footage should.
+  cg.seed = options_.seed;
+  cg.refine_radius = options_.refine_radius;
+  VITRI_ASSIGN_OR_RETURN(std::vector<clustering::ClusterSummary> clusters,
+                         clustering::GenerateClusters(sequence.frames, cg));
+  std::vector<ViTri> out;
+  out.reserve(clusters.size());
+  for (clustering::ClusterSummary& c : clusters) {
+    ViTri v;
+    v.video_id = sequence.id;
+    v.cluster_size = static_cast<uint32_t>(c.size());
+    v.radius = c.radius;
+    v.position = std::move(c.center);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<ViTriSet> ViTriBuilder::BuildDatabase(
+    const video::VideoDatabase& db) const {
+  ViTriSet set;
+  set.dimension = db.dimension;
+  set.frame_counts.assign(db.num_videos(), 0);
+  for (const video::VideoSequence& seq : db.videos) {
+    if (seq.id >= db.num_videos()) {
+      return Status::InvalidArgument(
+          "video ids must be dense in [0, num_videos)");
+    }
+    set.frame_counts[seq.id] = static_cast<uint32_t>(seq.num_frames());
+    VITRI_ASSIGN_OR_RETURN(std::vector<ViTri> vitris, Build(seq));
+    for (ViTri& v : vitris) set.vitris.push_back(std::move(v));
+  }
+  return set;
+}
+
+SummaryStats ViTriBuilder::Summarize(const ViTriSet& set, double epsilon) {
+  SummaryStats stats;
+  stats.epsilon = epsilon;
+  stats.num_clusters = set.vitris.size();
+  if (!set.vitris.empty()) {
+    double total = 0.0;
+    for (const ViTri& v : set.vitris) total += v.cluster_size;
+    stats.average_cluster_size = total / static_cast<double>(set.size());
+  }
+  return stats;
+}
+
+}  // namespace vitri::core

@@ -1,0 +1,57 @@
+#ifndef VITRI_CORE_VITRI_BUILDER_H_
+#define VITRI_CORE_VITRI_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/vitri.h"
+#include "video/video.h"
+
+namespace vitri::core {
+
+/// Knobs for the video -> ViTri summarization.
+struct ViTriBuilderOptions {
+  /// Frame similarity threshold epsilon; accepted clusters have radius
+  /// <= epsilon / 2. The paper's single tunable parameter.
+  double epsilon = 0.15;
+  /// Seed for the recursive 2-means bisection.
+  uint64_t seed = 42;
+  /// Use the paper's radius refinement min(R_max, mu + sigma); ablation
+  /// knob, see DESIGN.md.
+  bool refine_radius = true;
+};
+
+/// Summary statistics for a built database (the paper's Table 3 rows).
+struct SummaryStats {
+  double epsilon = 0.0;
+  size_t num_clusters = 0;
+  double average_cluster_size = 0.0;
+};
+
+/// Summarizes videos into ViTri sets via the recursive bisecting
+/// clustering of Figure 3.
+class ViTriBuilder {
+ public:
+  explicit ViTriBuilder(const ViTriBuilderOptions& options = {})
+      : options_(options) {}
+
+  const ViTriBuilderOptions& options() const { return options_; }
+
+  /// Summarizes one sequence into its ViTris.
+  Result<std::vector<ViTri>> Build(const video::VideoSequence& sequence) const;
+
+  /// Summarizes a whole database. The result's frame_counts is indexed
+  /// by video id; ids must be dense in [0, num_videos).
+  Result<ViTriSet> BuildDatabase(const video::VideoDatabase& db) const;
+
+  /// Table 3 statistics for a built set.
+  static SummaryStats Summarize(const ViTriSet& set, double epsilon);
+
+ private:
+  ViTriBuilderOptions options_;
+};
+
+}  // namespace vitri::core
+
+#endif  // VITRI_CORE_VITRI_BUILDER_H_

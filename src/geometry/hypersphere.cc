@@ -1,0 +1,145 @@
+#include "geometry/hypersphere.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "geometry/special_functions.h"
+
+namespace vitri::geometry {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double LogUnitBallVolume(int n) {
+  assert(n >= 1);
+  return 0.5 * n * std::log(kPi) - LogGamma(0.5 * n + 1.0);
+}
+
+double LogBallVolume(int n, double r) {
+  assert(n >= 1);
+  if (r <= 0.0) return kNegInf;
+  return LogUnitBallVolume(n) + n * std::log(r);
+}
+
+double BallVolume(int n, double r) {
+  if (r <= 0.0) return 0.0;
+  return std::exp(LogBallVolume(n, r));
+}
+
+double CapVolumeFraction(int n, double r, double h) {
+  assert(n >= 1);
+  assert(r > 0.0);
+  if (h <= 0.0) return 0.0;
+  if (h >= 2.0 * r) return 1.0;
+  if (h > r) return 1.0 - CapVolumeFraction(n, r, 2.0 * r - h);
+  // The cap fraction is (1/2) I_x((n+1)/2, 1/2) with x = (2rh - h^2)/r^2
+  // = 1 - ((r-h)/r)^2. Evaluating through the complement t = (r-h)/r and
+  // the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) avoids the catastrophic
+  // cancellation of computing x directly when h is close to r.
+  const double t = std::clamp((r - h) / r, 0.0, 1.0);
+  return 0.5 *
+         (1.0 - RegularizedIncompleteBeta(0.5, 0.5 * (n + 1), t * t));
+}
+
+double CapVolume(int n, double r, double h) {
+  return CapVolumeFraction(n, r, h) * BallVolume(n, r);
+}
+
+double CapVolumeFractionFromAngle(int n, double alpha) {
+  assert(n >= 1);
+  if (alpha <= 0.0) return 0.0;
+  if (alpha >= kPi) return 1.0;
+  return CapVolumeFraction(n, 1.0, 1.0 - std::cos(alpha));
+}
+
+BallIntersection IntersectBalls(int n, double d, double r1, double r2) {
+  assert(n >= 1);
+  assert(d >= 0.0);
+  BallIntersection out;
+  const double r_small = std::min(r1, r2);
+  const double r_large = std::max(r1, r2);
+
+  if (r_small < 0.0) {
+    out.log_volume = kNegInf;
+    return out;  // Degenerate: nothing to intersect.
+  }
+
+  // Two point "balls": they coincide iff d == 0.
+  if (r_large == 0.0) {
+    out.disjoint = d > 0.0;
+    out.contained = !out.disjoint;
+    out.fraction_of_smaller = out.contained ? 1.0 : 0.0;
+    out.log_volume = kNegInf;
+    return out;
+  }
+
+  // Zero-radius small ball: a point. Contained iff inside the large ball.
+  if (r_small == 0.0) {
+    out.disjoint = d > r_large;
+    out.contained = !out.disjoint;
+    out.fraction_of_smaller = out.contained ? 1.0 : 0.0;
+    out.log_volume = kNegInf;  // A point has zero volume.
+    return out;
+  }
+
+  // Case 1 (paper): disjoint.
+  if (d >= r1 + r2) {
+    out.log_volume = kNegInf;
+    return out;
+  }
+
+  // Case 4 (paper): smaller ball fully contained in the larger.
+  if (d <= r_large - r_small) {
+    out.disjoint = false;
+    out.contained = true;
+    out.fraction_of_smaller = 1.0;
+    out.log_volume = LogBallVolume(n, r_small);
+    return out;
+  }
+
+  // Cases 2 and 3 (paper): lens = cap of ball 1 + cap of ball 2. The
+  // intersection hyperplane sits at signed distance c1 from O1 along the
+  // center line; a negative c_i means that ball's cap exceeds a
+  // hemisphere (the paper's case 3), which CapVolumeFraction handles via
+  // heights h_i in (r_i, 2 r_i).
+  out.disjoint = false;
+  const double c1 = (d * d + r1 * r1 - r2 * r2) / (2.0 * d);
+  const double c2 = d - c1;
+  const double h1 = std::clamp(r1 - c1, 0.0, 2.0 * r1);
+  const double h2 = std::clamp(r2 - c2, 0.0, 2.0 * r2);
+
+  const double frac1 = CapVolumeFraction(n, r1, h1);  // of ball 1's volume
+  const double frac2 = CapVolumeFraction(n, r2, h2);  // of ball 2's volume
+
+  // Express both caps as fractions of the *smaller* ball. The volume
+  // ratio V(r_i)/V(r_small) = (r_i/r_small)^n can overflow for the larger
+  // ball in high dimension, so combine in log-space.
+  const double log_v_small = LogBallVolume(n, r_small);
+  const double log_cap1 =
+      frac1 > 0.0 ? std::log(frac1) + LogBallVolume(n, r1) : kNegInf;
+  const double log_cap2 =
+      frac2 > 0.0 ? std::log(frac2) + LogBallVolume(n, r2) : kNegInf;
+
+  // log(exp(a) + exp(b)) computed stably.
+  double log_lens;
+  if (log_cap1 == kNegInf && log_cap2 == kNegInf) {
+    log_lens = kNegInf;
+  } else {
+    const double m = std::max(log_cap1, log_cap2);
+    log_lens =
+        m + std::log(std::exp(log_cap1 - m) + std::exp(log_cap2 - m));
+  }
+  out.log_volume = log_lens;
+  out.fraction_of_smaller =
+      log_lens == kNegInf
+          ? 0.0
+          : std::clamp(std::exp(log_lens - log_v_small), 0.0, 1.0);
+  return out;
+}
+
+}  // namespace vitri::geometry

@@ -1,0 +1,67 @@
+#ifndef VITRI_GEOMETRY_HYPERSPHERE_H_
+#define VITRI_GEOMETRY_HYPERSPHERE_H_
+
+#include <cstdint>
+
+namespace vitri::geometry {
+
+/// Volumes of n-dimensional balls, caps, and ball-ball intersections.
+///
+/// Raw volumes in high dimension vanish (or explode) far beyond double
+/// range once radii stray from 1, so this module exposes two families:
+///  * log-volumes  — `LogBallVolume` etc., exact in log-space;
+///  * fractions    — cap/intersection volume divided by a full ball
+///                   volume, always in [0, 1] and stable for any n.
+/// The ViTri similarity kernel is built on the fraction family
+/// (see DESIGN.md, "Numerical notes").
+
+/// log V of the unit n-ball: (n/2)*log(pi) - logGamma(n/2 + 1).
+double LogUnitBallVolume(int n);
+
+/// log V of the n-ball with radius r (r > 0): log V_unit + n*log(r).
+double LogBallVolume(int n, double r);
+
+/// V of the n-ball with radius r; may underflow/overflow for large n —
+/// prefer LogBallVolume in library code.
+double BallVolume(int n, double r);
+
+/// Fraction of an n-ball's volume occupied by a spherical cap of height h,
+/// h in [0, 2r]. h <= r uses (1/2) I_x((n+1)/2, 1/2) with
+/// x = (2rh - h^2)/r^2 (Li 2011); taller caps use the complement.
+/// Out-of-range h is clamped.
+double CapVolumeFraction(int n, double r, double h);
+
+/// Cap volume (absolute). Prefer CapVolumeFraction for large n.
+double CapVolume(int n, double r, double h);
+
+/// Fraction of an n-ball's volume occupied by the cap with colatitude
+/// angle alpha (angle from the cap's pole axis), alpha in [0, pi].
+/// Equivalent to CapVolumeFraction with h = r*(1 - cos(alpha)).
+double CapVolumeFractionFromAngle(int n, double alpha);
+
+/// Description of the intersection lens between two n-balls at center
+/// distance d with radii r1 and r2.
+struct BallIntersection {
+  /// Volume of the lens divided by the volume of the *smaller* ball;
+  /// in [0, 1]. 1 means the smaller ball is fully contained.
+  double fraction_of_smaller = 0.0;
+  /// log of the absolute lens volume; -inf when disjoint.
+  double log_volume = 0.0;
+  /// True when the balls are disjoint (d >= r1 + r2) or a radius is 0.
+  bool disjoint = true;
+  /// True when the smaller ball lies entirely inside the larger
+  /// (d <= |r1 - r2|).
+  bool contained = false;
+};
+
+/// Computes the intersection of two n-balls. Handles all four geometric
+/// cases of the paper's Section 4.2 uniformly:
+///   1. disjoint, 2./3. partial overlap (two caps; one may exceed a
+///   hemisphere), 4. containment.
+/// Zero-radius balls are treated as points: contained if within the other
+/// ball (fraction 1), else disjoint.
+BallIntersection IntersectBalls(int n, double d, double r1, double r2);
+
+}  // namespace vitri::geometry
+
+#endif  // VITRI_GEOMETRY_HYPERSPHERE_H_

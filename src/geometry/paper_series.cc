@@ -1,0 +1,85 @@
+#include "geometry/paper_series.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "geometry/special_functions.h"
+
+namespace vitri::geometry {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+double SinePowerIntegral(int m, double alpha) {
+  assert(m >= 0);
+  if (alpha <= 0.0) return 0.0;
+  // I_0 = alpha, I_1 = 1 - cos(alpha),
+  // I_m = -cos(a) sin^{m-1}(a) / m + (m-1)/m * I_{m-2}.
+  const double c = std::cos(alpha);
+  const double s = std::sin(alpha);
+  double i_even = alpha;        // I_0
+  double i_odd = 1.0 - c;       // I_1
+  if (m == 0) return i_even;
+  if (m == 1) return i_odd;
+  double result = 0.0;
+  for (int k = 2; k <= m; ++k) {
+    double& prev = (k % 2 == 0) ? i_even : i_odd;
+    const double value =
+        -c * std::pow(s, k - 1) / k + (k - 1.0) / k * prev;
+    prev = value;
+    result = value;
+  }
+  return result;
+}
+
+double PaperBallVolume(int n, double r) {
+  assert(n >= 1);
+  if (r <= 0.0) return 0.0;
+  double log_coeff;
+  if (n % 2 == 0) {
+    // pi^{n/2} / (n/2)!
+    const int half = n / 2;
+    log_coeff = half * std::log(kPi) - LogGamma(half + 1.0);
+  } else {
+    // 2^{n+1} * pi^{(n-1)/2} * ((n+1)/2)! / (n+1)!
+    const int half = (n - 1) / 2;
+    log_coeff = (n + 1) * std::log(2.0) + half * std::log(kPi) +
+                LogGamma((n + 1) / 2 + 1.0) - LogGamma(n + 2.0);
+  }
+  return std::exp(log_coeff + n * std::log(r));
+}
+
+double PaperSectorVolume(int n, double r, double alpha) {
+  assert(n >= 2);
+  if (r <= 0.0 || alpha <= 0.0) return 0.0;
+  // R^n * 2 pi^{(n-1)/2} / (n Gamma((n-1)/2)) * Int_0^alpha sin^{n-2}.
+  const double log_coeff = std::log(2.0) + 0.5 * (n - 1) * std::log(kPi) -
+                           std::log(static_cast<double>(n)) -
+                           LogGamma(0.5 * (n - 1));
+  return std::exp(log_coeff + n * std::log(r)) *
+         SinePowerIntegral(n - 2, alpha);
+}
+
+double PaperConeVolume(int n, double r, double alpha) {
+  assert(n >= 2);
+  if (r <= 0.0 || alpha <= 0.0) return 0.0;
+  // R^n * pi^{(n-1)/2} / (n Gamma((n+1)/2)) * cos(a) sin^{n-1}(a).
+  const double log_coeff = 0.5 * (n - 1) * std::log(kPi) -
+                           std::log(static_cast<double>(n)) -
+                           LogGamma(0.5 * (n + 1));
+  return std::exp(log_coeff + n * std::log(r)) * std::cos(alpha) *
+         std::pow(std::sin(alpha), n - 1);
+}
+
+double PaperCapVolume(int n, double r, double alpha) {
+  return PaperSectorVolume(n, r, alpha) - PaperConeVolume(n, r, alpha);
+}
+
+double PaperCapVolumeFraction(int n, double alpha) {
+  return PaperCapVolume(n, 1.0, alpha) / PaperBallVolume(n, 1.0);
+}
+
+}  // namespace vitri::geometry

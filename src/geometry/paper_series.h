@@ -1,0 +1,41 @@
+#ifndef VITRI_GEOMETRY_PAPER_SERIES_H_
+#define VITRI_GEOMETRY_PAPER_SERIES_H_
+
+namespace vitri::geometry {
+
+/// The paper's Section 3.2 volume formulas, implemented verbatim in their
+/// angle-parameterized form. These are kept separate from hypersphere.h
+/// (the numerically robust beta-function forms) so that:
+///  * property tests can cross-validate the two derivations, and
+///  * bench/ablation_cap_method can compare their accuracy and speed.
+///
+/// All angles are the colatitude alpha of Figure 1: the half-angle at the
+/// ball center subtended by the sector/cone/cap, in radians.
+
+/// Integral of sin^m(theta) over [0, alpha], m >= 0, via the exact
+/// reduction I_m = -cos(a) sin^{m-1}(a)/m + (m-1)/m * I_{m-2}. This is the
+/// closed form the paper's even/odd finite series expand to.
+double SinePowerIntegral(int m, double alpha);
+
+/// V of the n-ball of radius r using the paper's even/odd factorial
+/// closed forms (n >= 1).
+double PaperBallVolume(int n, double r);
+
+/// V of the hypersector (O, R, alpha), n >= 2, alpha in [0, pi].
+double PaperSectorVolume(int n, double r, double alpha);
+
+/// V of the hypercone inscribed in that sector, n >= 2. Negative for
+/// alpha > pi/2, by design: V_cap = V_sector - V_cone then remains valid
+/// past the hemisphere (the paper's case 3 geometry).
+double PaperConeVolume(int n, double r, double alpha);
+
+/// V of the hypercap = V_sector - V_cone, n >= 2, alpha in [0, pi].
+double PaperCapVolume(int n, double r, double alpha);
+
+/// Cap volume as a fraction of the full ball volume (for comparison with
+/// CapVolumeFractionFromAngle).
+double PaperCapVolumeFraction(int n, double alpha);
+
+}  // namespace vitri::geometry
+
+#endif  // VITRI_GEOMETRY_PAPER_SERIES_H_

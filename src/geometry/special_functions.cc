@@ -1,0 +1,96 @@
+#include "geometry/special_functions.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace vitri::geometry {
+namespace {
+
+// Lanczos coefficients (g = 7, n = 9), standard double-precision set.
+constexpr double kLanczos[9] = {
+    0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+    771.32342877765313,   -176.61502916214059, 12.507343278686905,
+    -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Continued fraction for the incomplete beta function (Numerical Recipes
+// "betacf"), evaluated with modified Lentz's method.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 500;
+  constexpr double kEps = 3e-16;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  assert(x > 0.0);
+  if (x < 0.5) {
+    // Reflection formula keeps the Lanczos series in its accurate range.
+    return std::log(kPi / std::sin(kPi * x)) - LogGamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kLanczos[0];
+  for (int i = 1; i < 9; ++i) {
+    sum += kLanczos[i] / (z + i);
+  }
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * kPi) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+double LogBeta(double a, double b) {
+  return LogGamma(a) + LogGamma(b) - LogGamma(a + b);
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front =
+      a * std::log(x) + b * std::log1p(-x) - LogBeta(a, b);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - std::exp(b * std::log1p(-x) + a * std::log(x) -
+                        LogBeta(b, a)) *
+                   BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StdNormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace vitri::geometry

@@ -1,0 +1,25 @@
+#ifndef VITRI_GEOMETRY_SPECIAL_FUNCTIONS_H_
+#define VITRI_GEOMETRY_SPECIAL_FUNCTIONS_H_
+
+namespace vitri::geometry {
+
+/// Natural log of the Gamma function for x > 0 (Lanczos approximation,
+/// ~15 significant digits). Implemented locally so results are identical
+/// across platforms/libm versions.
+double LogGamma(double x);
+
+/// Natural log of the Beta function B(a, b), a > 0, b > 0.
+double LogBeta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b) for a > 0, b > 0 and
+/// x in [0, 1], evaluated by the continued-fraction expansion with the
+/// standard symmetry switch for numerical stability.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Error function complement of the standard normal CDF helpers used by
+/// property tests: Phi(x) = P(N(0,1) <= x).
+double StdNormalCdf(double x);
+
+}  // namespace vitri::geometry
+
+#endif  // VITRI_GEOMETRY_SPECIAL_FUNCTIONS_H_

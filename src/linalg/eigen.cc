@@ -1,0 +1,103 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vitri::linalg {
+
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps) {
+  const size_t n = a.rows();
+  if (n == 0 || a.cols() != n) {
+    return Status::InvalidArgument("matrix must be square and non-empty");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double scale =
+          std::max({std::fabs(a(i, j)), std::fabs(a(j, i)), 1.0});
+      if (std::fabs(a(i, j) - a(j, i)) > 1e-9 * scale) {
+        return Status::InvalidArgument("matrix must be symmetric");
+      }
+    }
+  }
+
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&]() {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sum += work(i, j) * work(i, j);
+    }
+    return std::sqrt(sum);
+  };
+
+  const double initial_norm = off_diagonal_norm();
+  const double tol = 1e-14 * std::max(initial_norm, 1.0);
+
+  bool converged = initial_norm <= tol;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Choose the smaller-magnitude tangent for stability.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of `work`.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = work(k, p);
+          const double akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = work(p, k);
+          const double aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the eigenvector rotation (columns of v).
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = off_diagonal_norm() <= tol;
+  }
+  if (!converged) {
+    return Status::Internal("Jacobi eigensolver did not converge");
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    return work(i, i) > work(j, j);
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t src = order[r];
+    out.eigenvalues[r] = work(src, src);
+    for (size_t k = 0; k < n; ++k) {
+      out.eigenvectors(r, k) = v(k, src);
+    }
+  }
+  return out;
+}
+
+}  // namespace vitri::linalg

@@ -1,0 +1,26 @@
+#ifndef VITRI_LINALG_EIGEN_H_
+#define VITRI_LINALG_EIGEN_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace vitri::linalg {
+
+/// Eigendecomposition of a real symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  Vec eigenvalues;
+  /// eigenvectors.Row(i) is the unit eigenvector for eigenvalues[i].
+  Matrix eigenvectors;
+};
+
+/// Cyclic Jacobi rotation eigensolver for a symmetric matrix. Suitable
+/// for the covariance matrices of this library (dimension <= a few
+/// hundred). Fails with InvalidArgument for non-square/asymmetric input
+/// and Internal if convergence is not reached.
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps = 64);
+
+}  // namespace vitri::linalg
+
+#endif  // VITRI_LINALG_EIGEN_H_

@@ -1,0 +1,28 @@
+#include "linalg/matrix.h"
+
+namespace vitri::linalg {
+
+Matrix Covariance(const std::vector<Vec>& points) {
+  if (points.empty()) return Matrix();
+  const size_t n = points[0].size();
+  const Vec mean = Mean(points);
+  Matrix cov(n, n);
+  for (const Vec& p : points) {
+    for (size_t i = 0; i < n; ++i) {
+      const double di = p[i] - mean[i];
+      for (size_t j = i; j < n; ++j) {
+        cov(i, j) += di * (p[j] - mean[j]);
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(points.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      cov(i, j) *= inv_n;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace vitri::linalg

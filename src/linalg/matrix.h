@@ -1,0 +1,82 @@
+#ifndef VITRI_LINALG_MATRIX_H_
+#define VITRI_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace vitri::linalg {
+
+/// Dense row-major matrix of doubles, sized at construction.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// View of row r.
+  VecView Row(size_t r) const {
+    assert(r < rows_);
+    return VecView(data_.data() + r * cols_, cols_);
+  }
+
+  /// Copies column c into a new vector.
+  Vec Col(size_t c) const {
+    assert(c < cols_);
+    Vec out(rows_);
+    for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+  }
+
+  /// Matrix-vector product (this * v). Requires v.size() == cols().
+  Vec Multiply(VecView v) const {
+    assert(v.size() == cols_);
+    Vec out(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+      out[r] = Dot(Row(r), v);
+    }
+    return out;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Sample covariance matrix of `points` (rows = observations). Uses the
+/// 1/N normalization (population covariance) to match the paper's sigma
+/// definition. Empty input returns an empty matrix.
+Matrix Covariance(const std::vector<Vec>& points);
+
+}  // namespace vitri::linalg
+
+#endif  // VITRI_LINALG_MATRIX_H_

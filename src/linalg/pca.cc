@@ -1,0 +1,52 @@
+#include "linalg/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vitri::linalg {
+
+Result<Pca> Pca::Fit(const std::vector<Vec>& points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("PCA requires at least one point");
+  }
+  const size_t dim = points[0].size();
+  if (dim == 0) {
+    return Status::InvalidArgument("PCA requires non-empty vectors");
+  }
+  for (const Vec& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("PCA points must share one dimension");
+    }
+  }
+
+  Pca pca;
+  pca.mean_ = Mean(points);
+  const Matrix cov = Covariance(points);
+  VITRI_ASSIGN_OR_RETURN(pca.decomposition_, JacobiEigenSymmetric(cov));
+
+  pca.segments_.resize(dim);
+  for (size_t c = 0; c < dim; ++c) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const Vec& p : points) {
+      const double t = Dot(p, pca.Component(c));
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    pca.segments_[c] = VarianceSegment{lo, hi};
+  }
+  return pca;
+}
+
+double Pca::Project(VecView point, size_t i) const {
+  return Dot(point, Component(i));
+}
+
+double Pca::FirstComponentAngle(const Pca& other) const {
+  const double cosine =
+      std::clamp(std::fabs(Dot(Component(0), other.Component(0))), 0.0, 1.0);
+  return std::acos(cosine);
+}
+
+}  // namespace vitri::linalg

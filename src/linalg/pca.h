@@ -1,0 +1,71 @@
+#ifndef VITRI_LINALG_PCA_H_
+#define VITRI_LINALG_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/vec.h"
+
+namespace vitri::linalg {
+
+/// A segment [lo, hi] of scalar projections onto one principal component
+/// — Definition 1 of the paper. All data points project inside it.
+struct VarianceSegment {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double length() const { return hi - lo; }
+  bool Contains(double t) const { return t >= lo && t <= hi; }
+};
+
+/// Principal Component Analysis over a point set, exposing exactly what
+/// the paper's one-dimensional transformation needs: the data center, the
+/// ordered principal components, and per-component variance segments.
+class Pca {
+ public:
+  /// Fits PCA to `points` (all the same dimension, at least one point).
+  static Result<Pca> Fit(const std::vector<Vec>& points);
+
+  /// Dimensionality of the fitted space.
+  size_t dimension() const { return mean_.size(); }
+
+  /// Number of principal components (== dimension).
+  size_t num_components() const { return decomposition_.eigenvalues.size(); }
+
+  /// The data center (mean of the fitted points).
+  const Vec& mean() const { return mean_; }
+
+  /// Unit direction of component i (descending variance order).
+  VecView Component(size_t i) const {
+    return decomposition_.eigenvectors.Row(i);
+  }
+
+  /// Variance (eigenvalue) along component i.
+  double Variance(size_t i) const { return decomposition_.eigenvalues[i]; }
+
+  /// Scalar projection of `point` onto component i, measured from the
+  /// coordinate origin (O . Phi_i, as in the paper's Figure 2).
+  double Project(VecView point, size_t i) const;
+
+  /// The variance segment of component i over the fitted points.
+  const VarianceSegment& Segment(size_t i) const { return segments_[i]; }
+
+  /// Angle in radians between this fit's first component and `other`'s
+  /// first component (in [0, pi/2]; principal directions are sign-free).
+  /// Used by the index's drift-triggered rebuild policy (Section 6.3.3).
+  double FirstComponentAngle(const Pca& other) const;
+
+ private:
+  Pca() = default;
+
+  Vec mean_;
+  EigenDecomposition decomposition_;
+  std::vector<VarianceSegment> segments_;
+};
+
+}  // namespace vitri::linalg
+
+#endif  // VITRI_LINALG_PCA_H_

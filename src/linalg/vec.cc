@@ -1,0 +1,60 @@
+#include "linalg/vec.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vitri::linalg {
+
+double Dot(VecView a, VecView b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(VecView a) { return std::sqrt(Dot(a, a)); }
+
+double SquaredDistance(VecView a, VecView b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double Distance(VecView a, VecView b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+void AddInPlace(Vec& a, VecView b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void SubInPlace(Vec& a, VecView b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+}
+
+void ScaleInPlace(Vec& a, double s) {
+  for (double& x : a) x *= s;
+}
+
+Vec Axpy(VecView a, double s, VecView b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+Vec Mean(const std::vector<Vec>& points) {
+  if (points.empty()) return {};
+  Vec mean(points[0].size(), 0.0);
+  for (const Vec& p : points) AddInPlace(mean, p);
+  ScaleInPlace(mean, 1.0 / static_cast<double>(points.size()));
+  return mean;
+}
+
+}  // namespace vitri::linalg

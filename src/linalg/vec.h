@@ -1,0 +1,49 @@
+#ifndef VITRI_LINALG_VEC_H_
+#define VITRI_LINALG_VEC_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vitri::linalg {
+
+/// Dense feature vector. Frame features and ViTri positions are plain
+/// std::vector<double>; these free functions give the library one audited
+/// implementation of each primitive.
+using Vec = std::vector<double>;
+
+/// Read-only view over contiguous doubles; all kernels below accept views
+/// so callers can pass raw page buffers without copying.
+using VecView = std::span<const double>;
+
+/// Inner product <a, b>. Requires a.size() == b.size().
+double Dot(VecView a, VecView b);
+
+/// Euclidean (L2) norm.
+double Norm(VecView a);
+
+/// Squared Euclidean distance between a and b.
+double SquaredDistance(VecView a, VecView b);
+
+/// Euclidean distance between a and b.
+double Distance(VecView a, VecView b);
+
+/// a += b. Requires equal sizes.
+void AddInPlace(Vec& a, VecView b);
+
+/// a -= b. Requires equal sizes.
+void SubInPlace(Vec& a, VecView b);
+
+/// a *= s.
+void ScaleInPlace(Vec& a, double s);
+
+/// Returns a + s * b.
+Vec Axpy(VecView a, double s, VecView b);
+
+/// Returns the arithmetic mean of `points` (all the same dimension);
+/// empty input yields an empty vector.
+Vec Mean(const std::vector<Vec>& points);
+
+}  // namespace vitri::linalg
+
+#endif  // VITRI_LINALG_VEC_H_

@@ -1,0 +1,134 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace vitri::storage {
+
+void PageRef::MarkDirty() {
+  assert(valid());
+  // Dirtiness is latched at unpin time; remember it locally.
+  dirty_latch_ = true;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, dirty_latch_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
+
+BufferPool::~BufferPool() {
+  const Status s = FlushAll();
+  if (!s.ok()) {
+    VITRI_LOG(kError) << "BufferPool flush on destruction failed: "
+                      << s.ToString();
+  }
+}
+
+Result<PageRef> BufferPool::Fetch(PageId id) {
+  ++stats_.logical_reads;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.cache_hits;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageRef(this, id, frame.data.data());
+  }
+
+  VITRI_RETURN_IF_ERROR(EvictOneIfFull());
+
+  Frame frame;
+  frame.id = id;
+  frame.data.resize(pager_->page_size());
+  ++stats_.physical_reads;
+  VITRI_RETURN_IF_ERROR(pager_->Read(id, frame.data.data()));
+  frame.pin_count = 1;
+  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
+  assert(inserted);
+  return PageRef(this, id, pos->second.data.data());
+}
+
+Result<PageRef> BufferPool::New() {
+  VITRI_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
+  ++stats_.allocations;
+  VITRI_RETURN_IF_ERROR(EvictOneIfFull());
+
+  Frame frame;
+  frame.id = id;
+  frame.data.assign(pager_->page_size(), 0);
+  frame.pin_count = 1;
+  frame.dirty = true;
+  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
+  assert(inserted);
+  return PageRef(this, id, pos->second.data.data());
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    VITRI_RETURN_IF_ERROR(WriteBack(frame));
+  }
+  return pager_->Sync();
+}
+
+Status BufferPool::EvictAll() {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame& frame = it->second;
+    if (frame.pin_count > 0) {
+      ++it;
+      continue;
+    }
+    VITRI_RETURN_IF_ERROR(WriteBack(frame));
+    if (frame.in_lru) lru_.erase(frame.lru_pos);
+    it = frames_.erase(it);
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  Frame& frame = it->second;
+  assert(frame.pin_count > 0);
+  if (dirty) frame.dirty = true;
+  if (--frame.pin_count == 0) {
+    lru_.push_back(id);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOneIfFull() {
+  if (frames_.size() < capacity_) return Status::OK();
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool full and every frame is pinned");
+  }
+  const PageId victim = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim);
+  assert(it != frames_.end());
+  VITRI_RETURN_IF_ERROR(WriteBack(it->second));
+  frames_.erase(it);
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(Frame& frame) {
+  if (!frame.dirty) return Status::OK();
+  ++stats_.physical_writes;
+  VITRI_RETURN_IF_ERROR(pager_->Write(frame.id, frame.data.data()));
+  frame.dirty = false;
+  return Status::OK();
+}
+
+}  // namespace vitri::storage

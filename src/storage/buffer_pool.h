@@ -1,0 +1,133 @@
+#ifndef VITRI_STORAGE_BUFFER_POOL_H_
+#define VITRI_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace vitri::storage {
+
+class BufferPool;
+
+/// RAII pin on a cached page. Unpins on destruction. Mark dirty after
+/// mutating the buffer. Movable, not copyable. Single-threaded by design
+/// (documented limitation; the index is not concurrent).
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { MoveFrom(other); }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  /// Read-only view of the page bytes.
+  const uint8_t* data() const { return data_; }
+
+  /// Mutable view; call MarkDirty() after writing.
+  uint8_t* mutable_data() { return data_; }
+
+  /// Flags the page for write-back on eviction/flush.
+  void MarkDirty();
+
+  /// Explicit early unpin (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, PageId id, uint8_t* data)
+      : pool_(pool), id_(id), data_(data) {}
+
+  void MoveFrom(PageRef& other) {
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_latch_ = other.dirty_latch_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.id_ = kInvalidPageId;
+    other.dirty_latch_ = false;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+  bool dirty_latch_ = false;
+};
+
+/// LRU buffer pool over a Pager. Tracks logical fetches, cache hits, and
+/// physical transfers in IoStats — the counters the experiment harnesses
+/// report as the paper's "I/O cost".
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident frames (>= 1). The pool does
+  /// not own the pager.
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  /// Fetches (pinning) an existing page.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Allocates a new page in the pager and returns it pinned and dirty.
+  Result<PageRef> New();
+
+  /// Writes back all dirty frames (pages stay cached).
+  Status FlushAll();
+
+  /// Drops every unpinned frame after flushing it; simulates a cold
+  /// cache for benchmark repeatability.
+  Status EvictAll();
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return frames_.size(); }
+  Pager* pager() const { return pager_; }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    std::vector<uint8_t> data;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  Status EvictOneIfFull();
+  Status WriteBack(Frame& frame);
+
+  Pager* pager_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // Front = least recently used.
+  IoStats stats_;
+};
+
+}  // namespace vitri::storage
+
+#endif  // VITRI_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,16 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace vitri::storage {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "logical_reads=" << logical_reads << " cache_hits=" << cache_hits
+     << " physical_reads=" << physical_reads
+     << " physical_writes=" << physical_writes
+     << " allocations=" << allocations;
+  return os.str();
+}
+
+}  // namespace vitri::storage

@@ -1,0 +1,36 @@
+#ifndef VITRI_STORAGE_IO_STATS_H_
+#define VITRI_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vitri::storage {
+
+/// Counters describing page traffic. "Logical" events are buffer-pool
+/// fetches (what the paper's I/O-cost figures count as page accesses);
+/// "physical" events are transfers that actually hit the backing pager.
+struct IoStats {
+  uint64_t logical_reads = 0;    // Buffer-pool fetches.
+  uint64_t cache_hits = 0;       // Fetches served without pager I/O.
+  uint64_t physical_reads = 0;   // Pager reads.
+  uint64_t physical_writes = 0;  // Pager writes (evictions + flushes).
+  uint64_t allocations = 0;      // Newly allocated pages.
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats operator-(const IoStats& rhs) const {
+    IoStats out;
+    out.logical_reads = logical_reads - rhs.logical_reads;
+    out.cache_hits = cache_hits - rhs.cache_hits;
+    out.physical_reads = physical_reads - rhs.physical_reads;
+    out.physical_writes = physical_writes - rhs.physical_writes;
+    out.allocations = allocations - rhs.allocations;
+    return out;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace vitri::storage
+
+#endif  // VITRI_STORAGE_IO_STATS_H_

@@ -1,0 +1,19 @@
+#ifndef VITRI_STORAGE_PAGE_H_
+#define VITRI_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace vitri::storage {
+
+/// Identifier of a fixed-size page within a pager's address space.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Default page size, matching the paper's experimental setup (4K).
+inline constexpr size_t kDefaultPageSize = 4096;
+
+}  // namespace vitri::storage
+
+#endif  // VITRI_STORAGE_PAGE_H_

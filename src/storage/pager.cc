@@ -1,0 +1,125 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vitri::storage {
+
+// --- MemPager ---------------------------------------------------------
+
+MemPager::MemPager(size_t page_size) : Pager(page_size) {}
+
+PageId MemPager::num_pages() const {
+  return static_cast<PageId>(pages_.size());
+}
+
+Result<PageId> MemPager::Allocate() {
+  if (pages_.size() >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  pages_.emplace_back(page_size(), 0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPager::Read(PageId id, uint8_t* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page");
+  }
+  std::memcpy(out, pages_[id].data(), page_size());
+  return Status::OK();
+}
+
+Status MemPager::Write(PageId id, const uint8_t* src) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page");
+  }
+  std::memcpy(pages_[id].data(), src, page_size());
+  return Status::OK();
+}
+
+Status MemPager::Sync() { return Status::OK(); }
+
+// --- FilePager --------------------------------------------------------
+
+FilePager::FilePager(int fd, size_t page_size, PageId num_pages)
+    : Pager(page_size), fd_(fd), num_pages_(num_pages) {}
+
+FilePager::~FilePager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
+                                                   size_t page_size) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat(" + path + "): " + std::strerror(errno));
+  }
+  if (static_cast<size_t>(st.st_size) % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption(path +
+                              ": size is not a multiple of the page size");
+  }
+  const PageId pages =
+      static_cast<PageId>(static_cast<size_t>(st.st_size) / page_size);
+  return std::unique_ptr<FilePager>(new FilePager(fd, page_size, pages));
+}
+
+PageId FilePager::num_pages() const { return num_pages_; }
+
+Result<PageId> FilePager::Allocate() {
+  if (num_pages_ >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  std::vector<uint8_t> zeros(page_size(), 0);
+  const off_t offset =
+      static_cast<off_t>(num_pages_) * static_cast<off_t>(page_size());
+  if (::pwrite(fd_, zeros.data(), page_size(), offset) !=
+      static_cast<ssize_t>(page_size())) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  return num_pages_++;
+}
+
+Status FilePager::Read(PageId id, uint8_t* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page");
+  }
+  const off_t offset =
+      static_cast<off_t>(id) * static_cast<off_t>(page_size());
+  if (::pread(fd_, out, page_size(), offset) !=
+      static_cast<ssize_t>(page_size())) {
+    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePager::Write(PageId id, const uint8_t* src) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page");
+  }
+  const off_t offset =
+      static_cast<off_t>(id) * static_cast<off_t>(page_size());
+  if (::pwrite(fd_, src, page_size(), offset) !=
+      static_cast<ssize_t>(page_size())) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace vitri::storage

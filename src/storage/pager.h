@@ -1,0 +1,89 @@
+#ifndef VITRI_STORAGE_PAGER_H_
+#define VITRI_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace vitri::storage {
+
+/// Abstract fixed-size-page store. Implementations: in-memory (tests,
+/// benchmarks) and file-backed (durability, examples).
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Size in bytes of every page.
+  size_t page_size() const { return page_size_; }
+
+  /// Number of allocated pages; valid PageIds are [0, num_pages()).
+  virtual PageId num_pages() const = 0;
+
+  /// Allocates a new zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Reads page `id` into `out` (page_size() bytes).
+  virtual Status Read(PageId id, uint8_t* out) = 0;
+
+  /// Writes page `id` from `src` (page_size() bytes).
+  virtual Status Write(PageId id, const uint8_t* src) = 0;
+
+  /// Flushes buffered writes to the backing medium.
+  virtual Status Sync() = 0;
+
+ protected:
+  explicit Pager(size_t page_size) : page_size_(page_size) {}
+
+ private:
+  size_t page_size_;
+};
+
+/// Heap-backed pager. Fast and ephemeral.
+class MemPager final : public Pager {
+ public:
+  explicit MemPager(size_t page_size = kDefaultPageSize);
+
+  PageId num_pages() const override;
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, uint8_t* out) override;
+  Status Write(PageId id, const uint8_t* src) override;
+  Status Sync() override;
+
+ private:
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+/// File-backed pager over a single file, pages stored contiguously.
+class FilePager final : public Pager {
+ public:
+  /// Opens (creating if necessary) `path`. The existing file length must
+  /// be a multiple of page_size.
+  static Result<std::unique_ptr<FilePager>> Open(
+      const std::string& path, size_t page_size = kDefaultPageSize);
+
+  ~FilePager() override;
+
+  PageId num_pages() const override;
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, uint8_t* out) override;
+  Status Write(PageId id, const uint8_t* src) override;
+  Status Sync() override;
+
+ private:
+  FilePager(int fd, size_t page_size, PageId num_pages);
+
+  int fd_;
+  PageId num_pages_;
+};
+
+}  // namespace vitri::storage
+
+#endif  // VITRI_STORAGE_PAGER_H_

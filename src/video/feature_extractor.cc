@@ -1,0 +1,33 @@
+#include "video/feature_extractor.h"
+
+namespace vitri::video {
+
+Result<ColorHistogramExtractor> ColorHistogramExtractor::Create(
+    int bits_per_channel) {
+  if (bits_per_channel < 1 || bits_per_channel > 4) {
+    return Status::InvalidArgument("bits_per_channel must be in [1, 4]");
+  }
+  return ColorHistogramExtractor(bits_per_channel);
+}
+
+Result<linalg::Vec> ColorHistogramExtractor::Extract(
+    const Image& image) const {
+  if (image.num_pixels() == 0) {
+    return Status::InvalidArgument("cannot extract features of empty image");
+  }
+  linalg::Vec histogram(dimension_, 0.0);
+  const int shift = 8 - bits_;
+  const std::vector<uint8_t>& px = image.pixels();
+  for (size_t i = 0; i < px.size(); i += 3) {
+    const int r = px[i] >> shift;
+    const int g = px[i + 1] >> shift;
+    const int b = px[i + 2] >> shift;
+    const int bin = (r << (2 * bits_)) | (g << bits_) | b;
+    histogram[bin] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(image.num_pixels());
+  for (double& v : histogram) v *= inv;
+  return histogram;
+}
+
+}  // namespace vitri::video

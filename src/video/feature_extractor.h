@@ -1,0 +1,36 @@
+#ifndef VITRI_VIDEO_FEATURE_EXTRACTOR_H_
+#define VITRI_VIDEO_FEATURE_EXTRACTOR_H_
+
+#include "common/result.h"
+#include "linalg/vec.h"
+#include "video/image.h"
+
+namespace vitri::video {
+
+/// RGB color-histogram frame features, exactly as in the paper's setup:
+/// the `bits` most significant bits of each channel index a bin
+/// (bits=2 -> 64 dimensions), and each bin is normalized by the total
+/// pixel count, so features sum to 1.
+class ColorHistogramExtractor {
+ public:
+  /// `bits_per_channel` in [1, 4]; dimension = 2^(3*bits).
+  static Result<ColorHistogramExtractor> Create(int bits_per_channel = 2);
+
+  /// Feature dimensionality (64 for the default 2 bits/channel).
+  int dimension() const { return dimension_; }
+  int bits_per_channel() const { return bits_; }
+
+  /// Extracts the normalized histogram of `image` (must be non-empty).
+  Result<linalg::Vec> Extract(const Image& image) const;
+
+ private:
+  explicit ColorHistogramExtractor(int bits)
+      : bits_(bits), dimension_(1 << (3 * bits)) {}
+
+  int bits_;
+  int dimension_;
+};
+
+}  // namespace vitri::video
+
+#endif  // VITRI_VIDEO_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,45 @@
+#ifndef VITRI_VIDEO_IMAGE_H_
+#define VITRI_VIDEO_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vitri::video {
+
+/// Minimal RGB8 raster used by the synthetic frame pipeline. Pixels are
+/// stored row-major, 3 bytes per pixel (R, G, B).
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height)
+      : width_(width), height_(height), pixels_(3u * width * height, 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t num_pixels() const { return static_cast<size_t>(width_) * height_; }
+
+  const uint8_t* pixel(int x, int y) const {
+    return pixels_.data() + 3 * (static_cast<size_t>(y) * width_ + x);
+  }
+  uint8_t* mutable_pixel(int x, int y) {
+    return pixels_.data() + 3 * (static_cast<size_t>(y) * width_ + x);
+  }
+
+  void SetPixel(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+    uint8_t* p = mutable_pixel(x, y);
+    p[0] = r;
+    p[1] = g;
+    p[2] = b;
+  }
+
+  const std::vector<uint8_t>& pixels() const { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+}  // namespace vitri::video
+
+#endif  // VITRI_VIDEO_IMAGE_H_

@@ -1,0 +1,154 @@
+#include "video/serialization.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace vitri::video {
+namespace {
+
+constexpr uint32_t kMagic = 0x56564442;  // 'VVDB'
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const uint8_t* data, size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, uint8_t* data, size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::IoError("short read (truncated database?)");
+  }
+  return Status::OK();
+}
+
+Status WriteU32(std::FILE* f, uint32_t v) {
+  uint8_t buf[4];
+  EncodeU32(buf, v);
+  return WriteAll(f, buf, 4);
+}
+
+Status WriteU64(std::FILE* f, uint64_t v) {
+  uint8_t buf[8];
+  EncodeU64(buf, v);
+  return WriteAll(f, buf, 8);
+}
+
+Status WriteDouble(std::FILE* f, double v) {
+  uint8_t buf[8];
+  EncodeDouble(buf, v);
+  return WriteAll(f, buf, 8);
+}
+
+Result<uint32_t> ReadU32(std::FILE* f) {
+  uint8_t buf[4];
+  VITRI_RETURN_IF_ERROR(ReadAll(f, buf, 4));
+  return DecodeU32(buf);
+}
+
+Result<uint64_t> ReadU64(std::FILE* f) {
+  uint8_t buf[8];
+  VITRI_RETURN_IF_ERROR(ReadAll(f, buf, 8));
+  return DecodeU64(buf);
+}
+
+Result<double> ReadDouble(std::FILE* f) {
+  uint8_t buf[8];
+  VITRI_RETURN_IF_ERROR(ReadAll(f, buf, 8));
+  return DecodeDouble(buf);
+}
+
+}  // namespace
+
+Status SaveDatabase(const VideoDatabase& db, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  FilePtr file(std::fopen(tmp.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + tmp + " for writing");
+  }
+  VITRI_RETURN_IF_ERROR(WriteU32(file.get(), kMagic));
+  VITRI_RETURN_IF_ERROR(WriteU32(file.get(), kVersion));
+  VITRI_RETURN_IF_ERROR(
+      WriteU32(file.get(), static_cast<uint32_t>(db.dimension)));
+  VITRI_RETURN_IF_ERROR(WriteU64(file.get(), db.videos.size()));
+  std::vector<uint8_t> buffer;
+  for (const VideoSequence& v : db.videos) {
+    VITRI_RETURN_IF_ERROR(WriteU32(file.get(), v.id));
+    VITRI_RETURN_IF_ERROR(WriteDouble(file.get(), v.duration_seconds));
+    VITRI_RETURN_IF_ERROR(WriteU64(file.get(), v.frames.size()));
+    buffer.resize(8 * static_cast<size_t>(db.dimension));
+    for (const linalg::Vec& frame : v.frames) {
+      if (frame.size() != static_cast<size_t>(db.dimension)) {
+        return Status::InvalidArgument("frame dimension mismatch");
+      }
+      for (size_t j = 0; j < frame.size(); ++j) {
+        EncodeDouble(buffer.data() + 8 * j, frame[j]);
+      }
+      VITRI_RETURN_IF_ERROR(
+          WriteAll(file.get(), buffer.data(), buffer.size()));
+    }
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::IoError("flush failed");
+  }
+  file.reset();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<VideoDatabase> LoadDatabase(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  VITRI_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(file.get()));
+  if (magic != kMagic) {
+    return Status::Corruption("bad database magic");
+  }
+  VITRI_ASSIGN_OR_RETURN(uint32_t version, ReadU32(file.get()));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported database version");
+  }
+  VideoDatabase db;
+  VITRI_ASSIGN_OR_RETURN(uint32_t dimension, ReadU32(file.get()));
+  if (dimension == 0 || dimension > (1u << 16)) {
+    return Status::Corruption("implausible dimension");
+  }
+  db.dimension = static_cast<int>(dimension);
+  VITRI_ASSIGN_OR_RETURN(uint64_t num_videos, ReadU64(file.get()));
+  db.videos.reserve(num_videos);
+  std::vector<uint8_t> buffer(8 * dimension);
+  for (uint64_t i = 0; i < num_videos; ++i) {
+    VideoSequence v;
+    VITRI_ASSIGN_OR_RETURN(v.id, ReadU32(file.get()));
+    VITRI_ASSIGN_OR_RETURN(v.duration_seconds, ReadDouble(file.get()));
+    VITRI_ASSIGN_OR_RETURN(uint64_t num_frames, ReadU64(file.get()));
+    v.frames.reserve(num_frames);
+    for (uint64_t f = 0; f < num_frames; ++f) {
+      VITRI_RETURN_IF_ERROR(
+          ReadAll(file.get(), buffer.data(), buffer.size()));
+      linalg::Vec frame(dimension);
+      for (uint32_t j = 0; j < dimension; ++j) {
+        frame[j] = DecodeDouble(buffer.data() + 8 * j);
+      }
+      v.frames.push_back(std::move(frame));
+    }
+    db.videos.push_back(std::move(v));
+  }
+  return db;
+}
+
+}  // namespace vitri::video

@@ -1,0 +1,25 @@
+#ifndef VITRI_VIDEO_SERIALIZATION_H_
+#define VITRI_VIDEO_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "video/video.h"
+
+namespace vitri::video {
+
+/// Binary (de)serialization of frame-level video databases, used by the
+/// command-line tool so a dataset can be generated once and reused
+/// across runs. Format: header (magic, version, dimension, video
+/// count), then per video: id, duration, frame count, frames as raw
+/// little-endian doubles.
+
+/// Writes `db` to `path` (atomically via rename of a .tmp file).
+Status SaveDatabase(const VideoDatabase& db, const std::string& path);
+
+/// Reads a database written by SaveDatabase.
+Result<VideoDatabase> LoadDatabase(const std::string& path);
+
+}  // namespace vitri::video
+
+#endif  // VITRI_VIDEO_SERIALIZATION_H_

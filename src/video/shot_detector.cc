@@ -1,0 +1,61 @@
+#include "video/shot_detector.h"
+
+#include <cmath>
+
+#include "linalg/vec.h"
+
+namespace vitri::video {
+
+Result<std::vector<Shot>> DetectShots(const VideoSequence& sequence,
+                                      const ShotDetectorOptions& options) {
+  if (sequence.frames.empty()) {
+    return Status::InvalidArgument("cannot segment an empty sequence");
+  }
+  const size_t n = sequence.frames.size();
+  if (n == 1) {
+    return std::vector<Shot>{Shot{0, 1}};
+  }
+
+  // Consecutive-frame distances and their moments.
+  std::vector<double> diffs(n - 1);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    diffs[i] = linalg::Distance(sequence.frames[i], sequence.frames[i + 1]);
+    sum += diffs[i];
+    sum_sq += diffs[i] * diffs[i];
+  }
+  const double mean = sum / static_cast<double>(diffs.size());
+  const double variance =
+      std::max(0.0, sum_sq / static_cast<double>(diffs.size()) - mean * mean);
+  const double threshold =
+      std::max(mean + options.threshold_sigmas * std::sqrt(variance),
+               options.min_cut_distance);
+
+  std::vector<Shot> shots;
+  size_t begin = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const bool is_cut = diffs[i] > threshold;
+    const bool long_enough = (i + 1 - begin) >= options.min_shot_frames;
+    if (is_cut && long_enough) {
+      shots.push_back(Shot{begin, i + 1});
+      begin = i + 1;
+    }
+  }
+  shots.push_back(Shot{begin, n});
+  return shots;
+}
+
+Result<std::vector<uint32_t>> ShotDurationSignature(
+    const VideoSequence& sequence, const ShotDetectorOptions& options) {
+  VITRI_ASSIGN_OR_RETURN(std::vector<Shot> shots,
+                         DetectShots(sequence, options));
+  std::vector<uint32_t> durations;
+  durations.reserve(shots.size());
+  for (const Shot& s : shots) {
+    durations.push_back(static_cast<uint32_t>(s.length()));
+  }
+  return durations;
+}
+
+}  // namespace vitri::video

@@ -1,0 +1,47 @@
+#ifndef VITRI_VIDEO_SHOT_DETECTOR_H_
+#define VITRI_VIDEO_SHOT_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "video/video.h"
+
+namespace vitri::video {
+
+/// One detected shot: frames [begin, end).
+struct Shot {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t length() const { return end - begin; }
+};
+
+/// Options of the histogram-difference shot boundary detector.
+struct ShotDetectorOptions {
+  /// A boundary is declared where the consecutive-frame distance
+  /// exceeds mean + threshold_sigmas * stddev of all consecutive
+  /// distances (adaptive threshold)...
+  double threshold_sigmas = 3.0;
+  /// ...and also exceeds this absolute floor (guards against declaring
+  /// boundaries in a perfectly static clip where sigma ~ 0).
+  double min_cut_distance = 0.2;
+  /// Boundaries closer than this many frames to the previous one are
+  /// suppressed (flash/noise rejection).
+  size_t min_shot_frames = 5;
+};
+
+/// Classic color-histogram shot boundary detection: the consecutive
+/// frame distance spikes at a cut. Used by the shot-duration template
+/// matching baseline [7] and available as a pre-segmentation stage.
+Result<std::vector<Shot>> DetectShots(const VideoSequence& sequence,
+                                      const ShotDetectorOptions& options = {});
+
+/// The durations (in frames) of the detected shots, in order — the
+/// "shot-change duration" signature of [7].
+Result<std::vector<uint32_t>> ShotDurationSignature(
+    const VideoSequence& sequence, const ShotDetectorOptions& options = {});
+
+}  // namespace vitri::video
+
+#endif  // VITRI_VIDEO_SHOT_DETECTOR_H_

@@ -1,0 +1,265 @@
+#include "video/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vitri::video {
+
+using linalg::Vec;
+
+VideoSynthesizer::VideoSynthesizer(const SynthesizerOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+Vec VideoSynthesizer::RandomShotCenter(double brightness_target) {
+  // A spiky histogram: a handful of dominant bins with exponential
+  // weights, plus a tiny uniform floor, normalized to sum 1.
+  //
+  // Bins are drawn near a per-shot *brightness* level. Real footage has
+  // a dominant global variance axis (dark cinematic shots vs. bright
+  // product shots); for 2-bit RGB bins the brightness of bin
+  // (r<<4|g<<2|b) is r+g+b. This is what gives the corpus a strong
+  // first principal component for the optimal reference point to
+  // exploit, exactly as in the paper's real data.
+  Vec center(options_.dimension, 1e-4);
+  const int actives = std::min(options_.active_bins, options_.dimension);
+  const int bits = [&] {
+    int b = 0;
+    while ((1 << (3 * (b + 1))) <= options_.dimension) ++b;
+    return std::max(1, b);
+  }();
+  const int max_level = 3 * ((1 << bits) - 1);
+  const double target =
+      std::clamp(brightness_target, 0.0, static_cast<double>(max_level));
+  for (int a = 0; a < actives; ++a) {
+    // Rejection-sample a bin whose brightness is near the target.
+    size_t bin = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      bin = rng_.Index(options_.dimension);
+      const int mask = (1 << bits) - 1;
+      const int r = static_cast<int>(bin >> (2 * bits)) & mask;
+      const int g = static_cast<int>(bin >> bits) & mask;
+      const int b = static_cast<int>(bin) & mask;
+      const double gap = r + g + b - target;
+      if (rng_.NextDouble() < std::exp(-gap * gap / 1.2)) break;
+    }
+    // Squared exponential draws give strongly skewed bin masses, like
+    // real frames dominated by one or two quantized colors.
+    const double e = -std::log(std::max(rng_.NextDouble(), 1e-12));
+    center[bin] += e * e;
+  }
+  double sum = 0.0;
+  for (double v : center) sum += v;
+  for (double& v : center) v /= sum;
+  return center;
+}
+
+const VideoSynthesizer::Footage& VideoSynthesizer::NextShotFootage(
+    const Vec& palette, int frames) {
+  if (!shot_pool_.empty() &&
+      rng_.Bernoulli(options_.shot_reuse_probability)) {
+    // Splice existing footage: a random sub-window of the source
+    // trajectory (cyclic when the request is longer). Identical frames
+    // where the windows overlap, so re-aired material matches the
+    // original at frame level — partially, when only a segment is kept.
+    const Footage& src = shot_pool_[rng_.Index(shot_pool_.size())];
+    const size_t start = rng_.Index(src.size());
+    scratch_footage_.clear();
+    for (int f = 0; f < frames; ++f) {
+      scratch_footage_.push_back(src[(start + f) % src.size()]);
+    }
+    return scratch_footage_;
+  }
+
+  // Fresh footage: a palette-blended appearance drifting slowly over
+  // the shot (camera/object motion). Grading strength and shot activity
+  // are jittered per shot for realistic variety.
+  Vec appearance = RandomShotCenter(clip_brightness_ +
+                                    rng_.Gaussian(0.0, 0.8));
+  const double w = std::clamp(
+      options_.palette_weight + rng_.Uniform(-options_.palette_weight_jitter,
+                                             options_.palette_weight_jitter),
+      0.0, 0.95);
+  for (size_t i = 0; i < appearance.size(); ++i) {
+    appearance[i] = w * palette[i] + (1.0 - w) * appearance[i];
+  }
+  const double activity =
+      options_.intra_shot_noise *
+      rng_.Uniform(1.0 - options_.shot_activity_jitter,
+                   1.0 + options_.shot_activity_jitter);
+  Footage footage;
+  footage.reserve(frames);
+  for (int f = 0; f < frames; ++f) {
+    PerturbAndNormalize(&appearance, options_.drift_per_frame);
+    // Sensor/compression noise is part of the footage: the paper's
+    // coarse 2-bit histograms make re-aired material feature-identical,
+    // so per-frame noise must be baked in, not re-drawn per capture.
+    Vec frame = appearance;
+    PerturbAndNormalize(&frame, activity);
+    footage.push_back(std::move(frame));
+  }
+  if (shot_pool_.size() < options_.shot_pool_capacity) {
+    shot_pool_.push_back(std::move(footage));
+    return shot_pool_.back();
+  }
+  const size_t slot = rng_.Index(shot_pool_.size());
+  shot_pool_[slot] = std::move(footage);
+  return shot_pool_[slot];
+}
+
+void VideoSynthesizer::PerturbAndNormalize(Vec* frame, double sigma) {
+  // Multiplicative jitter: motion and sensor noise shift mass between
+  // *occupied* color bins, proportionally to their mass. (Additive
+  // per-bin noise would smear mass over all 64 bins and flatten the
+  // characteristic spikiness of real color histograms.) A tiny additive
+  // floor models stray quantization flips.
+  for (double& v : *frame) {
+    v = std::max(0.0, v * (1.0 + rng_.Gaussian(0.0, sigma)) +
+                          rng_.Gaussian(0.0, 2e-4));
+  }
+  double sum = 0.0;
+  for (double v : *frame) sum += v;
+  if (sum <= 0.0) {
+    // Degenerate (all mass jittered away): reset to uniform.
+    std::fill(frame->begin(), frame->end(),
+              1.0 / static_cast<double>(frame->size()));
+    return;
+  }
+  for (double& v : *frame) v /= sum;
+}
+
+VideoSequence VideoSynthesizer::GenerateClip(uint32_t id,
+                                             double duration_seconds) {
+  VideoSequence clip;
+  clip.id = id;
+  clip.duration_seconds = duration_seconds;
+  const int total_frames = std::max(
+      1, static_cast<int>(std::lround(duration_seconds * options_.fps)));
+  clip.frames.reserve(total_frames);
+
+  // The clip's color grade: a palette at a clip-level brightness. Real
+  // ads are graded coherently (dark cinematic vs. bright product), which
+  // is the corpus's dominant variance axis.
+  clip_brightness_ = rng_.Uniform(0.0, 9.0);
+  const Vec palette = RandomShotCenter(clip_brightness_);
+  int produced = 0;
+  while (produced < total_frames) {
+    const double shot_seconds = rng_.Uniform(options_.min_shot_seconds,
+                                             options_.max_shot_seconds);
+    const int shot_frames =
+        std::min(total_frames - produced,
+                 std::max(1, static_cast<int>(std::lround(
+                                 shot_seconds * options_.fps))));
+    const Footage& footage = NextShotFootage(palette, shot_frames);
+    for (int f = 0; f < shot_frames; ++f) {
+      // The footage plus this capture's (small) noise.
+      Vec frame = footage[f];
+      PerturbAndNormalize(&frame, options_.capture_noise);
+      clip.frames.push_back(std::move(frame));
+    }
+    produced += shot_frames;
+  }
+  return clip;
+}
+
+VideoSequence VideoSynthesizer::MakeNearDuplicate(
+    const VideoSequence& clip, uint32_t new_id,
+    const NearDuplicateOptions& nd) {
+  Rng rng(nd.seed ^ (static_cast<uint64_t>(clip.id) * 0x9e3779b97f4a7c15ULL));
+  VideoSequence out;
+  out.id = new_id;
+  out.duration_seconds = clip.duration_seconds;
+  out.frames.reserve(clip.frames.size());
+  for (const Vec& src : clip.frames) {
+    if (!rng.Bernoulli(nd.keep_probability)) continue;
+    Vec frame = src;
+    // Multiplicative gain skew (brightness / compression artifacts).
+    for (double& v : frame) {
+      v *= std::max(0.0, 1.0 + rng.Gaussian(0.0, nd.gain_jitter));
+      v = std::max(0.0, v + rng.Gaussian(0.0, nd.noise));
+    }
+    double sum = 0.0;
+    for (double v : frame) sum += v;
+    if (sum > 0.0) {
+      for (double& v : frame) v /= sum;
+    }
+    out.frames.push_back(std::move(frame));
+  }
+  if (out.frames.empty()) out.frames.push_back(clip.frames.front());
+  return out;
+}
+
+VideoDatabase VideoSynthesizer::GenerateDatabase(double scale) {
+  scale = std::clamp(scale, 1e-4, 1.0);
+  // Paper Table 2: 2934 clips of 30s, 2519 of 15s, 1134 of 10s.
+  const struct {
+    double seconds;
+    int count;
+  } mix[] = {{30.0, 2934}, {15.0, 2519}, {10.0, 1134}};
+
+  VideoDatabase db;
+  db.dimension = options_.dimension;
+  uint32_t next_id = 0;
+  for (const auto& m : mix) {
+    const int count =
+        std::max(1, static_cast<int>(std::lround(m.count * scale)));
+    for (int i = 0; i < count; ++i) {
+      db.videos.push_back(GenerateClip(next_id++, m.seconds));
+    }
+  }
+  return db;
+}
+
+Image VideoSynthesizer::RenderShotFrame(uint64_t shot_seed,
+                                        int frame_in_shot, int width,
+                                        int height) {
+  // A scene is a few colored rectangles over a background gradient;
+  // motion is a slow horizontal slide proportional to the frame number.
+  Rng rng(shot_seed);
+  Image img(width, height);
+
+  const uint8_t bg_r = static_cast<uint8_t>(rng.UniformU64(256));
+  const uint8_t bg_g = static_cast<uint8_t>(rng.UniformU64(256));
+  const uint8_t bg_b = static_cast<uint8_t>(rng.UniformU64(256));
+  for (int y = 0; y < height; ++y) {
+    const int fade = (y * 32) / std::max(1, height);
+    for (int x = 0; x < width; ++x) {
+      img.SetPixel(x, y, static_cast<uint8_t>(std::min(255, bg_r + fade)),
+                   bg_g, bg_b);
+    }
+  }
+
+  const int num_rects = 3 + static_cast<int>(rng.UniformU64(4));
+  for (int r = 0; r < num_rects; ++r) {
+    const int w = 4 + static_cast<int>(rng.UniformU64(width / 2));
+    const int h = 4 + static_cast<int>(rng.UniformU64(height / 2));
+    int x0 = static_cast<int>(rng.UniformU64(width));
+    const int y0 = static_cast<int>(rng.UniformU64(height));
+    // Per-object motion: slide right at an object-specific speed.
+    const int speed = 1 + static_cast<int>(rng.UniformU64(3));
+    x0 = (x0 + speed * frame_in_shot / 4) % width;
+    const uint8_t cr = static_cast<uint8_t>(rng.UniformU64(256));
+    const uint8_t cg = static_cast<uint8_t>(rng.UniformU64(256));
+    const uint8_t cb = static_cast<uint8_t>(rng.UniformU64(256));
+    for (int y = y0; y < std::min(height, y0 + h); ++y) {
+      for (int x = x0; x < std::min(width, x0 + w); ++x) {
+        img.SetPixel(x, y, cr, cg, cb);
+      }
+    }
+  }
+
+  // Sensor noise: flip low bits of a sparse pixel subset. Uses the
+  // member RNG so consecutive frames differ slightly.
+  const size_t noisy = img.num_pixels() / 50;
+  for (size_t i = 0; i < noisy; ++i) {
+    const int x = static_cast<int>(rng_.UniformU64(width));
+    const int y = static_cast<int>(rng_.UniformU64(height));
+    uint8_t* p = img.mutable_pixel(x, y);
+    for (int c = 0; c < 3; ++c) {
+      const int delta = static_cast<int>(rng_.UniformU64(11)) - 5;
+      p[c] = static_cast<uint8_t>(std::clamp(p[c] + delta, 0, 255));
+    }
+  }
+  return img;
+}
+
+}  // namespace vitri::video

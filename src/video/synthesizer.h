@@ -1,0 +1,135 @@
+#ifndef VITRI_VIDEO_SYNTHESIZER_H_
+#define VITRI_VIDEO_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "video/image.h"
+#include "video/video.h"
+
+namespace vitri::video {
+
+/// Parameters of the synthetic TV-ad generator. Defaults model the
+/// paper's dataset: 25 fps clips composed of shots whose frames are
+/// mutually similar (well under the clustering threshold) while distinct
+/// shots are well separated in feature space.
+struct SynthesizerOptions {
+  /// Feature dimensionality (64 matches the paper's RGB 2-bit histogram).
+  int dimension = 64;
+  /// Frames per second (PAL, as in the paper).
+  double fps = 25.0;
+  /// Shot length is drawn uniformly from [min, max] seconds.
+  double min_shot_seconds = 1.5;
+  double max_shot_seconds = 4.0;
+  /// Number of histogram bins carrying most of a shot's mass; small
+  /// values give realistic spiky color histograms.
+  int active_bins = 5;
+  /// Relative (multiplicative) per-bin jitter within a shot, baked into
+  /// the footage itself (sensor noise survives re-airing because the
+  /// paper's 2-bit histograms quantize away capture differences).
+  double intra_shot_noise = 0.06;
+  /// Small additional relative noise per capture of the same footage.
+  double capture_noise = 0.01;
+  /// Relative per-frame drift of the shot appearance (camera motion).
+  /// Large enough that a shot traces an elongated path in feature space,
+  /// as real pans/zooms do — the regime where single-representative
+  /// summaries lose information (the paper s motivation).
+  double drift_per_frame = 0.03;
+  /// Probability that a new shot reuses footage from the shared shot
+  /// pool instead of introducing a new appearance. Models the heavy
+  /// footage reuse of real TV-ad corpora (shared stock shots, re-aired
+  /// campaigns) that gives the paper's ground truth its structure.
+  double shot_reuse_probability = 0.35;
+  /// How strongly a clip's fresh shots lean toward the clip's own color
+  /// palette (0 = independent shots, 1 = identical). Real ads are color
+  /// graded consistently, which concentrates one clip's cluster keys in
+  /// a narrow band of the one-dimensional space.
+  double palette_weight = 0.35;
+  /// Per-clip uniform jitter of the palette weight; mixes tightly graded
+  /// clips with loose ones so inter-shot distances vary continuously
+  /// (real corpora are not bimodal).
+  double palette_weight_jitter = 0.20;
+  /// Per-shot uniform scaling range of the intra-shot noise: a shot's
+  /// activity is drawn from [1-x, 1+x] times intra_shot_noise (static
+  /// product shots vs. busy action shots).
+  double shot_activity_jitter = 0.5;
+  /// Maximum size of the shared shot pool.
+  size_t shot_pool_capacity = 512;
+  /// PRNG seed.
+  uint64_t seed = 2005;
+};
+
+/// Parameters of the near-duplicate transformation used to derive
+/// queries with non-trivial ground truth overlap.
+struct NearDuplicateOptions {
+  /// Extra per-bin noise added to every frame. Defaults are mild: the
+  /// paper's queries are re-captures of the same ad, which produce
+  /// near-identical histograms.
+  double noise = 2e-4;
+  /// Keep each frame with this probability (temporal subsampling).
+  double keep_probability = 0.9;
+  /// Brightness-like multiplicative skew applied to bin masses.
+  double gain_jitter = 0.05;
+  uint64_t seed = 77;
+};
+
+/// Generates shot-structured synthetic clips directly in feature space
+/// (the fast path used by the experiment harnesses) and via rendered
+/// images (the full path used by examples/tests of the extractor).
+class VideoSynthesizer {
+ public:
+  explicit VideoSynthesizer(const SynthesizerOptions& options = {});
+
+  const SynthesizerOptions& options() const { return options_; }
+
+  /// One clip of `duration_seconds`, frames synthesized in feature space.
+  VideoSequence GenerateClip(uint32_t id, double duration_seconds);
+
+  /// A photometrically/temporally perturbed copy of `clip` — a near
+  /// duplicate with high (but not perfect) frame-level similarity.
+  VideoSequence MakeNearDuplicate(const VideoSequence& clip,
+                                  uint32_t new_id,
+                                  const NearDuplicateOptions& nd = {});
+
+  /// A database following the paper's Table 2 shape: a mix of 30s/15s/10s
+  /// clips, scaled by `scale` in (0, 1]. At scale 1 the counts match the
+  /// paper (2934/2519/1134 clips).
+  VideoDatabase GenerateDatabase(double scale);
+
+  /// Renders one frame image for a shot appearance; consecutive calls
+  /// with increasing `frame_in_shot` produce slowly varying images of
+  /// the same scene. Used by the image-pipeline examples.
+  Image RenderShotFrame(uint64_t shot_seed, int frame_in_shot, int width,
+                        int height);
+
+  /// Number of distinct appearances currently in the shared shot pool.
+  size_t shot_pool_size() const { return shot_pool_.size(); }
+
+ private:
+  /// The appearance trajectory of one piece of footage: the per-frame
+  /// scene appearance, before capture noise. Reuse splices the same
+  /// trajectory (same footage), so re-aired material matches at frame
+  /// level like the paper's real re-captured ads.
+  using Footage = std::vector<linalg::Vec>;
+
+  /// A random spiky histogram near the given brightness level (the
+  /// appearance of one shot).
+  linalg::Vec RandomShotCenter(double brightness_target);
+  /// Produces (or reuses) footage of `frames` frames for a clip with the
+  /// given palette; the returned reference is valid until the next call.
+  const Footage& NextShotFootage(const linalg::Vec& palette, int frames);
+  /// Adds jitter/drift, clamps to >= 0 and re-normalizes to sum 1.
+  void PerturbAndNormalize(linalg::Vec* frame, double sigma);
+
+  SynthesizerOptions options_;
+  Rng rng_;
+  std::vector<Footage> shot_pool_;
+  Footage scratch_footage_;
+  double clip_brightness_ = 4.5;
+};
+
+}  // namespace vitri::video
+
+#endif  // VITRI_VIDEO_SYNTHESIZER_H_

@@ -1,0 +1,40 @@
+#ifndef VITRI_VIDEO_VIDEO_H_
+#define VITRI_VIDEO_VIDEO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace vitri::video {
+
+/// A video sequence: an ordered list of frame feature vectors. The
+/// paper's similarity measure treats it as a multiset (temporal order is
+/// not used), but order is kept for summarization locality and display.
+struct VideoSequence {
+  /// Database-unique id.
+  uint32_t id = 0;
+  /// Nominal clip length in seconds (dataset statistics only).
+  double duration_seconds = 0.0;
+  /// Per-frame features, all of the database's dimension.
+  std::vector<linalg::Vec> frames;
+
+  size_t num_frames() const { return frames.size(); }
+};
+
+/// An in-memory collection of sequences sharing one feature dimension.
+struct VideoDatabase {
+  int dimension = 0;
+  std::vector<VideoSequence> videos;
+
+  size_t num_videos() const { return videos.size(); }
+  size_t total_frames() const {
+    size_t n = 0;
+    for (const VideoSequence& v : videos) n += v.num_frames();
+    return n;
+  }
+};
+
+}  // namespace vitri::video
+
+#endif  // VITRI_VIDEO_VIDEO_H_

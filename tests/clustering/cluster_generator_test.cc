@@ -1,0 +1,194 @@
+#include "clustering/cluster_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "linalg/vec.h"
+
+namespace vitri::clustering {
+namespace {
+
+using linalg::Vec;
+
+std::vector<Vec> ShotLikeData(int shots, int frames_per_shot, double spread,
+                              double separation, uint64_t seed, int dim = 8) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  for (int s = 0; s < shots; ++s) {
+    Vec center(dim);
+    for (double& c : center) c = rng.Uniform(0.0, separation);
+    for (int f = 0; f < frames_per_shot; ++f) {
+      Vec p = center;
+      for (double& x : p) x += rng.Gaussian(0.0, spread);
+      pts.push_back(std::move(p));
+    }
+  }
+  return pts;
+}
+
+TEST(ClusterGeneratorTest, RejectsBadInput) {
+  ClusterGeneratorOptions options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(GenerateClusters({{1.0}}, options).ok());
+  EXPECT_FALSE(GenerateClusters({}, {}).ok());
+}
+
+TEST(ClusterGeneratorTest, EveryPointInExactlyOneCluster) {
+  const auto pts = ShotLikeData(5, 40, 0.01, 3.0, 1);
+  auto clusters = GenerateClusters(pts, {});
+  ASSERT_TRUE(clusters.ok());
+  std::vector<int> seen(pts.size(), 0);
+  for (const ClusterSummary& c : *clusters) {
+    for (uint32_t idx : c.members) ++seen[idx];
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "point " << i;
+  }
+}
+
+TEST(ClusterGeneratorTest, AcceptedRadiiRespectEpsilonBound) {
+  const auto pts = ShotLikeData(6, 30, 0.02, 2.0, 2);
+  ClusterGeneratorOptions options;
+  options.epsilon = 0.3;
+  auto clusters = GenerateClusters(pts, options);
+  ASSERT_TRUE(clusters.ok());
+  for (const ClusterSummary& c : *clusters) {
+    EXPECT_LE(c.radius, options.epsilon / 2.0 + 1e-12);
+  }
+}
+
+TEST(ClusterGeneratorTest, RefinedRadiusNeverExceedsMaxDistance) {
+  const auto pts = ShotLikeData(3, 50, 0.05, 2.0, 3);
+  auto clusters = GenerateClusters(pts, {});
+  ASSERT_TRUE(clusters.ok());
+  for (const ClusterSummary& c : *clusters) {
+    double max_dist = 0.0;
+    for (uint32_t idx : c.members) {
+      max_dist = std::max(max_dist, linalg::Distance(pts[idx], c.center));
+    }
+    EXPECT_LE(c.radius, max_dist + 1e-12);
+    EXPECT_LE(c.radius, c.mean_distance + c.stddev_distance + 1e-12);
+  }
+}
+
+TEST(ClusterGeneratorTest, WellSeparatedShotsYieldOneClusterEach) {
+  // Shots much tighter than epsilon/2 and far apart: expect ~1 cluster
+  // per shot.
+  const auto pts = ShotLikeData(4, 25, 0.005, 5.0, 4);
+  ClusterGeneratorOptions options;
+  options.epsilon = 0.5;
+  auto clusters = GenerateClusters(pts, options);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_GE(clusters->size(), 4u);
+  EXPECT_LE(clusters->size(), 6u);
+}
+
+TEST(ClusterGeneratorTest, SmallerEpsilonYieldsMoreClusters) {
+  const auto pts = ShotLikeData(5, 40, 0.05, 2.0, 5);
+  size_t prev = 0;
+  for (double eps : {0.6, 0.4, 0.2, 0.1}) {
+    ClusterGeneratorOptions options;
+    options.epsilon = eps;
+    auto clusters = GenerateClusters(pts, options);
+    ASSERT_TRUE(clusters.ok());
+    EXPECT_GE(clusters->size(), prev) << "eps=" << eps;
+    prev = clusters->size();
+  }
+}
+
+TEST(ClusterGeneratorTest, SinglePointCluster) {
+  auto clusters = GenerateClusters({{1.0, 2.0}}, {});
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 1u);
+  EXPECT_EQ((*clusters)[0].radius, 0.0);
+  EXPECT_EQ((*clusters)[0].size(), 1u);
+}
+
+TEST(ClusterGeneratorTest, IdenticalPointsFormOneCluster) {
+  const std::vector<Vec> pts(20, Vec{0.5, 0.5, 0.5});
+  auto clusters = GenerateClusters(pts, {});
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 1u);
+  EXPECT_EQ((*clusters)[0].size(), 20u);
+  EXPECT_EQ((*clusters)[0].radius, 0.0);
+}
+
+TEST(ClusterGeneratorTest, CenterIsMemberMean) {
+  const auto pts = ShotLikeData(2, 30, 0.01, 3.0, 6);
+  auto clusters = GenerateClusters(pts, {});
+  ASSERT_TRUE(clusters.ok());
+  for (const ClusterSummary& c : *clusters) {
+    Vec mean(pts[0].size(), 0.0);
+    for (uint32_t idx : c.members) linalg::AddInPlace(mean, pts[idx]);
+    linalg::ScaleInPlace(mean, 1.0 / static_cast<double>(c.size()));
+    EXPECT_LT(linalg::Distance(mean, c.center), 1e-9);
+  }
+}
+
+TEST(ClusterGeneratorTest, RefinementProducesTighterRadii) {
+  // With refinement off the radius is the raw max distance; refined
+  // radii can only be smaller or equal.
+  const auto pts = ShotLikeData(3, 60, 0.04, 2.0, 7);
+  ClusterGeneratorOptions refined;
+  refined.epsilon = 0.4;
+  ClusterGeneratorOptions raw = refined;
+  raw.refine_radius = false;
+  auto with = GenerateClusters(pts, refined);
+  auto without = GenerateClusters(pts, raw);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  double avg_with = 0.0, avg_without = 0.0;
+  for (const auto& c : *with) avg_with += c.radius;
+  for (const auto& c : *without) avg_without += c.radius;
+  avg_with /= static_cast<double>(with->size());
+  avg_without /= static_cast<double>(without->size());
+  EXPECT_LE(avg_with, avg_without + 1e-9);
+}
+
+TEST(ClusterGeneratorTest, SubsetVariantHonorsIndices) {
+  const auto pts = ShotLikeData(2, 20, 0.01, 4.0, 8);
+  std::vector<uint32_t> subset;
+  for (uint32_t i = 0; i < 20; ++i) subset.push_back(i);  // first shot
+  auto clusters = GenerateClustersForSubset(pts, subset, {});
+  ASSERT_TRUE(clusters.ok());
+  std::set<uint32_t> covered;
+  for (const ClusterSummary& c : *clusters) {
+    for (uint32_t idx : c.members) {
+      EXPECT_LT(idx, 20u);
+      covered.insert(idx);
+    }
+  }
+  EXPECT_EQ(covered.size(), 20u);
+}
+
+TEST(ClusterGeneratorTest, StatsMatchSummarizeMembers) {
+  const auto pts = ShotLikeData(2, 25, 0.03, 2.0, 9);
+  auto clusters = GenerateClusters(pts, {});
+  ASSERT_TRUE(clusters.ok());
+  for (const ClusterSummary& c : *clusters) {
+    const ClusterSummary re = SummarizeMembers(pts, c.members);
+    EXPECT_NEAR(re.radius, c.radius, 1e-12);
+    EXPECT_NEAR(re.mean_distance, c.mean_distance, 1e-12);
+    EXPECT_NEAR(re.stddev_distance, c.stddev_distance, 1e-12);
+  }
+}
+
+TEST(ClusterGeneratorTest, DeterministicForFixedSeed) {
+  const auto pts = ShotLikeData(4, 30, 0.05, 2.0, 10);
+  ClusterGeneratorOptions options;
+  options.seed = 1234;
+  auto a = GenerateClusters(pts, options);
+  auto b = GenerateClusters(pts, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].members, (*b)[i].members);
+  }
+}
+
+}  // namespace
+}  // namespace vitri::clustering

@@ -1,0 +1,158 @@
+#include "clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+
+namespace vitri::clustering {
+namespace {
+
+using linalg::Vec;
+
+std::vector<Vec> TwoBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  for (size_t i = 0; i < per_blob; ++i) {
+    pts.push_back(Vec{rng.Gaussian(0.0, 0.1), rng.Gaussian(0.0, 0.1)});
+  }
+  for (size_t i = 0; i < per_blob; ++i) {
+    pts.push_back(Vec{rng.Gaussian(10.0, 0.1), rng.Gaussian(10.0, 0.1)});
+  }
+  return pts;
+}
+
+std::vector<uint32_t> AllIndices(size_t n) {
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  const std::vector<Vec> pts = {{0.0}};
+  EXPECT_FALSE(KMeans(pts, AllIndices(1), 0).ok());
+  EXPECT_FALSE(KMeans(pts, {}, 1).ok());
+  EXPECT_FALSE(KMeans(pts, {5}, 1).ok());  // out-of-range index
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  const auto pts = TwoBlobs(50, 1);
+  auto result = KMeans(pts, AllIndices(pts.size()), 2);
+  ASSERT_TRUE(result.ok());
+  // All points of the first blob share one label, the second the other.
+  const uint32_t label0 = result->assignments[0];
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(result->assignments[i], label0);
+  }
+  for (size_t i = 50; i < 100; ++i) {
+    EXPECT_NE(result->assignments[i], label0);
+  }
+}
+
+TEST(KMeansTest, CentroidsNearBlobCenters) {
+  const auto pts = TwoBlobs(200, 2);
+  auto result = KMeans(pts, AllIndices(pts.size()), 2);
+  ASSERT_TRUE(result.ok());
+  std::set<int> matched;
+  for (const Vec& c : result->centroids) {
+    if (linalg::Distance(c, Vec{0.0, 0.0}) < 0.5) matched.insert(0);
+    if (linalg::Distance(c, Vec{10.0, 10.0}) < 0.5) matched.insert(1);
+  }
+  EXPECT_EQ(matched.size(), 2u);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  const auto pts = TwoBlobs(30, 3);
+  KMeansOptions options;
+  options.seed = 99;
+  auto a = KMeans(pts, AllIndices(pts.size()), 2, options);
+  auto b = KMeans(pts, AllIndices(pts.size()), 2, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, KEqualsOneGivesMeanCentroid) {
+  const std::vector<Vec> pts = {{0.0, 0.0}, {2.0, 0.0}, {4.0, 6.0}};
+  auto result = KMeans(pts, AllIndices(3), 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0][0], 2.0, 1e-9);
+  EXPECT_NEAR(result->centroids[0][1], 2.0, 1e-9);
+}
+
+TEST(KMeansTest, SinglePoint) {
+  const std::vector<Vec> pts = {{1.0, 2.0}};
+  auto result = KMeans(pts, AllIndices(1), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignments.size(), 1u);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  const std::vector<Vec> pts(10, Vec{3.0, 3.0});
+  auto result = KMeans(pts, AllIndices(10), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, InertiaConsistentWithAssignments) {
+  const auto pts = TwoBlobs(40, 4);
+  auto result = KMeans(pts, AllIndices(pts.size()), 2);
+  ASSERT_TRUE(result.ok());
+  double inertia = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    inertia += linalg::SquaredDistance(
+        pts[i], result->centroids[result->assignments[i]]);
+  }
+  EXPECT_NEAR(inertia, result->inertia, 1e-9);
+}
+
+TEST(KMeansTest, AssignmentsPickNearestCentroid) {
+  const auto pts = TwoBlobs(40, 5);
+  auto result = KMeans(pts, AllIndices(pts.size()), 2);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const double assigned = linalg::SquaredDistance(
+        pts[i], result->centroids[result->assignments[i]]);
+    for (const Vec& c : result->centroids) {
+      EXPECT_LE(assigned, linalg::SquaredDistance(pts[i], c) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, SubsetClustering) {
+  const auto pts = TwoBlobs(20, 6);
+  // Cluster only the first blob's indices with k=2; inertia must be tiny.
+  std::vector<uint32_t> subset(20);
+  std::iota(subset.begin(), subset.end(), 0);
+  auto result = KMeans(pts, subset, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->inertia, 20 * 0.2);
+  EXPECT_EQ(result->assignments.size(), 20u);
+}
+
+TEST(KMeansTest, FourBlobsFourClusters) {
+  Rng rng(7);
+  std::vector<Vec> pts;
+  const double centers[4][2] = {{0, 0}, {8, 0}, {0, 8}, {8, 8}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < 25; ++i) {
+      pts.push_back(
+          Vec{c[0] + rng.Gaussian(0.0, 0.1), c[1] + rng.Gaussian(0.0, 0.1)});
+    }
+  }
+  auto result = KMeans(pts, AllIndices(pts.size()), 4);
+  ASSERT_TRUE(result.ok());
+  // Every blob is internally consistent.
+  for (int b = 0; b < 4; ++b) {
+    const uint32_t label = result->assignments[b * 25];
+    for (int i = 0; i < 25; ++i) {
+      EXPECT_EQ(result->assignments[b * 25 + i], label) << "blob " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vitri::clustering

@@ -1,0 +1,53 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace vitri {
+namespace {
+
+TEST(CodingTest, U16RoundTrip) {
+  uint8_t buf[2];
+  for (uint32_t v : {0u, 1u, 255u, 256u, 65535u}) {
+    EncodeU16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeU16(buf), v);
+  }
+}
+
+TEST(CodingTest, U32RoundTrip) {
+  uint8_t buf[4];
+  for (uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EncodeU32(buf, v);
+    EXPECT_EQ(DecodeU32(buf), v);
+  }
+}
+
+TEST(CodingTest, U64RoundTrip) {
+  uint8_t buf[8];
+  for (uint64_t v :
+       {uint64_t{0}, uint64_t{1}, uint64_t{0x0123456789abcdef},
+        std::numeric_limits<uint64_t>::max()}) {
+    EncodeU64(buf, v);
+    EXPECT_EQ(DecodeU64(buf), v);
+  }
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  uint8_t buf[8];
+  for (double v : {0.0, -0.0, 1.5, -3.25e100, 2.2250738585072014e-308}) {
+    EncodeDouble(buf, v);
+    EXPECT_EQ(DecodeDouble(buf), v);
+  }
+}
+
+TEST(CodingTest, UnalignedAccessIsSafe) {
+  uint8_t buf[32] = {};
+  EncodeDouble(buf + 3, 42.5);  // Deliberately misaligned.
+  EXPECT_EQ(DecodeDouble(buf + 3), 42.5);
+  EncodeU64(buf + 1, 0x1122334455667788ULL);
+  EXPECT_EQ(DecodeU64(buf + 1), 0x1122334455667788ULL);
+}
+
+}  // namespace
+}  // namespace vitri

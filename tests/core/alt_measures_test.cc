@@ -1,0 +1,178 @@
+#include "core/alt_measures.h"
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "linalg/vec.h"
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+using linalg::Vec;
+
+video::VideoSequence SequenceOf(std::vector<Vec> frames) {
+  video::VideoSequence seq;
+  seq.frames = std::move(frames);
+  return seq;
+}
+
+TEST(WarpingDistanceTest, RejectsEmpty) {
+  EXPECT_FALSE(WarpingDistance(SequenceOf({}), SequenceOf({{1.0}})).ok());
+}
+
+TEST(WarpingDistanceTest, IdenticalSequencesZero) {
+  const auto x = SequenceOf({{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}});
+  auto d = WarpingDistance(x, x);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(WarpingDistanceTest, HandComputedSmallCase) {
+  // x = [0, 2], y = [0, 1, 2] in 1-d. Optimal warping matches 0-0,
+  // then 2 may align with 1 (cost 1) and 2 (cost 0), or skip: best path
+  // 0-0, 2-1, 2-2: total 1 over 3 steps, or 0-0, 0-1?, ... DTW optimum
+  // total cost = 1.0.
+  const auto x = SequenceOf({{0.0}, {2.0}});
+  const auto y = SequenceOf({{0.0}, {1.0}, {2.0}});
+  auto d = WarpingDistance(x, y);
+  ASSERT_TRUE(d.ok());
+  // Per-step average of the optimal total (1.0) over its path length (3).
+  EXPECT_NEAR(*d, 1.0 / 3.0, 1e-12);
+}
+
+TEST(WarpingDistanceTest, SymmetricUnconstrained) {
+  video::VideoSynthesizer synth;
+  const auto a = synth.GenerateClip(0, 2.0);
+  const auto b = synth.GenerateClip(1, 2.0);
+  auto dab = WarpingDistance(a, b);
+  auto dba = WarpingDistance(b, a);
+  ASSERT_TRUE(dab.ok() && dba.ok());
+  EXPECT_NEAR(*dab, *dba, 1e-9);
+}
+
+TEST(WarpingDistanceTest, RobustToTemporalStretch) {
+  // y = x with every frame doubled: warping absorbs the stretch.
+  std::vector<Vec> base = {{0.0}, {0.5}, {1.0}, {0.2}};
+  std::vector<Vec> stretched;
+  for (const Vec& f : base) {
+    stretched.push_back(f);
+    stretched.push_back(f);
+  }
+  auto d = WarpingDistance(SequenceOf(base), SequenceOf(stretched));
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(WarpingDistanceTest, BandNarrowerThanLengthGapRejected) {
+  const auto x = SequenceOf({{0.0}});
+  const auto y = SequenceOf({{0.0}, {0.0}, {0.0}, {0.0}, {0.0}});
+  EXPECT_FALSE(WarpingDistance(x, y, /*band=*/2).ok());
+}
+
+TEST(WarpingDistanceTest, BandedMatchesUnconstrainedOnAlignedData) {
+  video::VideoSynthesizer synth;
+  const auto a = synth.GenerateClip(2, 2.0);
+  const auto b = synth.MakeNearDuplicate(a, 3);
+  auto unconstrained = WarpingDistance(a, b);
+  auto banded = WarpingDistance(a, b, /*band=*/40);
+  ASSERT_TRUE(unconstrained.ok() && banded.ok());
+  EXPECT_GE(*banded + 1e-12, *unconstrained);  // Band can only restrict.
+  EXPECT_NEAR(*banded, *unconstrained, 0.02);
+}
+
+TEST(WarpingDistanceTest, SeparatesDuplicatesFromUnrelated) {
+  video::SynthesizerOptions so;
+  so.shot_reuse_probability = 0.0;
+  video::VideoSynthesizer synth(so);
+  const auto base = synth.GenerateClip(0, 4.0);
+  const auto dup = synth.MakeNearDuplicate(base, 1);
+  const auto other = synth.GenerateClip(2, 4.0);
+  auto d_dup = WarpingDistance(base, dup);
+  auto d_other = WarpingDistance(base, other);
+  ASSERT_TRUE(d_dup.ok() && d_other.ok());
+  EXPECT_LT(*d_dup, *d_other / 3.0);
+}
+
+TEST(HausdorffDistanceTest, RejectsEmpty) {
+  EXPECT_FALSE(HausdorffDistance(SequenceOf({}), SequenceOf({{1.0}})).ok());
+}
+
+TEST(HausdorffDistanceTest, IdenticalIsZero) {
+  video::VideoSynthesizer synth;
+  const auto x = synth.GenerateClip(0, 2.0);
+  auto d = HausdorffDistance(x, x);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(HausdorffDistanceTest, HandComputedCase) {
+  // x = {0, 1}, y = {0, 3}: directed x->y max(min) = max(0, |1-0|)=1;
+  // y->x: max(0, |3-1|) = 2; Hausdorff = 2.
+  const auto x = SequenceOf({{0.0}, {1.0}});
+  const auto y = SequenceOf({{0.0}, {3.0}});
+  auto d = HausdorffDistance(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 2.0, 1e-12);
+}
+
+TEST(HausdorffDistanceTest, Symmetric) {
+  video::VideoSynthesizer synth;
+  const auto a = synth.GenerateClip(3, 2.0);
+  const auto b = synth.GenerateClip(4, 2.0);
+  auto dab = HausdorffDistance(a, b);
+  auto dba = HausdorffDistance(b, a);
+  ASSERT_TRUE(dab.ok() && dba.ok());
+  EXPECT_DOUBLE_EQ(*dab, *dba);
+}
+
+TEST(HausdorffDistanceTest, DominatedByWorstOutlier) {
+  // Adding one far frame to x raises the distance to that frame's gap.
+  auto x = SequenceOf({{0.0}, {0.1}});
+  const auto y = SequenceOf({{0.0}, {0.1}});
+  x.frames.push_back(Vec{5.0});
+  auto d = HausdorffDistance(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 4.9, 1e-12);
+}
+
+TEST(ShotTemplateTest, EmptySignaturesScoreZero) {
+  EXPECT_EQ(ShotDurationTemplateSimilarityFromSignatures({}, {50}), 0.0);
+}
+
+TEST(ShotTemplateTest, IdenticalSignaturesScoreOne) {
+  const std::vector<uint32_t> sig = {40, 80, 25, 60};
+  EXPECT_DOUBLE_EQ(ShotDurationTemplateSimilarityFromSignatures(sig, sig),
+                   1.0);
+}
+
+TEST(ShotTemplateTest, SubsequenceFoundBySliding) {
+  const std::vector<uint32_t> longer = {100, 40, 80, 25, 90};
+  const std::vector<uint32_t> shorter = {40, 80, 25};
+  EXPECT_DOUBLE_EQ(
+      ShotDurationTemplateSimilarityFromSignatures(shorter, longer), 1.0);
+}
+
+TEST(ShotTemplateTest, ToleranceAllowsNearMatches) {
+  const std::vector<uint32_t> a = {100, 50};
+  const std::vector<uint32_t> b = {108, 47};  // Within 15%.
+  EXPECT_DOUBLE_EQ(ShotDurationTemplateSimilarityFromSignatures(a, b),
+                   1.0);
+  const std::vector<uint32_t> c = {150, 20};  // Far off.
+  EXPECT_EQ(ShotDurationTemplateSimilarityFromSignatures(a, c), 0.0);
+}
+
+TEST(ShotTemplateTest, EndToEndOnSequences) {
+  video::VideoSynthesizer synth;
+  const auto base = synth.GenerateClip(0, 15.0);
+  const auto dup = synth.MakeNearDuplicate(base, 1);
+  auto self = ShotDurationTemplateSimilarity(base, base);
+  auto vs_dup = ShotDurationTemplateSimilarity(base, dup);
+  ASSERT_TRUE(self.ok() && vs_dup.ok());
+  EXPECT_DOUBLE_EQ(*self, 1.0);
+  EXPECT_GE(*vs_dup, 0.0);
+  EXPECT_LE(*vs_dup, 1.0);
+}
+
+}  // namespace
+}  // namespace vitri::core

@@ -1,0 +1,117 @@
+#include "core/ground_truth.h"
+
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+TEST(GroundTruthTest, SelfQueryRanksFirst) {
+  video::VideoSynthesizer synth;
+  const video::VideoDatabase db = synth.GenerateDatabase(0.0015);
+  const auto results = ExactKnn(db, db.videos[1], 5, 0.3);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].video_id, 1u);
+  EXPECT_DOUBLE_EQ(results[0].similarity, 1.0);
+}
+
+TEST(GroundTruthTest, ReturnsAtMostK) {
+  video::VideoSynthesizer synth;
+  const video::VideoDatabase db = synth.GenerateDatabase(0.0015);
+  EXPECT_LE(ExactKnn(db, db.videos[0], 3, 0.3).size(), 3u);
+}
+
+TEST(GroundTruthTest, ResultsSortedBySimilarity) {
+  video::VideoSynthesizer synth;
+  const video::VideoDatabase db = synth.GenerateDatabase(0.0015);
+  const auto results = ExactKnn(db, db.videos[2], 10, 0.3);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].similarity, results[i].similarity);
+  }
+}
+
+TEST(PrecisionTest, PerfectRetrieval) {
+  const std::vector<VideoMatch> rel = {{1, 0.9}, {2, 0.8}, {3, 0.7}};
+  EXPECT_DOUBLE_EQ(Precision(rel, rel), 1.0);
+}
+
+TEST(PrecisionTest, PartialRetrieval) {
+  const std::vector<VideoMatch> rel = {{1, 0.9}, {2, 0.8}, {3, 0.7},
+                                       {4, 0.6}};
+  const std::vector<VideoMatch> ret = {{1, 0.9}, {9, 0.8}, {3, 0.7},
+                                       {8, 0.6}};
+  EXPECT_DOUBLE_EQ(Precision(rel, ret), 0.5);
+}
+
+TEST(PrecisionTest, EmptyRelevantIsZero) {
+  EXPECT_EQ(Precision({}, {{1, 0.5}}), 0.0);
+}
+
+TEST(PrecisionTest, EmptyRetrievedIsZero) {
+  EXPECT_EQ(Precision({{1, 0.5}}, {}), 0.0);
+}
+
+TEST(PrecisionTest, OrderIrrelevant) {
+  const std::vector<VideoMatch> rel = {{1, 0.9}, {2, 0.8}};
+  const std::vector<VideoMatch> ret_a = {{2, 0.9}, {1, 0.8}};
+  EXPECT_DOUBLE_EQ(Precision(rel, ret_a), 1.0);
+}
+
+TEST(TieAwarePrecisionTest, PerfectRetrieval) {
+  const std::vector<double> sims = {0.0, 0.9, 0.8, 0.0, 0.7};
+  const std::vector<VideoMatch> ret = {{1, 1.0}, {2, 0.9}, {4, 0.8}};
+  EXPECT_DOUBLE_EQ(TieAwarePrecision(sims, 3, ret), 1.0);
+}
+
+TEST(TieAwarePrecisionTest, TiesCountRegardlessOfId) {
+  // Videos 1, 2, 3 are all tied at 0.5; any of them fills the top-2.
+  const std::vector<double> sims = {0.0, 0.5, 0.5, 0.5};
+  const std::vector<VideoMatch> low_ids = {{1, 1.0}, {2, 0.9}};
+  const std::vector<VideoMatch> high_ids = {{3, 1.0}, {2, 0.9}};
+  EXPECT_DOUBLE_EQ(TieAwarePrecision(sims, 2, low_ids), 1.0);
+  EXPECT_DOUBLE_EQ(TieAwarePrecision(sims, 2, high_ids), 1.0);
+}
+
+TEST(TieAwarePrecisionTest, BelowThresholdDoesNotCount) {
+  const std::vector<double> sims = {0.9, 0.8, 0.1};
+  // k = 2 -> threshold 0.8; video 2 (0.1) is not relevant.
+  const std::vector<VideoMatch> ret = {{0, 1.0}, {2, 0.9}};
+  EXPECT_DOUBLE_EQ(TieAwarePrecision(sims, 2, ret), 0.5);
+}
+
+TEST(TieAwarePrecisionTest, FewerPositivesShrinkDenominator) {
+  const std::vector<double> sims = {0.9, 0.0, 0.0};
+  const std::vector<VideoMatch> ret = {{0, 1.0}, {1, 0.9}, {2, 0.8}};
+  // Only one positive video exists: hitting it means precision 1.
+  EXPECT_DOUBLE_EQ(TieAwarePrecision(sims, 10, ret), 1.0);
+}
+
+TEST(TieAwarePrecisionTest, ZeroSimilarityRetrievalsNeverCount) {
+  const std::vector<double> sims = {0.0, 0.0};
+  EXPECT_EQ(TieAwarePrecision(sims, 5, {{0, 0.9}}), 0.0);
+}
+
+TEST(TieAwarePrecisionTest, OnlyFirstKRetrievedConsidered) {
+  const std::vector<double> sims = {0.9, 0.8};
+  const std::vector<VideoMatch> ret = {{5, 1.0}, {0, 0.9}, {1, 0.8}};
+  // k = 1: only retrieved[0] (irrelevant id 5... out of range) counts.
+  EXPECT_DOUBLE_EQ(TieAwarePrecision(sims, 1, ret), 0.0);
+}
+
+TEST(ExactSimilaritiesTest, MatchesPerVideoComputation) {
+  video::VideoSynthesizer synth;
+  const video::VideoDatabase db = synth.GenerateDatabase(0.0015);
+  const auto sims = ExactSimilarities(db, db.videos[1], 0.15);
+  ASSERT_EQ(sims.size(), db.num_videos());
+  EXPECT_DOUBLE_EQ(sims[1], 1.0);
+  for (size_t v = 0; v < db.num_videos(); ++v) {
+    EXPECT_DOUBLE_EQ(
+        sims[v], ExactVideoSimilarity(db.videos[1], db.videos[v], 0.15));
+  }
+}
+
+}  // namespace
+}  // namespace vitri::core

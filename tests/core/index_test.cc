@@ -1,0 +1,353 @@
+#include "core/index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/vitri_builder.h"
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+struct World {
+  video::VideoDatabase db;
+  ViTriSet set;
+};
+
+World MakeWorld(double scale = 0.004, double epsilon = 0.15,
+                uint64_t seed = 2005) {
+  video::SynthesizerOptions so;
+  so.seed = seed;
+  video::VideoSynthesizer synth(so);
+  World w;
+  w.db = synth.GenerateDatabase(scale);
+  ViTriBuilderOptions bo;
+  bo.epsilon = epsilon;
+  ViTriBuilder builder(bo);
+  auto set = builder.BuildDatabase(w.db);
+  EXPECT_TRUE(set.ok());
+  w.set = std::move(*set);
+  return w;
+}
+
+ViTriIndexOptions DefaultOptions(double epsilon = 0.15) {
+  ViTriIndexOptions options;
+  options.epsilon = epsilon;
+  options.dimension = 64;
+  return options;
+}
+
+std::vector<ViTri> QuerySummary(const video::VideoSequence& seq,
+                                double epsilon = 0.15) {
+  ViTriBuilderOptions bo;
+  bo.epsilon = epsilon;
+  ViTriBuilder builder(bo);
+  auto result = builder.Build(seq);
+  EXPECT_TRUE(result.ok());
+  return *result;
+}
+
+TEST(ViTriIndexTest, BuildRejectsEmptySet) {
+  EXPECT_FALSE(ViTriIndex::Build(ViTriSet{}, DefaultOptions()).ok());
+}
+
+TEST(ViTriIndexTest, BuildRejectsDimensionMismatch) {
+  World w = MakeWorld();
+  ViTriIndexOptions options = DefaultOptions();
+  options.dimension = 32;
+  EXPECT_FALSE(ViTriIndex::Build(w.set, options).ok());
+}
+
+TEST(ViTriIndexTest, KnnFindsExactCopy) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  // Query with video 3's own summary: it must rank first with sim ~1.
+  const auto query = QuerySummary(w.db.videos[3]);
+  auto results = index->Knn(
+      query, static_cast<uint32_t>(w.db.videos[3].num_frames()), 5,
+      KnnMethod::kComposed);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].video_id, 3u);
+  EXPECT_GT((*results)[0].similarity, 0.9);
+}
+
+TEST(ViTriIndexTest, KnnFindsNearDuplicate) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  video::VideoSynthesizer synth;
+  const video::VideoSequence dup = synth.MakeNearDuplicate(
+      w.db.videos[5], static_cast<uint32_t>(w.db.num_videos()));
+  const auto query = QuerySummary(dup);
+  auto results =
+      index->Knn(query, static_cast<uint32_t>(dup.num_frames()), 5,
+                 KnnMethod::kComposed);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  // The source must be near the very top; shared-footage videos can
+  // legitimately rank close to it in this reuse-heavy corpus.
+  bool found = false;
+  for (const VideoMatch& m : *results) {
+    found = found || m.video_id == 5u;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ViTriIndexTest, NaiveAndComposedReturnSameResults) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  for (uint32_t q : {0u, 7u, 11u}) {
+    const auto query = QuerySummary(w.db.videos[q]);
+    const uint32_t frames =
+        static_cast<uint32_t>(w.db.videos[q].num_frames());
+    auto naive = index->Knn(query, frames, 10, KnnMethod::kNaive);
+    auto composed = index->Knn(query, frames, 10, KnnMethod::kComposed);
+    ASSERT_TRUE(naive.ok() && composed.ok());
+    ASSERT_EQ(naive->size(), composed->size());
+    for (size_t i = 0; i < naive->size(); ++i) {
+      EXPECT_EQ((*naive)[i].video_id, (*composed)[i].video_id) << i;
+      EXPECT_NEAR((*naive)[i].similarity, (*composed)[i].similarity, 1e-9);
+    }
+  }
+}
+
+TEST(ViTriIndexTest, CompositionNeverCostsMorePages) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  uint64_t naive_total = 0;
+  uint64_t composed_total = 0;
+  for (uint32_t q = 0; q < 8; ++q) {
+    const auto query = QuerySummary(w.db.videos[q]);
+    const uint32_t frames =
+        static_cast<uint32_t>(w.db.videos[q].num_frames());
+    QueryCosts naive_costs;
+    QueryCosts composed_costs;
+    ASSERT_TRUE(index->Knn(query, frames, 10, KnnMethod::kNaive,
+                           &naive_costs)
+                    .ok());
+    ASSERT_TRUE(index->Knn(query, frames, 10, KnnMethod::kComposed,
+                           &composed_costs)
+                    .ok());
+    EXPECT_LE(composed_costs.range_searches, naive_costs.range_searches);
+    EXPECT_LE(composed_costs.candidates, naive_costs.candidates);
+    naive_total += naive_costs.page_accesses;
+    composed_total += composed_costs.page_accesses;
+  }
+  EXPECT_LT(composed_total, naive_total);
+}
+
+TEST(ViTriIndexTest, SequentialScanAgreesOnTopResult) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const auto query = QuerySummary(w.db.videos[2]);
+  const uint32_t frames =
+      static_cast<uint32_t>(w.db.videos[2].num_frames());
+  auto indexed = index->Knn(query, frames, 5, KnnMethod::kComposed);
+  auto scanned = index->SequentialScan(query, frames, 5);
+  ASSERT_TRUE(indexed.ok() && scanned.ok());
+  ASSERT_FALSE(indexed->empty());
+  ASSERT_FALSE(scanned->empty());
+  EXPECT_EQ((*indexed)[0].video_id, (*scanned)[0].video_id);
+  EXPECT_NEAR((*indexed)[0].similarity, (*scanned)[0].similarity, 1e-9);
+}
+
+TEST(ViTriIndexTest, IndexPrunesComparedToSequentialScan) {
+  World w = MakeWorld(0.008);
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const auto query = QuerySummary(w.db.videos[0]);
+  const uint32_t frames =
+      static_cast<uint32_t>(w.db.videos[0].num_frames());
+  QueryCosts knn_costs;
+  QueryCosts scan_costs;
+  ASSERT_TRUE(
+      index->Knn(query, frames, 10, KnnMethod::kComposed, &knn_costs).ok());
+  ASSERT_TRUE(index->SequentialScan(query, frames, 10, &scan_costs).ok());
+  EXPECT_LT(knn_costs.candidates, scan_costs.candidates);
+  EXPECT_LT(knn_costs.similarity_evals, scan_costs.similarity_evals);
+}
+
+TEST(ViTriIndexTest, AllReferenceKindsReturnIdenticalResults) {
+  // The transform affects cost, never correctness.
+  World w = MakeWorld();
+  const auto query = QuerySummary(w.db.videos[4]);
+  const uint32_t frames =
+      static_cast<uint32_t>(w.db.videos[4].num_frames());
+  std::vector<std::vector<VideoMatch>> all;
+  for (ReferencePointKind kind :
+       {ReferencePointKind::kSpaceCenter, ReferencePointKind::kDataCenter,
+        ReferencePointKind::kOptimal}) {
+    ViTriIndexOptions options = DefaultOptions();
+    options.reference = kind;
+    auto index = ViTriIndex::Build(w.set, options);
+    ASSERT_TRUE(index.ok());
+    auto results = index->Knn(query, frames, 10, KnnMethod::kComposed);
+    ASSERT_TRUE(results.ok());
+    all.push_back(*results);
+  }
+  for (size_t k = 1; k < all.size(); ++k) {
+    ASSERT_EQ(all[k].size(), all[0].size());
+    for (size_t i = 0; i < all[0].size(); ++i) {
+      EXPECT_EQ(all[k][i].video_id, all[0][i].video_id);
+      EXPECT_NEAR(all[k][i].similarity, all[0][i].similarity, 1e-9);
+    }
+  }
+}
+
+TEST(ViTriIndexTest, DynamicInsertThenQuery) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const size_t before = index->num_vitris();
+
+  video::VideoSynthesizer synth;
+  video::VideoSequence fresh =
+      synth.GenerateClip(static_cast<uint32_t>(w.db.num_videos()), 15.0);
+  const auto summary = QuerySummary(fresh);
+  ASSERT_TRUE(index
+                  ->Insert(fresh.id,
+                           static_cast<uint32_t>(fresh.num_frames()),
+                           summary)
+                  .ok());
+  EXPECT_EQ(index->num_vitris(), before + summary.size());
+
+  auto results = index->Knn(
+      summary, static_cast<uint32_t>(fresh.num_frames()), 3,
+      KnnMethod::kComposed);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].video_id, fresh.id);
+  EXPECT_GT((*results)[0].similarity, 0.9);
+}
+
+TEST(ViTriIndexTest, RebuildPreservesResults) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const auto query = QuerySummary(w.db.videos[6]);
+  const uint32_t frames =
+      static_cast<uint32_t>(w.db.videos[6].num_frames());
+  auto before = index->Knn(query, frames, 10, KnnMethod::kComposed);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(index->Rebuild().ok());
+  auto after = index->Knn(query, frames, 10, KnnMethod::kComposed);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*before)[i].video_id, (*after)[i].video_id);
+    EXPECT_NEAR((*before)[i].similarity, (*after)[i].similarity, 1e-9);
+  }
+}
+
+TEST(ViTriIndexTest, DriftAngleStartsAtZero) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  auto angle = index->DriftAngle();
+  ASSERT_TRUE(angle.ok());
+  EXPECT_NEAR(*angle, 0.0, 1e-6);
+  auto needs = index->NeedsRebuild();
+  ASSERT_TRUE(needs.ok());
+  EXPECT_FALSE(*needs);
+}
+
+TEST(ViTriIndexTest, QueryCostCountersPopulated) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const auto query = QuerySummary(w.db.videos[1]);
+  QueryCosts costs;
+  ASSERT_TRUE(index
+                  ->Knn(query,
+                        static_cast<uint32_t>(
+                            w.db.videos[1].num_frames()),
+                        10, KnnMethod::kComposed, &costs)
+                  .ok());
+  EXPECT_GT(costs.page_accesses, 0u);
+  EXPECT_GT(costs.candidates, 0u);
+  EXPECT_GT(costs.similarity_evals, 0u);
+  EXPECT_GE(costs.range_searches, 1u);
+  EXPECT_GT(costs.cpu_seconds, 0.0);
+}
+
+TEST(ViTriIndexTest, EmptyQueryRejected) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Knn({}, 100, 5, KnnMethod::kNaive).ok());
+  EXPECT_FALSE(index->SequentialScan({}, 100, 5).ok());
+}
+
+TEST(ViTriIndexTest, KLimitsResultCount) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const auto query = QuerySummary(w.db.videos[0]);
+  auto results = index->Knn(
+      query, static_cast<uint32_t>(w.db.videos[0].num_frames()), 2,
+      KnnMethod::kComposed);
+  ASSERT_TRUE(results.ok());
+  EXPECT_LE(results->size(), 2u);
+}
+
+TEST(ViTriIndexTest, FrameSearchFindsContainingVideo) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  // A frame straight out of video 4 must rank video 4 at the top.
+  const linalg::Vec& probe = w.db.videos[4].frames[40];
+  auto results = index->FrameSearch(probe, 0.15, 5);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  // Video 4 must be found; a video sharing the same footage (reuse
+  // corpus) may legitimately contain *more* matching frames and rank
+  // above it.
+  bool found = false;
+  for (const VideoMatch& m : *results) found = found || m.video_id == 4u;
+  EXPECT_TRUE(found);
+  EXPECT_GT((*results)[0].similarity, 1.0);  // Many frames of the shot.
+}
+
+TEST(ViTriIndexTest, FrameSearchRejectsBadInput) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->FrameSearch(linalg::Vec(3, 0.1), 0.15, 5).ok());
+  EXPECT_FALSE(
+      index->FrameSearch(linalg::Vec(64, 0.1), 0.0, 5).ok());
+}
+
+TEST(ViTriIndexTest, FrameSearchFarFrameFindsNothing) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  // A frame far outside the data (corner of the cube).
+  linalg::Vec far(64, 0.0);
+  far[0] = 1.0;
+  far[63] = 1.0;  // Not even a normalized histogram; distance >> eps.
+  auto results = index->FrameSearch(far, 0.05, 5);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(ViTriIndexTest, FrameSearchCountsScaleWithEpsilon) {
+  World w = MakeWorld();
+  auto index = ViTriIndex::Build(w.set, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const linalg::Vec& probe = w.db.videos[2].frames[10];
+  auto narrow = index->FrameSearch(probe, 0.05, 1);
+  auto wide = index->FrameSearch(probe, 0.25, 1);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  ASSERT_FALSE(wide->empty());
+  const double n_est = narrow->empty() ? 0.0 : (*narrow)[0].similarity;
+  EXPECT_GE((*wide)[0].similarity, n_est);
+}
+
+}  // namespace
+}  // namespace vitri::core

@@ -1,0 +1,104 @@
+#include "core/keyframe_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+TEST(KeyframeBaselineTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildKeyframeSummary(video::VideoSequence{}, 3).ok());
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(0, 2.0);
+  EXPECT_FALSE(BuildKeyframeSummary(clip, 0).ok());
+}
+
+TEST(KeyframeBaselineTest, ProducesAtMostKKeyframes) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(1, 10.0);
+  auto summary = BuildKeyframeSummary(clip, 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_LE(summary->keyframes.size(), 8u);
+  EXPECT_GE(summary->keyframes.size(), 1u);
+  EXPECT_EQ(summary->video_id, 1u);
+  EXPECT_EQ(summary->num_frames, clip.num_frames());
+}
+
+TEST(KeyframeBaselineTest, KeyframesAreActualFrames) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(2, 5.0);
+  auto summary = BuildKeyframeSummary(clip, 5);
+  ASSERT_TRUE(summary.ok());
+  for (const linalg::Vec& kf : summary->keyframes) {
+    bool found = false;
+    for (const linalg::Vec& f : clip.frames) {
+      if (f == kf) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "keyframe is not a frame of the sequence";
+  }
+}
+
+TEST(KeyframeBaselineTest, KClampedToFrameCount) {
+  video::VideoSequence tiny;
+  tiny.id = 0;
+  tiny.frames.assign(3, linalg::Vec(8, 0.1));
+  auto summary = BuildKeyframeSummary(tiny, 10);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_LE(summary->keyframes.size(), 3u);
+}
+
+TEST(KeyframeBaselineTest, SelfSimilarityIsOne) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(3, 8.0);
+  auto summary = BuildKeyframeSummary(clip, 6);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_DOUBLE_EQ(KeyframeSimilarity(*summary, *summary, 0.2), 1.0);
+}
+
+TEST(KeyframeBaselineTest, DisjointClipsNearZero) {
+  video::SynthesizerOptions so;
+  so.shot_reuse_probability = 0.0;  // Unrelated clips by construction.
+  video::VideoSynthesizer synth(so);
+  const video::VideoSequence a = synth.GenerateClip(4, 6.0);
+  const video::VideoSequence b = synth.GenerateClip(5, 6.0);
+  auto sa = BuildKeyframeSummary(a, 6);
+  auto sb = BuildKeyframeSummary(b, 6);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_LT(KeyframeSimilarity(*sa, *sb, 0.2), 0.5);
+}
+
+TEST(KeyframeBaselineTest, KnnRanksNearDuplicateFirst) {
+  video::VideoSynthesizer synth;
+  const video::VideoDatabase db = synth.GenerateDatabase(0.003);
+  std::vector<KeyframeSummary> summaries;
+  for (const video::VideoSequence& v : db.videos) {
+    auto s = BuildKeyframeSummary(v, 10);
+    ASSERT_TRUE(s.ok());
+    summaries.push_back(std::move(*s));
+  }
+  const video::VideoSequence dup = synth.MakeNearDuplicate(
+      db.videos[2], static_cast<uint32_t>(db.num_videos()));
+  auto query = BuildKeyframeSummary(dup, 10);
+  ASSERT_TRUE(query.ok());
+  const auto results = KeyframeKnn(summaries, *query, 3, 0.3);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].video_id, 2u);
+}
+
+TEST(KeyframeBaselineTest, SimilarityIsSymmetric) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence a = synth.GenerateClip(6, 4.0);
+  const video::VideoSequence b = synth.MakeNearDuplicate(a, 7);
+  auto sa = BuildKeyframeSummary(a, 5);
+  auto sb = BuildKeyframeSummary(b, 5);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_DOUBLE_EQ(KeyframeSimilarity(*sa, *sb, 0.25),
+                   KeyframeSimilarity(*sb, *sa, 0.25));
+}
+
+}  // namespace
+}  // namespace vitri::core

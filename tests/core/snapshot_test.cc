@@ -1,0 +1,154 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/vitri_builder.h"
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+ViTriSet SmallSet() {
+  video::VideoSynthesizer synth;
+  auto db = synth.GenerateDatabase(0.002);
+  ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  EXPECT_TRUE(set.ok());
+  return std::move(*set);
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  const std::string path = TempPath("snapshot_roundtrip.vsnp");
+  std::remove(path.c_str());
+  const ViTriSet original = SmallSet();
+  ASSERT_TRUE(SaveViTriSet(original, path).ok());
+
+  auto loaded = LoadViTriSet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dimension, original.dimension);
+  EXPECT_EQ(loaded->frame_counts, original.frame_counts);
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->vitris[i].video_id, original.vitris[i].video_id);
+    EXPECT_EQ(loaded->vitris[i].cluster_size,
+              original.vitris[i].cluster_size);
+    EXPECT_EQ(loaded->vitris[i].radius, original.vitris[i].radius);
+    EXPECT_EQ(loaded->vitris[i].position, original.vitris[i].position);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadMissingFileFails) {
+  auto loaded = LoadViTriSet(TempPath("does_not_exist.vsnp"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST(SnapshotTest, LoadGarbageFails) {
+  const std::string path = TempPath("snapshot_garbage.vsnp");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a snapshot", f);
+  std::fclose(f);
+  auto loaded = LoadViTriSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedSnapshotFails) {
+  const std::string path = TempPath("snapshot_truncated.vsnp");
+  std::remove(path.c_str());
+  const ViTriSet original = SmallSet();
+  ASSERT_TRUE(SaveViTriSet(original, path).ok());
+  // Truncate the file in half.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
+  auto loaded = LoadViTriSet(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, IndexRoundTripAnswersIdentically) {
+  const std::string path = TempPath("snapshot_index.vsnp");
+  std::remove(path.c_str());
+
+  video::VideoSynthesizer synth;
+  auto db = synth.GenerateDatabase(0.003);
+  ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+
+  ViTriIndexOptions options;
+  auto index = ViTriIndex::Build(*set, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(SaveIndexSnapshot(*index, path).ok());
+
+  auto restored = LoadIndexSnapshot(path, options);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_vitris(), index->num_vitris());
+
+  auto query = builder.Build(db.videos[2]);
+  ASSERT_TRUE(query.ok());
+  const uint32_t frames =
+      static_cast<uint32_t>(db.videos[2].num_frames());
+  auto before = index->Knn(*query, frames, 10, KnnMethod::kComposed);
+  auto after = restored->Knn(*query, frames, 10, KnnMethod::kComposed);
+  ASSERT_TRUE(before.ok() && after.ok());
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*before)[i].video_id, (*after)[i].video_id);
+    EXPECT_NEAR((*before)[i].similarity, (*after)[i].similarity, 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SnapshotIncludesDynamicInserts) {
+  const std::string path = TempPath("snapshot_inserts.vsnp");
+  std::remove(path.c_str());
+
+  video::VideoSynthesizer synth;
+  auto db = synth.GenerateDatabase(0.003);
+  ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+  ViTriIndexOptions options;
+  auto index = ViTriIndex::Build(*set, options);
+  ASSERT_TRUE(index.ok());
+
+  video::VideoSequence fresh =
+      synth.GenerateClip(static_cast<uint32_t>(db.num_videos()), 10.0);
+  auto summary = builder.Build(fresh);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_TRUE(index
+                  ->Insert(fresh.id,
+                           static_cast<uint32_t>(fresh.num_frames()),
+                           *summary)
+                  .ok());
+  ASSERT_TRUE(SaveIndexSnapshot(*index, path).ok());
+
+  auto restored = LoadIndexSnapshot(path, options);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_vitris(), index->num_vitris());
+  auto results = restored->Knn(
+      *summary, static_cast<uint32_t>(fresh.num_frames()), 3,
+      KnnMethod::kComposed);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].video_id, fresh.id);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vitri::core

@@ -1,0 +1,186 @@
+#include "core/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/vec.h"
+
+namespace vitri::core {
+namespace {
+
+using linalg::Vec;
+
+std::vector<Vec> CorrelatedCloud(size_t n, size_t dim, uint64_t seed) {
+  // Points spread mostly along one random direction — the regime where
+  // the optimal reference point pays off.
+  Rng rng(seed);
+  Vec dir(dim);
+  double norm = 0.0;
+  for (double& d : dir) {
+    d = rng.Gaussian();
+    norm += d * d;
+  }
+  norm = std::sqrt(norm);
+  for (double& d : dir) d /= norm;
+  std::vector<Vec> pts;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = rng.Gaussian(0.0, 1.0);
+    Vec p(dim);
+    for (size_t k = 0; k < dim; ++k) {
+      p[k] = 0.5 + t * dir[k] * 0.3 + rng.Gaussian(0.0, 0.01);
+    }
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+TEST(TransformTest, RejectsEmptyInput) {
+  EXPECT_FALSE(
+      OneDimensionalTransform::Fit({}, ReferencePointKind::kOptimal).ok());
+}
+
+TEST(TransformTest, RejectsNonPositiveMargin) {
+  EXPECT_FALSE(OneDimensionalTransform::Fit({{0.0, 0.0}},
+                                            ReferencePointKind::kOptimal,
+                                            0.0)
+                   .ok());
+}
+
+TEST(TransformTest, KindNames) {
+  EXPECT_STREQ(ReferencePointKindName(ReferencePointKind::kSpaceCenter),
+               "space-center");
+  EXPECT_STREQ(ReferencePointKindName(ReferencePointKind::kDataCenter),
+               "data-center");
+  EXPECT_STREQ(ReferencePointKindName(ReferencePointKind::kOptimal),
+               "optimal");
+}
+
+TEST(TransformTest, SpaceCenterReferenceIsHalfVector) {
+  auto t = OneDimensionalTransform::Fit({{0.1, 0.9}},
+                                        ReferencePointKind::kSpaceCenter);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->reference_point(), (Vec{0.5, 0.5}));
+}
+
+TEST(TransformTest, DataCenterReferenceIsMean) {
+  auto t = OneDimensionalTransform::Fit({{0.0, 0.0}, {1.0, 2.0}},
+                                        ReferencePointKind::kDataCenter);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->reference_point(), (Vec{0.5, 1.0}));
+}
+
+TEST(TransformTest, KeysAreDistancesToReference) {
+  const auto pts = CorrelatedCloud(50, 4, 1);
+  auto t = OneDimensionalTransform::Fit(pts, ReferencePointKind::kOptimal);
+  ASSERT_TRUE(t.ok());
+  for (const Vec& p : pts) {
+    EXPECT_NEAR(t->Key(p), linalg::Distance(p, t->reference_point()),
+                1e-12);
+    EXPECT_GE(t->Key(p), 0.0);
+  }
+}
+
+TEST(TransformTest, KeyDifferenceIsLowerBoundOnDistance) {
+  // Triangle inequality: |d(a,O') - d(b,O')| <= d(a,b). This is what
+  // makes the B+-tree pruning safe.
+  const auto pts = CorrelatedCloud(100, 8, 2);
+  for (ReferencePointKind kind :
+       {ReferencePointKind::kSpaceCenter, ReferencePointKind::kDataCenter,
+        ReferencePointKind::kOptimal}) {
+    auto t = OneDimensionalTransform::Fit(pts, kind);
+    ASSERT_TRUE(t.ok());
+    for (size_t i = 0; i < pts.size(); i += 7) {
+      for (size_t j = i + 1; j < pts.size(); j += 11) {
+        const double key_gap = std::fabs(t->Key(pts[i]) - t->Key(pts[j]));
+        EXPECT_LE(key_gap,
+                  linalg::Distance(pts[i], pts[j]) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TransformTest, OptimalReferenceLiesOutsideVarianceSegment) {
+  const auto pts = CorrelatedCloud(200, 6, 3);
+  auto t = OneDimensionalTransform::Fit(pts, ReferencePointKind::kOptimal);
+  ASSERT_TRUE(t.ok());
+  // The reference's key to the closest data point must be positive and
+  // every point's key must exceed zero (reference is outside the data).
+  for (const Vec& p : pts) {
+    EXPECT_GT(t->Key(p), 0.0);
+  }
+}
+
+TEST(TransformTest, OptimalMaximizesKeyVarianceOnCorrelatedData) {
+  // Theorem 1's practical consequence: key variance under the optimal
+  // reference dominates the data-center choice (and typically the space
+  // center) for correlated clouds.
+  for (uint64_t seed : {4u, 5u, 6u, 7u}) {
+    const auto pts = CorrelatedCloud(400, 8, seed);
+    auto optimal =
+        OneDimensionalTransform::Fit(pts, ReferencePointKind::kOptimal);
+    auto data =
+        OneDimensionalTransform::Fit(pts, ReferencePointKind::kDataCenter);
+    ASSERT_TRUE(optimal.ok() && data.ok());
+    EXPECT_GT(optimal->KeyVariance(pts), data->KeyVariance(pts))
+        << "seed=" << seed;
+  }
+}
+
+TEST(TransformTest, OptimalNearlyPreservesSpreadAlongFirstComponent) {
+  // For a cloud tightly concentrated around a line, keys should span
+  // nearly the full data extent along that line.
+  Rng rng(8);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    pts.push_back(Vec{x, 0.5 + rng.Gaussian(0.0, 1e-4)});
+  }
+  auto t = OneDimensionalTransform::Fit(pts, ReferencePointKind::kOptimal);
+  ASSERT_TRUE(t.ok());
+  double min_k = 1e300, max_k = -1e300;
+  for (const Vec& p : pts) {
+    min_k = std::min(min_k, t->Key(p));
+    max_k = std::max(max_k, t->Key(p));
+  }
+  EXPECT_GT(max_k - min_k, 0.98);  // Data extent is ~1.0 along x.
+}
+
+TEST(TransformTest, DriftAngleZeroForSameData) {
+  const auto pts = CorrelatedCloud(150, 4, 9);
+  auto t = OneDimensionalTransform::Fit(pts, ReferencePointKind::kOptimal);
+  ASSERT_TRUE(t.ok());
+  auto angle = t->DriftAngle(pts);
+  ASSERT_TRUE(angle.ok());
+  EXPECT_NEAR(*angle, 0.0, 1e-6);
+}
+
+TEST(TransformTest, DriftAngleGrowsWhenCorrelationRotates) {
+  const auto pts = CorrelatedCloud(300, 3, 10);
+  auto t = OneDimensionalTransform::Fit(pts, ReferencePointKind::kOptimal);
+  ASSERT_TRUE(t.ok());
+  // A cloud stretched along a different axis.
+  Rng rng(11);
+  std::vector<Vec> rotated;
+  for (int i = 0; i < 300; ++i) {
+    rotated.push_back(Vec{0.5 + rng.Gaussian(0.0, 0.01),
+                          0.5 + rng.Gaussian(0.0, 0.5),
+                          0.5 + rng.Gaussian(0.0, 0.01)});
+  }
+  auto angle = t->DriftAngle(rotated);
+  ASSERT_TRUE(angle.ok());
+  EXPECT_GT(*angle, 0.5);
+}
+
+TEST(TransformTest, NonOptimalKindsReportZeroDrift) {
+  const auto pts = CorrelatedCloud(100, 4, 12);
+  auto t = OneDimensionalTransform::Fit(pts, ReferencePointKind::kDataCenter);
+  ASSERT_TRUE(t.ok());
+  auto angle = t->DriftAngle(pts);
+  ASSERT_TRUE(angle.ok());
+  EXPECT_EQ(*angle, 0.0);
+}
+
+}  // namespace
+}  // namespace vitri::core

@@ -1,0 +1,126 @@
+#include "core/vitri_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vec.h"
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+TEST(ViTriBuilderTest, RejectsEmptySequence) {
+  ViTriBuilder builder;
+  EXPECT_FALSE(builder.Build(video::VideoSequence{}).ok());
+}
+
+TEST(ViTriBuilderTest, FrameCountPreserved) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(0, 8.0);
+  ViTriBuilder builder;
+  auto vitris = builder.Build(clip);
+  ASSERT_TRUE(vitris.ok());
+  uint64_t total = 0;
+  for (const ViTri& v : *vitris) total += v.cluster_size;
+  EXPECT_EQ(total, clip.num_frames());
+}
+
+TEST(ViTriBuilderTest, RadiiRespectHalfEpsilon) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(1, 10.0);
+  ViTriBuilderOptions options;
+  options.epsilon = 0.3;
+  ViTriBuilder builder(options);
+  auto vitris = builder.Build(clip);
+  ASSERT_TRUE(vitris.ok());
+  for (const ViTri& v : *vitris) {
+    EXPECT_LE(v.radius, 0.15 + 1e-12);
+    EXPECT_EQ(v.video_id, 1u);
+  }
+}
+
+TEST(ViTriBuilderTest, SummaryMuchSmallerThanSequence) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(2, 30.0);
+  ViTriBuilder builder;
+  auto vitris = builder.Build(clip);
+  ASSERT_TRUE(vitris.ok());
+  // 750 frames in a handful of shots -> far fewer clusters than frames.
+  EXPECT_LT(vitris->size(), clip.num_frames() / 5);
+  EXPECT_GE(vitris->size(), 1u);
+}
+
+TEST(ViTriBuilderTest, LargerEpsilonFewerClusters) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(3, 15.0);
+  size_t prev = 0;
+  for (double eps : {0.1, 0.2, 0.4, 0.8}) {
+    ViTriBuilderOptions options;
+    options.epsilon = eps;
+    ViTriBuilder builder(options);
+    auto vitris = builder.Build(clip);
+    ASSERT_TRUE(vitris.ok());
+    if (prev != 0) {
+      EXPECT_LE(vitris->size(), prev) << "eps=" << eps;
+    }
+    prev = vitris->size();
+  }
+}
+
+TEST(ViTriBuilderTest, BuildDatabaseCollectsAll) {
+  video::VideoSynthesizer synth;
+  const video::VideoDatabase db = synth.GenerateDatabase(0.003);
+  ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->dimension, 64);
+  EXPECT_EQ(set->frame_counts.size(), db.num_videos());
+  uint64_t frames = 0;
+  for (const ViTri& v : set->vitris) frames += v.cluster_size;
+  EXPECT_EQ(frames, db.total_frames());
+  for (const ViTri& v : set->vitris) {
+    EXPECT_LT(v.video_id, db.num_videos());
+  }
+}
+
+TEST(ViTriBuilderTest, BuildDatabaseRejectsSparseIds) {
+  video::VideoDatabase db;
+  db.dimension = 4;
+  video::VideoSequence seq;
+  seq.id = 7;  // Not dense.
+  seq.frames.push_back(linalg::Vec(4, 0.1));
+  db.videos.push_back(seq);
+  ViTriBuilder builder;
+  EXPECT_FALSE(builder.BuildDatabase(db).ok());
+}
+
+TEST(ViTriBuilderTest, SummarizeStats) {
+  ViTriSet set;
+  set.dimension = 2;
+  for (uint32_t s : {10u, 20u, 30u}) {
+    ViTri v;
+    v.cluster_size = s;
+    v.position = {0.0, 0.0};
+    set.vitris.push_back(v);
+  }
+  const SummaryStats stats = ViTriBuilder::Summarize(set, 0.3);
+  EXPECT_EQ(stats.num_clusters, 3u);
+  EXPECT_NEAR(stats.average_cluster_size, 20.0, 1e-12);
+  EXPECT_EQ(stats.epsilon, 0.3);
+}
+
+TEST(ViTriBuilderTest, DeterministicForFixedSeed) {
+  video::VideoSynthesizer synth;
+  const video::VideoSequence clip = synth.GenerateClip(5, 6.0);
+  ViTriBuilder builder;
+  auto a = builder.Build(clip);
+  auto b = builder.Build(clip);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].position, (*b)[i].position);
+    EXPECT_EQ((*a)[i].cluster_size, (*b)[i].cluster_size);
+  }
+}
+
+}  // namespace
+}  // namespace vitri::core

@@ -1,0 +1,70 @@
+#include "core/vitri.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/hypersphere.h"
+
+namespace vitri::core {
+namespace {
+
+ViTri MakeViTri(uint32_t video, uint32_t size, double radius,
+                linalg::Vec position) {
+  ViTri v;
+  v.video_id = video;
+  v.cluster_size = size;
+  v.radius = radius;
+  v.position = std::move(position);
+  return v;
+}
+
+TEST(ViTriTest, SerializedSizeFormula) {
+  EXPECT_EQ(ViTri::SerializedSize(64), 16u + 512u);
+  EXPECT_EQ(ViTri::SerializedSize(1), 24u);
+}
+
+TEST(ViTriTest, SerializeDeserializeRoundTrip) {
+  const ViTri v = MakeViTri(42, 17, 0.125, {0.25, -1.5, 3.0});
+  std::vector<uint8_t> bytes;
+  v.Serialize(&bytes);
+  EXPECT_EQ(bytes.size(), ViTri::SerializedSize(3));
+  auto back = ViTri::Deserialize(bytes, 3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->video_id, 42u);
+  EXPECT_EQ(back->cluster_size, 17u);
+  EXPECT_EQ(back->radius, 0.125);
+  EXPECT_EQ(back->position, v.position);
+}
+
+TEST(ViTriTest, DeserializeRejectsWrongSize) {
+  std::vector<uint8_t> bytes(10);
+  EXPECT_FALSE(ViTri::Deserialize(bytes, 3).ok());
+}
+
+TEST(ViTriTest, LogDensityMatchesDefinition) {
+  const ViTri v = MakeViTri(0, 100, 0.1, linalg::Vec(8, 0.0));
+  const double expected =
+      std::log(100.0) - geometry::LogBallVolume(8, 0.1);
+  EXPECT_NEAR(v.LogDensity(), expected, 1e-12);
+}
+
+TEST(ViTriTest, PointClusterHasInfiniteDensity) {
+  const ViTri v = MakeViTri(0, 1, 0.0, linalg::Vec(8, 0.0));
+  EXPECT_TRUE(std::isinf(v.LogDensity()));
+  EXPECT_GT(v.LogDensity(), 0.0);
+}
+
+TEST(ViTriTest, DenserClusterHasHigherLogDensity) {
+  const ViTri sparse = MakeViTri(0, 10, 0.1, linalg::Vec(16, 0.0));
+  const ViTri dense = MakeViTri(0, 100, 0.1, linalg::Vec(16, 0.0));
+  EXPECT_GT(dense.LogDensity(), sparse.LogDensity());
+}
+
+TEST(ViTriTest, LogDensityFiniteInHighDimension) {
+  const ViTri v = MakeViTri(0, 50, 0.12, linalg::Vec(256, 0.0));
+  EXPECT_TRUE(std::isfinite(v.LogDensity()));
+}
+
+}  // namespace
+}  // namespace vitri::core

@@ -1,0 +1,245 @@
+#include "geometry/hypersphere.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vitri::geometry {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(BallVolumeTest, LowDimensionClosedForms) {
+  EXPECT_NEAR(BallVolume(1, 2.0), 4.0, 1e-12);             // interval 2r
+  EXPECT_NEAR(BallVolume(2, 1.5), kPi * 2.25, 1e-12);      // pi r^2
+  EXPECT_NEAR(BallVolume(3, 1.0), 4.0 / 3.0 * kPi, 1e-12); // 4/3 pi r^3
+  EXPECT_NEAR(BallVolume(4, 1.0), kPi * kPi / 2.0, 1e-12); // pi^2/2 r^4
+}
+
+TEST(BallVolumeTest, ZeroRadius) {
+  EXPECT_EQ(BallVolume(5, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(LogBallVolume(5, 0.0)));
+}
+
+TEST(BallVolumeTest, LogStableInHighDimension) {
+  // Raw volume of a 256-d ball of radius 0.1 underflows; the log is fine.
+  const double lv = LogBallVolume(256, 0.1);
+  EXPECT_TRUE(std::isfinite(lv));
+  EXPECT_LT(lv, 0.0);
+}
+
+TEST(BallVolumeTest, ScalesAsRToTheN) {
+  for (int n : {2, 7, 64}) {
+    const double ratio = LogBallVolume(n, 2.0) - LogBallVolume(n, 1.0);
+    EXPECT_NEAR(ratio, n * std::log(2.0), 1e-9);
+  }
+}
+
+TEST(CapFractionTest, BoundaryBehaviour) {
+  for (int n : {1, 2, 3, 8, 64}) {
+    EXPECT_EQ(CapVolumeFraction(n, 1.0, 0.0), 0.0) << n;
+    EXPECT_NEAR(CapVolumeFraction(n, 1.0, 1.0), 0.5, 1e-12) << n;
+    EXPECT_EQ(CapVolumeFraction(n, 1.0, 2.0), 1.0) << n;
+  }
+}
+
+TEST(CapFractionTest, ComplementSymmetry) {
+  for (int n : {2, 3, 5, 17, 64}) {
+    for (double h = 0.1; h < 1.0; h += 0.2) {
+      EXPECT_NEAR(CapVolumeFraction(n, 1.0, h) +
+                      CapVolumeFraction(n, 1.0, 2.0 - h),
+                  1.0, 1e-10)
+          << "n=" << n << " h=" << h;
+    }
+  }
+}
+
+TEST(CapFractionTest, MonotoneInHeight) {
+  for (int n : {2, 16, 100}) {
+    double prev = -1.0;
+    for (double h = 0.0; h <= 2.0; h += 0.05) {
+      const double f = CapVolumeFraction(n, 1.0, h);
+      EXPECT_GE(f, prev);
+      prev = f;
+    }
+  }
+}
+
+TEST(CapFractionTest, ThreeDimensionalClosedForm) {
+  // V_cap(3, r, h) = pi h^2 (3r - h) / 3.
+  const double r = 1.3;
+  for (double h = 0.1; h <= 2.0 * r; h += 0.2) {
+    const double expected = kPi * h * h * (3.0 * r - h) / 3.0;
+    EXPECT_NEAR(CapVolume(3, r, h), expected, 1e-9) << "h=" << h;
+  }
+}
+
+TEST(CapFractionTest, TwoDimensionalClosedForm) {
+  // Circular segment area: r^2 acos((r-h)/r) - (r-h) sqrt(2rh - h^2).
+  const double r = 2.0;
+  for (double h = 0.2; h <= 2.0 * r; h += 0.3) {
+    const double expected =
+        r * r * std::acos((r - h) / r) -
+        (r - h) * std::sqrt(2.0 * r * h - h * h);
+    EXPECT_NEAR(CapVolume(2, r, h), expected, 1e-9) << "h=" << h;
+  }
+}
+
+TEST(CapFractionTest, RadiusScaleInvariance) {
+  // The fraction depends only on h/r.
+  for (double scale : {0.01, 1.0, 50.0}) {
+    EXPECT_NEAR(CapVolumeFraction(10, scale, 0.4 * scale),
+                CapVolumeFraction(10, 1.0, 0.4), 1e-12);
+  }
+}
+
+TEST(CapAngleTest, MatchesHeightParameterization) {
+  for (int n : {2, 3, 9, 64}) {
+    for (double alpha = 0.1; alpha < kPi; alpha += 0.3) {
+      const double h = 1.0 - std::cos(alpha);
+      EXPECT_NEAR(CapVolumeFractionFromAngle(n, alpha),
+                  CapVolumeFraction(n, 1.0, h), 1e-10)
+          << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(IntersectBallsTest, DisjointCase) {
+  const BallIntersection lens = IntersectBalls(3, 2.5, 1.0, 1.0);
+  EXPECT_TRUE(lens.disjoint);
+  EXPECT_FALSE(lens.contained);
+  EXPECT_EQ(lens.fraction_of_smaller, 0.0);
+  EXPECT_TRUE(std::isinf(lens.log_volume));
+}
+
+TEST(IntersectBallsTest, TouchingIsDisjoint) {
+  const BallIntersection lens = IntersectBalls(3, 2.0, 1.0, 1.0);
+  EXPECT_TRUE(lens.disjoint);
+}
+
+TEST(IntersectBallsTest, ContainedCase) {
+  const BallIntersection lens = IntersectBalls(3, 0.2, 1.0, 0.5);
+  EXPECT_FALSE(lens.disjoint);
+  EXPECT_TRUE(lens.contained);
+  EXPECT_EQ(lens.fraction_of_smaller, 1.0);
+  EXPECT_NEAR(lens.log_volume, LogBallVolume(3, 0.5), 1e-12);
+}
+
+TEST(IntersectBallsTest, IdenticalBalls) {
+  const BallIntersection lens = IntersectBalls(5, 0.0, 0.8, 0.8);
+  EXPECT_TRUE(lens.contained);
+  EXPECT_EQ(lens.fraction_of_smaller, 1.0);
+}
+
+TEST(IntersectBallsTest, SymmetricInRadiusOrder) {
+  const BallIntersection a = IntersectBalls(7, 0.9, 1.0, 0.7);
+  const BallIntersection b = IntersectBalls(7, 0.9, 0.7, 1.0);
+  EXPECT_NEAR(a.fraction_of_smaller, b.fraction_of_smaller, 1e-12);
+  EXPECT_NEAR(a.log_volume, b.log_volume, 1e-12);
+}
+
+TEST(IntersectBallsTest, EqualBallsHalfDistanceClosedForm3D) {
+  // Two unit balls at distance d: lens = 2 caps of height 1 - d/2.
+  const double d = 1.0;
+  const double h = 1.0 - d / 2.0;
+  const double expected = 2.0 * kPi * h * h * (3.0 * 1.0 - h) / 3.0;
+  const BallIntersection lens = IntersectBalls(3, d, 1.0, 1.0);
+  EXPECT_NEAR(std::exp(lens.log_volume), expected, 1e-9);
+}
+
+TEST(IntersectBallsTest, DeepOverlapPaperCase3) {
+  // d < R2 <= R1: the small ball's cap exceeds its hemisphere.
+  const double r1 = 1.0, r2 = 0.6, d = 0.5;
+  const BallIntersection lens = IntersectBalls(3, d, r1, r2);
+  EXPECT_FALSE(lens.disjoint);
+  EXPECT_FALSE(lens.contained);
+  // Closed-form lens volume for 3-d spheres:
+  const double c1 = (d * d + r1 * r1 - r2 * r2) / (2.0 * d);
+  const double h1 = r1 - c1;
+  const double h2 = r2 - (d - c1);
+  const double expected = kPi * h1 * h1 * (3 * r1 - h1) / 3.0 +
+                          kPi * h2 * h2 * (3 * r2 - h2) / 3.0;
+  EXPECT_NEAR(std::exp(lens.log_volume), expected, 1e-9);
+  EXPECT_GT(h2, r2);  // Confirms we exercised the deep-cap branch.
+}
+
+TEST(IntersectBallsTest, PointClusterInsideBall) {
+  const BallIntersection lens = IntersectBalls(4, 0.3, 1.0, 0.0);
+  EXPECT_FALSE(lens.disjoint);
+  EXPECT_TRUE(lens.contained);
+  EXPECT_EQ(lens.fraction_of_smaller, 1.0);
+}
+
+TEST(IntersectBallsTest, PointClusterOutsideBall) {
+  const BallIntersection lens = IntersectBalls(4, 1.5, 1.0, 0.0);
+  EXPECT_TRUE(lens.disjoint);
+}
+
+TEST(IntersectBallsTest, FractionShrinksWithDistance) {
+  double prev = 1.1;
+  for (double d = 0.0; d < 2.0; d += 0.1) {
+    const double f = IntersectBalls(16, d, 1.0, 1.0).fraction_of_smaller;
+    EXPECT_LE(f, prev + 1e-12) << "d=" << d;
+    prev = f;
+  }
+}
+
+TEST(IntersectBallsTest, HighDimensionStaysFinite) {
+  const BallIntersection lens = IntersectBalls(256, 0.05, 0.1, 0.09);
+  EXPECT_FALSE(lens.disjoint);
+  EXPECT_GE(lens.fraction_of_smaller, 0.0);
+  EXPECT_LE(lens.fraction_of_smaller, 1.0);
+  EXPECT_TRUE(std::isfinite(lens.log_volume));
+}
+
+// Monte Carlo cross-check of the lens fraction in low dimensions.
+class IntersectionMonteCarloTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double, double>> {
+};
+
+TEST_P(IntersectionMonteCarloTest, FractionMatchesSampling) {
+  const auto [n, d, r1, r2] = GetParam();
+  const double r_small = std::min(r1, r2);
+  // Sample uniformly in the smaller ball; the hit rate into the other
+  // ball is fraction_of_smaller.
+  Rng rng(1234 + n);
+  constexpr int kSamples = 40000;
+  int hits = 0;
+  std::vector<double> p(n);
+  for (int s = 0; s < kSamples; ++s) {
+    // Rejection-sample the smaller ball (fine for n <= 4).
+    for (;;) {
+      double norm_sq = 0.0;
+      for (int i = 0; i < n; ++i) {
+        p[i] = rng.Uniform(-r_small, r_small);
+        norm_sq += p[i] * p[i];
+      }
+      if (norm_sq <= r_small * r_small) break;
+    }
+    // Smaller ball is centered at (d, 0, ..) if r1 is the big one.
+    const double cx = (r1 >= r2) ? d : -d;
+    const double other_r = std::max(r1, r2);
+    double dist_sq = (p[0] + cx) * (p[0] + cx);
+    for (int i = 1; i < n; ++i) dist_sq += p[i] * p[i];
+    if (dist_sq <= other_r * other_r) ++hits;
+  }
+  const double sampled = static_cast<double>(hits) / kSamples;
+  const double analytic = IntersectBalls(n, d, r1, r2).fraction_of_smaller;
+  EXPECT_NEAR(analytic, sampled, 0.015)
+      << "n=" << n << " d=" << d << " r1=" << r1 << " r2=" << r2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, IntersectionMonteCarloTest,
+    ::testing::Values(std::make_tuple(2, 0.5, 1.0, 1.0),
+                      std::make_tuple(2, 1.2, 1.0, 0.6),
+                      std::make_tuple(3, 0.8, 1.0, 1.0),
+                      std::make_tuple(3, 0.4, 1.0, 0.5),
+                      std::make_tuple(3, 0.95, 0.7, 0.7),
+                      std::make_tuple(4, 0.6, 1.0, 0.8),
+                      std::make_tuple(4, 0.2, 0.9, 0.8)));
+
+}  // namespace
+}  // namespace vitri::geometry

@@ -1,0 +1,124 @@
+#include "geometry/paper_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/hypersphere.h"
+
+namespace vitri::geometry {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(SinePowerIntegralTest, BaseCases) {
+  EXPECT_NEAR(SinePowerIntegral(0, 1.3), 1.3, 1e-12);
+  EXPECT_NEAR(SinePowerIntegral(1, kPi / 2), 1.0, 1e-12);
+  EXPECT_NEAR(SinePowerIntegral(1, kPi), 2.0, 1e-12);
+}
+
+TEST(SinePowerIntegralTest, KnownClosedForms) {
+  // Int sin^2 = a/2 - sin(2a)/4.
+  for (double a = 0.2; a < kPi; a += 0.4) {
+    EXPECT_NEAR(SinePowerIntegral(2, a), a / 2 - std::sin(2 * a) / 4,
+                1e-12);
+    // Int sin^3 = cos^3/3 - cos + 2/3.
+    EXPECT_NEAR(SinePowerIntegral(3, a),
+                std::pow(std::cos(a), 3) / 3 - std::cos(a) + 2.0 / 3.0,
+                1e-12);
+  }
+}
+
+TEST(SinePowerIntegralTest, WallisFullRange) {
+  // Int_0^pi sin^m = sqrt(pi) Gamma((m+1)/2) / Gamma(m/2 + 1).
+  for (int m = 0; m <= 20; ++m) {
+    const double expected =
+        std::sqrt(kPi) *
+        std::exp(std::lgamma((m + 1) / 2.0) - std::lgamma(m / 2.0 + 1.0));
+    EXPECT_NEAR(SinePowerIntegral(m, kPi), expected, 1e-10) << "m=" << m;
+  }
+}
+
+TEST(PaperBallVolumeTest, MatchesGammaForm) {
+  for (int n = 1; n <= 64; ++n) {
+    for (double r : {0.3, 1.0, 1.7}) {
+      const double expected = BallVolume(n, r);
+      EXPECT_NEAR(PaperBallVolume(n, r), expected,
+                  1e-9 * std::max(expected, 1e-30))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(PaperSectorTest, TwoDimensionalWedge) {
+  // 2-d sector of half-angle a has area a r^2.
+  for (double a = 0.1; a < kPi; a += 0.3) {
+    EXPECT_NEAR(PaperSectorVolume(2, 1.5, a), a * 2.25, 1e-10);
+  }
+}
+
+TEST(PaperSectorTest, ThreeDimensionalSphericalCone) {
+  // V = (2 pi / 3) r^3 (1 - cos a).
+  for (double a = 0.1; a < kPi; a += 0.3) {
+    EXPECT_NEAR(PaperSectorVolume(3, 1.0, a),
+                2.0 * kPi / 3.0 * (1.0 - std::cos(a)), 1e-10);
+  }
+}
+
+TEST(PaperSectorTest, FullAngleRecoversBall) {
+  for (int n : {2, 3, 6, 15}) {
+    EXPECT_NEAR(PaperSectorVolume(n, 1.0, kPi), PaperBallVolume(n, 1.0),
+                1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(PaperConeTest, KnownLowDimensionForms) {
+  // 2-d: r^2 sin a cos a;  3-d: (pi/3) r^3 cos a sin^2 a.
+  for (double a = 0.1; a < kPi / 2; a += 0.2) {
+    EXPECT_NEAR(PaperConeVolume(2, 1.0, a), std::sin(a) * std::cos(a),
+                1e-12);
+    EXPECT_NEAR(PaperConeVolume(3, 1.0, a),
+                kPi / 3.0 * std::cos(a) * std::pow(std::sin(a), 2), 1e-12);
+  }
+}
+
+TEST(PaperConeTest, NegativeBeyondHemisphere) {
+  EXPECT_LT(PaperConeVolume(3, 1.0, 2.0), 0.0);
+}
+
+TEST(PaperCapTest, HemisphereIsHalfBall) {
+  for (int n : {2, 3, 8, 33}) {
+    EXPECT_NEAR(PaperCapVolumeFraction(n, kPi / 2), 0.5, 1e-10) << n;
+  }
+}
+
+TEST(PaperCapTest, ThreeDimensionalClosedForm) {
+  for (double a = 0.2; a < kPi; a += 0.25) {
+    const double h = 1.0 - std::cos(a);
+    const double expected = kPi * h * h * (3.0 - h) / 3.0;
+    EXPECT_NEAR(PaperCapVolume(3, 1.0, a), expected, 1e-10) << "a=" << a;
+  }
+}
+
+// The paper's series form and the incomplete-beta form must agree over
+// the whole (n, alpha) grid — this is the cross-derivation check that
+// guards the similarity kernel.
+class CapCrossValidationTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CapCrossValidationTest, SeriesMatchesBetaFunctionForm) {
+  const auto [n, alpha] = GetParam();
+  const double series = PaperCapVolumeFraction(n, alpha);
+  const double beta = CapVolumeFractionFromAngle(n, alpha);
+  EXPECT_NEAR(series, beta, 1e-8) << "n=" << n << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, CapCrossValidationTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 8, 16, 31, 64, 100),
+                       ::testing::Values(0.05, 0.3, 0.7, 1.2,
+                                         kPi / 2, 1.9, 2.6, 3.0)));
+
+}  // namespace
+}  // namespace vitri::geometry

@@ -1,0 +1,112 @@
+#include "geometry/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vitri::geometry {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(LogGammaTest, IntegerFactorials) {
+  // Gamma(n) = (n-1)!
+  double log_fact = 0.0;  // log(0!) = 0
+  for (int n = 1; n <= 20; ++n) {
+    EXPECT_NEAR(LogGamma(n), log_fact, 1e-12 * std::max(1.0, log_fact))
+        << "n=" << n;
+    log_fact += std::log(static_cast<double>(n));
+  }
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi); Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(kPi), 1e-12);
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(kPi) / 2.0), 1e-12);
+  EXPECT_NEAR(LogGamma(2.5), std::log(3.0 * std::sqrt(kPi) / 4.0), 1e-12);
+}
+
+TEST(LogGammaTest, MatchesLibmAcrossRange) {
+  for (double x = 0.1; x < 200.0; x += 0.37) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x),
+                1e-10 * std::max(1.0, std::fabs(std::lgamma(x))))
+        << "x=" << x;
+  }
+}
+
+TEST(LogGammaTest, RecurrenceHolds) {
+  // Gamma(x+1) = x Gamma(x).
+  for (double x : {0.3, 1.7, 5.5, 33.25}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), LogGamma(x) + std::log(x), 1e-10);
+  }
+}
+
+TEST(LogBetaTest, KnownValues) {
+  // B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+  EXPECT_NEAR(LogBeta(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(LogBeta(2, 3), std::log(1.0 / 12.0), 1e-12);
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(kPi), 1e-12);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormAEquals2B1) {
+  // I_x(2, 1) = x^2.
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 1.0, x), x * x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x = 0.05; x < 1.0; x += 0.07) {
+    for (double a : {0.5, 1.0, 3.5, 12.0}) {
+      for (double b : {0.5, 2.0, 7.5}) {
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+                    1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-10)
+            << "a=" << a << " b=" << b << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.02) {
+    const double v = RegularizedIncompleteBeta(32.5, 0.5, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(IncompleteBetaTest, HalfIntegerLargeA) {
+  // For large a and b = 1/2 (the hypersphere cap regime, n up to 256),
+  // values stay finite and within [0, 1].
+  for (double a : {8.5, 32.5, 64.5, 128.5}) {
+    for (double x : {0.01, 0.5, 0.9, 0.999}) {
+      const double v = RegularizedIncompleteBeta(a, 0.5, x);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(StdNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(StdNormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+}
+
+}  // namespace
+}  // namespace vitri::geometry

@@ -1,0 +1,159 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vitri::linalg {
+namespace {
+
+TEST(EigenTest, RejectsNonSquare) {
+  const Matrix m(2, 3);
+  EXPECT_FALSE(JacobiEigenSymmetric(m).ok());
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 2.0;
+  EXPECT_FALSE(JacobiEigenSymmetric(m).ok());
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/sqrt2
+  // and (1,-1)/sqrt2.
+  Matrix m(2, 2);
+  m(0, 0) = 2.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 2.0;
+  auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 1.0, 1e-12);
+  const VecView v0 = result->eigenvectors.Row(0);
+  EXPECT_NEAR(std::fabs(v0[0]), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(v0[0], v0[1], 1e-10);
+}
+
+TEST(EigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(5);
+  const size_t n = 8;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Gaussian();
+      m(j, i) = m(i, j);
+    }
+  }
+  auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double dot =
+          Dot(result->eigenvectors.Row(i), result->eigenvectors.Row(j));
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Rng rng(9);
+  const size_t n = 6;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Gaussian();
+      m(j, i) = m(i, j);
+    }
+  }
+  auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  // A = sum_k lambda_k v_k v_k^T.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        sum += result->eigenvalues[k] * result->eigenvectors(k, i) *
+               result->eigenvectors(k, j);
+      }
+      EXPECT_NEAR(sum, m(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(EigenTest, SatisfiesEigenEquation) {
+  Rng rng(21);
+  const size_t n = 10;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Uniform(-2.0, 2.0);
+      m(j, i) = m(i, j);
+    }
+  }
+  auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  for (size_t k = 0; k < n; ++k) {
+    const Vec v(result->eigenvectors.Row(k).begin(),
+                result->eigenvectors.Row(k).end());
+    const Vec mv = m.Multiply(v);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(mv[i], result->eigenvalues[k] * v[i], 1e-8)
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(EigenTest, EigenvaluesSortedDescending) {
+  Rng rng(33);
+  const size_t n = 12;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Gaussian();
+      m(j, i) = m(i, j);
+    }
+  }
+  auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(result->eigenvalues[i], result->eigenvalues[i + 1]);
+  }
+}
+
+TEST(EigenTest, PsdMatrixHasNonNegativeEigenvalues) {
+  // Gram matrix of random vectors is PSD.
+  Rng rng(44);
+  const size_t n = 5;
+  std::vector<Vec> rows(n, Vec(3));
+  for (auto& r : rows) {
+    for (double& x : r) x = rng.Gaussian();
+  }
+  Matrix gram(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) gram(i, j) = Dot(rows[i], rows[j]);
+  }
+  auto result = JacobiEigenSymmetric(gram);
+  ASSERT_TRUE(result.ok());
+  for (double lambda : result->eigenvalues) {
+    EXPECT_GE(lambda, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vitri::linalg

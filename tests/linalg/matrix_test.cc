@@ -1,0 +1,84 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace vitri::linalg {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  const Matrix id = Matrix::Identity(3);
+  const Vec v = {1.0, -2.0, 5.0};
+  EXPECT_EQ(id.Multiply(v), v);
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const Vec out = m.Multiply(Vec{1.0, 0.0, -1.0});
+  EXPECT_EQ(out, (Vec{-2.0, -2.0}));
+}
+
+TEST(MatrixTest, RowAndColAccess) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_EQ(m.Row(1)[0], 3.0);
+  EXPECT_EQ(m.Col(1), (Vec{2.0, 4.0}));
+}
+
+TEST(CovarianceTest, SinglePointIsZero) {
+  const Matrix cov = Covariance({{1.0, 2.0}});
+  EXPECT_EQ(cov(0, 0), 0.0);
+  EXPECT_EQ(cov(1, 1), 0.0);
+}
+
+TEST(CovarianceTest, KnownTwoDimensional) {
+  // Points on the line y = x: variance equal in both dims and full
+  // covariance.
+  const std::vector<Vec> pts = {{-1.0, -1.0}, {0.0, 0.0}, {1.0, 1.0}};
+  const Matrix cov = Covariance(pts);
+  const double expected = 2.0 / 3.0;  // population variance
+  EXPECT_NEAR(cov(0, 0), expected, 1e-12);
+  EXPECT_NEAR(cov(1, 1), expected, 1e-12);
+  EXPECT_NEAR(cov(0, 1), expected, 1e-12);
+  EXPECT_NEAR(cov(1, 0), expected, 1e-12);
+}
+
+TEST(CovarianceTest, IndependentAxes) {
+  const std::vector<Vec> pts = {
+      {1.0, 0.0}, {-1.0, 0.0}, {0.0, 2.0}, {0.0, -2.0}};
+  const Matrix cov = Covariance(pts);
+  EXPECT_NEAR(cov(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 0.0, 1e-12);
+}
+
+TEST(CovarianceTest, SymmetricOutput) {
+  const std::vector<Vec> pts = {
+      {0.3, 1.2, -0.5}, {2.0, 0.1, 0.7}, {-1.1, 0.9, 0.2}, {0.5, 0.5, 0.5}};
+  const Matrix cov = Covariance(pts);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(cov(i, j), cov(j, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vitri::linalg

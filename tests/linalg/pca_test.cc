@@ -1,0 +1,143 @@
+#include "linalg/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vitri::linalg {
+namespace {
+
+std::vector<Vec> ElongatedCloud(size_t n_points, double long_sigma,
+                                double short_sigma, uint64_t seed) {
+  // Stretched along the x-axis, centered at (3, -1).
+  vitri::Rng rng(seed);
+  std::vector<Vec> pts;
+  pts.reserve(n_points);
+  for (size_t i = 0; i < n_points; ++i) {
+    pts.push_back(
+        Vec{3.0 + rng.Gaussian(0.0, long_sigma),
+            -1.0 + rng.Gaussian(0.0, short_sigma)});
+  }
+  return pts;
+}
+
+TEST(PcaTest, RejectsEmptyInput) { EXPECT_FALSE(Pca::Fit({}).ok()); }
+
+TEST(PcaTest, RejectsMixedDimensions) {
+  EXPECT_FALSE(Pca::Fit({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(PcaTest, MeanIsDataCenter) {
+  auto pca = Pca::Fit({{0.0, 0.0}, {2.0, 2.0}});
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->mean()[0], 1.0, 1e-12);
+  EXPECT_NEAR(pca->mean()[1], 1.0, 1e-12);
+}
+
+TEST(PcaTest, FirstComponentFollowsElongation) {
+  const auto pts = ElongatedCloud(500, 4.0, 0.2, 7);
+  auto pca = Pca::Fit(pts);
+  ASSERT_TRUE(pca.ok());
+  // First component should be (nearly) the x-axis, up to sign.
+  EXPECT_GT(std::fabs(pca->Component(0)[0]), 0.99);
+  EXPECT_LT(std::fabs(pca->Component(0)[1]), 0.12);
+  EXPECT_GT(pca->Variance(0), pca->Variance(1));
+}
+
+TEST(PcaTest, VarianceMatchesSpreadRoughly) {
+  const auto pts = ElongatedCloud(4000, 3.0, 0.5, 11);
+  auto pca = Pca::Fit(pts);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->Variance(0), 9.0, 0.8);
+  EXPECT_NEAR(pca->Variance(1), 0.25, 0.05);
+}
+
+TEST(PcaTest, VarianceSegmentCoversAllProjections) {
+  const auto pts = ElongatedCloud(300, 2.0, 0.3, 13);
+  auto pca = Pca::Fit(pts);
+  ASSERT_TRUE(pca.ok());
+  const VarianceSegment& seg = pca->Segment(0);
+  for (const Vec& p : pts) {
+    const double t = pca->Project(p, 0);
+    EXPECT_TRUE(seg.Contains(t)) << t << " not in [" << seg.lo << ","
+                                 << seg.hi << "]";
+  }
+}
+
+TEST(PcaTest, SegmentEndsAreAttained) {
+  const auto pts = ElongatedCloud(300, 2.0, 0.3, 17);
+  auto pca = Pca::Fit(pts);
+  ASSERT_TRUE(pca.ok());
+  const VarianceSegment& seg = pca->Segment(0);
+  double lo = 1e300, hi = -1e300;
+  for (const Vec& p : pts) {
+    const double t = pca->Project(p, 0);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_DOUBLE_EQ(seg.lo, lo);
+  EXPECT_DOUBLE_EQ(seg.hi, hi);
+}
+
+TEST(PcaTest, DegenerateSinglePoint) {
+  auto pca = Pca::Fit({{1.0, 2.0, 3.0}});
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->Variance(0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pca->Segment(0).length(), 0.0);
+}
+
+TEST(PcaTest, FirstComponentAngleSelfIsZero) {
+  const auto pts = ElongatedCloud(200, 2.0, 0.4, 19);
+  auto pca = Pca::Fit(pts);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->FirstComponentAngle(*pca), 0.0, 1e-6);
+}
+
+TEST(PcaTest, FirstComponentAngleOrthogonalClouds) {
+  // Cloud A stretched along x, cloud B along y -> angle ~ pi/2.
+  auto pca_x = Pca::Fit(ElongatedCloud(400, 3.0, 0.1, 23));
+  ASSERT_TRUE(pca_x.ok());
+  vitri::Rng rng(29);
+  std::vector<Vec> pts_y;
+  for (int i = 0; i < 400; ++i) {
+    pts_y.push_back(Vec{rng.Gaussian(0.0, 0.1), rng.Gaussian(0.0, 3.0)});
+  }
+  auto pca_y = Pca::Fit(pts_y);
+  ASSERT_TRUE(pca_y.ok());
+  EXPECT_NEAR(pca_x->FirstComponentAngle(*pca_y), 1.5708, 0.1);
+}
+
+TEST(PcaTest, ComponentsAreUnitLength) {
+  const auto pts = ElongatedCloud(100, 1.0, 0.2, 31);
+  auto pca = Pca::Fit(pts);
+  ASSERT_TRUE(pca.ok());
+  for (size_t c = 0; c < pca->num_components(); ++c) {
+    EXPECT_NEAR(Norm(pca->Component(c)), 1.0, 1e-9);
+  }
+}
+
+TEST(PcaTest, HigherDimensionalRecovery) {
+  // 16-d data with variance concentrated on a known direction.
+  vitri::Rng rng(37);
+  Vec dir(16, 0.0);
+  dir[3] = 0.8;
+  dir[7] = 0.6;  // unit vector
+  std::vector<Vec> pts;
+  for (int i = 0; i < 800; ++i) {
+    const double t = rng.Gaussian(0.0, 5.0);
+    Vec p(16);
+    for (size_t d = 0; d < 16; ++d) {
+      p[d] = t * dir[d] + rng.Gaussian(0.0, 0.1);
+    }
+    pts.push_back(std::move(p));
+  }
+  auto pca = Pca::Fit(pts);
+  ASSERT_TRUE(pca.ok());
+  const double align = std::fabs(Dot(pca->Component(0), dir));
+  EXPECT_GT(align, 0.995);
+}
+
+}  // namespace
+}  // namespace vitri::linalg

@@ -1,0 +1,64 @@
+#include "linalg/vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vitri::linalg {
+namespace {
+
+TEST(VecTest, DotProduct) {
+  const Vec a = {1.0, 2.0, 3.0};
+  const Vec b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VecTest, NormOfUnitVectors) {
+  EXPECT_DOUBLE_EQ(Norm(Vec{1.0, 0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Norm(Vec{3.0, 4.0}), 5.0);
+}
+
+TEST(VecTest, DistanceAndSquaredDistanceAgree) {
+  const Vec a = {1.0, 2.0, 2.0};
+  const Vec b = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 3.0);
+}
+
+TEST(VecTest, DistanceIsSymmetric) {
+  const Vec a = {0.2, -1.7, 3.3, 0.0};
+  const Vec b = {9.1, 0.4, -2.0, 1.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(VecTest, TriangleInequality) {
+  const Vec a = {1.0, 0.0};
+  const Vec b = {0.0, 1.0};
+  const Vec c = {-1.0, -1.0};
+  EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-12);
+}
+
+TEST(VecTest, AddSubScaleInPlace) {
+  Vec a = {1.0, 2.0};
+  AddInPlace(a, Vec{3.0, 4.0});
+  EXPECT_EQ(a, (Vec{4.0, 6.0}));
+  SubInPlace(a, Vec{1.0, 1.0});
+  EXPECT_EQ(a, (Vec{3.0, 5.0}));
+  ScaleInPlace(a, 2.0);
+  EXPECT_EQ(a, (Vec{6.0, 10.0}));
+}
+
+TEST(VecTest, Axpy) {
+  const Vec out = Axpy(Vec{1.0, 1.0}, 2.0, Vec{3.0, -1.0});
+  EXPECT_EQ(out, (Vec{7.0, -1.0}));
+}
+
+TEST(VecTest, MeanOfPoints) {
+  const std::vector<Vec> pts = {{0.0, 0.0}, {2.0, 4.0}, {4.0, 2.0}};
+  EXPECT_EQ(Mean(pts), (Vec{2.0, 2.0}));
+}
+
+TEST(VecTest, MeanOfEmptyIsEmpty) { EXPECT_TRUE(Mean({}).empty()); }
+
+}  // namespace
+}  // namespace vitri::linalg

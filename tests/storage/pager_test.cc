@@ -1,0 +1,112 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vitri::storage {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<uint8_t> Pattern(size_t size, uint8_t salt) {
+  std::vector<uint8_t> buf(size);
+  for (size_t i = 0; i < size; ++i) {
+    buf[i] = static_cast<uint8_t>((i * 31 + salt) & 0xff);
+  }
+  return buf;
+}
+
+TEST(MemPagerTest, AllocateSequentialIds) {
+  MemPager pager(512);
+  EXPECT_EQ(pager.num_pages(), 0u);
+  for (PageId expected = 0; expected < 5; ++expected) {
+    auto id = pager.Allocate();
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, expected);
+  }
+  EXPECT_EQ(pager.num_pages(), 5u);
+}
+
+TEST(MemPagerTest, ReadWriteRoundTrip) {
+  MemPager pager(256);
+  ASSERT_TRUE(pager.Allocate().ok());
+  const auto data = Pattern(256, 7);
+  ASSERT_TRUE(pager.Write(0, data.data()).ok());
+  std::vector<uint8_t> out(256);
+  ASSERT_TRUE(pager.Read(0, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemPagerTest, FreshPageIsZeroed) {
+  MemPager pager(128);
+  ASSERT_TRUE(pager.Allocate().ok());
+  std::vector<uint8_t> out(128, 0xff);
+  ASSERT_TRUE(pager.Read(0, out.data()).ok());
+  for (uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(MemPagerTest, OutOfRangeAccessFails) {
+  MemPager pager(128);
+  std::vector<uint8_t> buf(128);
+  EXPECT_TRUE(pager.Read(0, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(pager.Write(3, buf.data()).IsOutOfRange());
+}
+
+TEST(FilePagerTest, CreateWriteReopenRead) {
+  const std::string path = TempPath("filepager_roundtrip.db");
+  std::remove(path.c_str());
+  const auto data0 = Pattern(512, 1);
+  const auto data1 = Pattern(512, 2);
+  {
+    auto pager = FilePager::Open(path, 512);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->Allocate().ok());
+    ASSERT_TRUE((*pager)->Allocate().ok());
+    ASSERT_TRUE((*pager)->Write(0, data0.data()).ok());
+    ASSERT_TRUE((*pager)->Write(1, data1.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  {
+    auto pager = FilePager::Open(path, 512);
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ((*pager)->num_pages(), 2u);
+    std::vector<uint8_t> out(512);
+    ASSERT_TRUE((*pager)->Read(0, out.data()).ok());
+    EXPECT_EQ(out, data0);
+    ASSERT_TRUE((*pager)->Read(1, out.data()).ok());
+    EXPECT_EQ(out, data1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePagerTest, RejectsMisalignedFile) {
+  const std::string path = TempPath("filepager_misaligned.db");
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a page multiple", f);
+    std::fclose(f);
+  }
+  auto pager = FilePager::Open(path, 4096);
+  EXPECT_FALSE(pager.ok());
+  EXPECT_TRUE(pager.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(FilePagerTest, OutOfRangeAccessFails) {
+  const std::string path = TempPath("filepager_oor.db");
+  std::remove(path.c_str());
+  auto pager = FilePager::Open(path, 256);
+  ASSERT_TRUE(pager.ok());
+  std::vector<uint8_t> buf(256);
+  EXPECT_TRUE((*pager)->Read(0, buf.data()).IsOutOfRange());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vitri::storage

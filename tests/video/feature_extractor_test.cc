@@ -1,0 +1,93 @@
+#include "video/feature_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace vitri::video {
+namespace {
+
+TEST(FeatureExtractorTest, RejectsBadBits) {
+  EXPECT_FALSE(ColorHistogramExtractor::Create(0).ok());
+  EXPECT_FALSE(ColorHistogramExtractor::Create(5).ok());
+}
+
+TEST(FeatureExtractorTest, DimensionFollowsBits) {
+  EXPECT_EQ(ColorHistogramExtractor::Create(1)->dimension(), 8);
+  EXPECT_EQ(ColorHistogramExtractor::Create(2)->dimension(), 64);
+  EXPECT_EQ(ColorHistogramExtractor::Create(3)->dimension(), 512);
+}
+
+TEST(FeatureExtractorTest, RejectsEmptyImage) {
+  auto extractor = ColorHistogramExtractor::Create(2);
+  ASSERT_TRUE(extractor.ok());
+  EXPECT_FALSE(extractor->Extract(Image()).ok());
+}
+
+TEST(FeatureExtractorTest, UniformImageSingleBin) {
+  auto extractor = ColorHistogramExtractor::Create(2);
+  ASSERT_TRUE(extractor.ok());
+  Image img(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) img.SetPixel(x, y, 255, 0, 0);
+  }
+  auto hist = extractor->Extract(img);
+  ASSERT_TRUE(hist.ok());
+  // r = 11b, g = 00, b = 00 -> bin (3 << 4) = 48.
+  EXPECT_DOUBLE_EQ((*hist)[48], 1.0);
+  double sum = std::accumulate(hist->begin(), hist->end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(FeatureExtractorTest, HistogramSumsToOne) {
+  auto extractor = ColorHistogramExtractor::Create(2);
+  ASSERT_TRUE(extractor.ok());
+  Image img(7, 5);  // Non-power-of-two sizes.
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 7; ++x) {
+      img.SetPixel(x, y, static_cast<uint8_t>(x * 37),
+                   static_cast<uint8_t>(y * 51),
+                   static_cast<uint8_t>((x + y) * 11));
+    }
+  }
+  auto hist = extractor->Extract(img);
+  ASSERT_TRUE(hist.ok());
+  const double sum = std::accumulate(hist->begin(), hist->end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (double v : *hist) EXPECT_GE(v, 0.0);
+}
+
+TEST(FeatureExtractorTest, QuantizationBoundaries) {
+  auto extractor = ColorHistogramExtractor::Create(2);
+  ASSERT_TRUE(extractor.ok());
+  Image img(2, 1);
+  img.SetPixel(0, 0, 63, 64, 127);   // r=00, g=01, b=01 -> bin 0b000101=5
+  img.SetPixel(1, 0, 192, 255, 0);   // r=11, g=11, b=00 -> bin 0b111100=60
+  auto hist = extractor->Extract(img);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_DOUBLE_EQ((*hist)[5], 0.5);
+  EXPECT_DOUBLE_EQ((*hist)[60], 0.5);
+}
+
+TEST(FeatureExtractorTest, SimilarImagesHaveCloseHistograms) {
+  auto extractor = ColorHistogramExtractor::Create(2);
+  ASSERT_TRUE(extractor.ok());
+  Image a(32, 32);
+  Image b(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      a.SetPixel(x, y, 200, 100, 50);
+      // b differs in a couple of pixels only.
+      const bool tweak = (x == 0 && y < 2);
+      b.SetPixel(x, y, tweak ? 10 : 200, 100, 50);
+    }
+  }
+  auto ha = extractor->Extract(a);
+  auto hb = extractor->Extract(b);
+  ASSERT_TRUE(ha.ok() && hb.ok());
+  EXPECT_LT(linalg::Distance(*ha, *hb), 0.01);
+}
+
+}  // namespace
+}  // namespace vitri::video

@@ -1,0 +1,91 @@
+#include "video/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/similarity.h"
+#include "video/synthesizer.h"
+
+namespace vitri::video {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(VideoSerializationTest, RoundTripPreservesFrames) {
+  const std::string path = TempPath("db_roundtrip.vvdb");
+  std::remove(path.c_str());
+  VideoSynthesizer synth;
+  const VideoDatabase original = synth.GenerateDatabase(0.002);
+  ASSERT_TRUE(SaveDatabase(original, path).ok());
+
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dimension, original.dimension);
+  ASSERT_EQ(loaded->num_videos(), original.num_videos());
+  for (size_t i = 0; i < original.num_videos(); ++i) {
+    const VideoSequence& a = original.videos[i];
+    const VideoSequence& b = loaded->videos[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.duration_seconds, b.duration_seconds);
+    ASSERT_EQ(a.num_frames(), b.num_frames());
+    for (size_t f = 0; f < a.frames.size(); f += 17) {
+      EXPECT_EQ(a.frames[f], b.frames[f]) << "video " << i << " frame "
+                                          << f;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VideoSerializationTest, LoadedDataBehavesIdentically) {
+  const std::string path = TempPath("db_behaviour.vvdb");
+  std::remove(path.c_str());
+  VideoSynthesizer synth;
+  const VideoDatabase original = synth.GenerateDatabase(0.002);
+  ASSERT_TRUE(SaveDatabase(original, path).ok());
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  // Exact similarity between any two videos must be bit-identical.
+  const double before = core::ExactVideoSimilarity(
+      original.videos[0], original.videos[1], 0.15);
+  const double after = core::ExactVideoSimilarity(
+      loaded->videos[0], loaded->videos[1], 0.15);
+  EXPECT_EQ(before, after);
+  std::remove(path.c_str());
+}
+
+TEST(VideoSerializationTest, MissingFileFails) {
+  auto loaded = LoadDatabase(TempPath("missing.vvdb"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST(VideoSerializationTest, GarbageFails) {
+  const std::string path = TempPath("garbage.vvdb");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage", f);
+  std::fclose(f);
+  auto loaded = LoadDatabase(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(VideoSerializationTest, EmptyDatabaseRoundTrips) {
+  const std::string path = TempPath("empty.vvdb");
+  std::remove(path.c_str());
+  VideoDatabase db;
+  db.dimension = 16;
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_videos(), 0u);
+  EXPECT_EQ(loaded->dimension, 16);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vitri::video

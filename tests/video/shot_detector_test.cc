@@ -1,0 +1,132 @@
+#include "video/shot_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/vec.h"
+#include "video/synthesizer.h"
+
+namespace vitri::video {
+namespace {
+
+using linalg::Vec;
+
+// A clip with hand-planted cuts: `shot_lengths` frames per shot, each
+// shot a distinct one-hot-ish histogram plus small noise.
+VideoSequence PlantedClip(const std::vector<size_t>& shot_lengths,
+                          uint64_t seed) {
+  Rng rng(seed);
+  VideoSequence clip;
+  size_t bin = 0;
+  for (size_t len : shot_lengths) {
+    Vec center(16, 0.01);
+    center[bin % 16] = 1.0;
+    double sum = 0.0;
+    for (double v : center) sum += v;
+    for (double& v : center) v /= sum;
+    bin += 5;  // Distinct dominant bin per shot.
+    for (size_t f = 0; f < len; ++f) {
+      Vec frame = center;
+      for (double& v : frame) {
+        v = std::max(0.0, v * (1.0 + rng.Gaussian(0.0, 0.02)));
+      }
+      double s = 0.0;
+      for (double v : frame) s += v;
+      for (double& v : frame) v /= s;
+      clip.frames.push_back(std::move(frame));
+    }
+  }
+  return clip;
+}
+
+TEST(ShotDetectorTest, RejectsEmptySequence) {
+  EXPECT_FALSE(DetectShots(VideoSequence{}).ok());
+}
+
+TEST(ShotDetectorTest, SingleFrameIsOneShot) {
+  VideoSequence clip;
+  clip.frames.push_back(Vec(8, 0.125));
+  auto shots = DetectShots(clip);
+  ASSERT_TRUE(shots.ok());
+  ASSERT_EQ(shots->size(), 1u);
+  EXPECT_EQ((*shots)[0].begin, 0u);
+  EXPECT_EQ((*shots)[0].end, 1u);
+}
+
+TEST(ShotDetectorTest, StaticClipIsOneShot) {
+  const VideoSequence clip = PlantedClip({80}, 1);
+  auto shots = DetectShots(clip);
+  ASSERT_TRUE(shots.ok());
+  EXPECT_EQ(shots->size(), 1u);
+}
+
+TEST(ShotDetectorTest, FindsPlantedCuts) {
+  const std::vector<size_t> lengths = {40, 25, 60, 35};
+  const VideoSequence clip = PlantedClip(lengths, 2);
+  auto shots = DetectShots(clip);
+  ASSERT_TRUE(shots.ok());
+  ASSERT_EQ(shots->size(), lengths.size());
+  size_t expected_begin = 0;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    EXPECT_EQ((*shots)[i].begin, expected_begin) << "shot " << i;
+    EXPECT_EQ((*shots)[i].length(), lengths[i]) << "shot " << i;
+    expected_begin += lengths[i];
+  }
+}
+
+TEST(ShotDetectorTest, ShotsPartitionTheSequence) {
+  video::VideoSynthesizer synth;
+  const VideoSequence clip = synth.GenerateClip(0, 20.0);
+  auto shots = DetectShots(clip);
+  ASSERT_TRUE(shots.ok());
+  size_t covered = 0;
+  size_t prev_end = 0;
+  for (const Shot& s : *shots) {
+    EXPECT_EQ(s.begin, prev_end);
+    EXPECT_GT(s.end, s.begin);
+    covered += s.length();
+    prev_end = s.end;
+  }
+  EXPECT_EQ(covered, clip.num_frames());
+}
+
+TEST(ShotDetectorTest, MinShotLengthSuppressesFlashes) {
+  // Two genuine shots with a 2-frame flash in the middle of the first.
+  VideoSequence clip = PlantedClip({50, 50}, 3);
+  Vec flash(16, 0.0);
+  flash[7] = 1.0;
+  clip.frames[20] = flash;
+  clip.frames[21] = flash;
+  ShotDetectorOptions options;
+  options.min_shot_frames = 10;
+  auto shots = DetectShots(clip, options);
+  ASSERT_TRUE(shots.ok());
+  // The flash adds at most a couple of short-suppressed boundaries; the
+  // count must stay near 2, never explode per flash frame.
+  EXPECT_LE(shots->size(), 4u);
+  EXPECT_GE(shots->size(), 2u);
+}
+
+TEST(ShotDetectorTest, SignatureMatchesShotLengths) {
+  const std::vector<size_t> lengths = {30, 45, 25};
+  const VideoSequence clip = PlantedClip(lengths, 4);
+  auto signature = ShotDurationSignature(clip);
+  ASSERT_TRUE(signature.ok());
+  ASSERT_EQ(signature->size(), 3u);
+  EXPECT_EQ((*signature)[0], 30u);
+  EXPECT_EQ((*signature)[1], 45u);
+  EXPECT_EQ((*signature)[2], 25u);
+}
+
+TEST(ShotDetectorTest, SyntheticClipHasPlausibleShotCount) {
+  video::VideoSynthesizer synth;
+  const VideoSequence clip = synth.GenerateClip(1, 30.0);
+  auto shots = DetectShots(clip);
+  ASSERT_TRUE(shots.ok());
+  // 30s of 1.5-4s shots: roughly 8-20 shots.
+  EXPECT_GE(shots->size(), 5u);
+  EXPECT_LE(shots->size(), 30u);
+}
+
+}  // namespace
+}  // namespace vitri::video

@@ -1,0 +1,170 @@
+#include "video/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/similarity.h"
+#include "video/feature_extractor.h"
+
+namespace vitri::video {
+namespace {
+
+TEST(SynthesizerTest, ClipHasExpectedFrameCount) {
+  VideoSynthesizer synth;
+  const VideoSequence clip = synth.GenerateClip(0, 10.0);
+  EXPECT_EQ(clip.num_frames(), 250u);  // 10s at 25 fps.
+  EXPECT_EQ(clip.id, 0u);
+}
+
+TEST(SynthesizerTest, FramesAreNormalizedHistograms) {
+  VideoSynthesizer synth;
+  const VideoSequence clip = synth.GenerateClip(1, 5.0);
+  for (const linalg::Vec& f : clip.frames) {
+    EXPECT_EQ(f.size(), 64u);
+    const double sum = std::accumulate(f.begin(), f.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (double v : f) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(SynthesizerTest, ConsecutiveFramesAreSimilar) {
+  VideoSynthesizer synth;
+  const VideoSequence clip = synth.GenerateClip(2, 8.0);
+  int close = 0;
+  for (size_t i = 1; i < clip.frames.size(); ++i) {
+    if (linalg::Distance(clip.frames[i - 1], clip.frames[i]) < 0.15) {
+      ++close;
+    }
+  }
+  // Almost all consecutive pairs are intra-shot and thus close.
+  EXPECT_GT(close, static_cast<int>(clip.frames.size() * 0.85));
+}
+
+TEST(SynthesizerTest, ClipContainsMultipleShots) {
+  VideoSynthesizer synth;
+  const VideoSequence clip = synth.GenerateClip(3, 30.0);
+  // At least some consecutive-frame jumps (shot boundaries) are large.
+  int jumps = 0;
+  for (size_t i = 1; i < clip.frames.size(); ++i) {
+    if (linalg::Distance(clip.frames[i - 1], clip.frames[i]) > 0.2) {
+      ++jumps;
+    }
+  }
+  EXPECT_GE(jumps, 3);
+}
+
+TEST(SynthesizerTest, DistinctClipsAreDissimilarWithoutReuse) {
+  SynthesizerOptions options;
+  options.shot_reuse_probability = 0.0;
+  VideoSynthesizer synth(options);
+  const VideoSequence a = synth.GenerateClip(4, 10.0);
+  const VideoSequence b = synth.GenerateClip(5, 10.0);
+  const double sim = core::ExactVideoSimilarity(a, b, 0.3);
+  EXPECT_LT(sim, 0.35);
+}
+
+TEST(SynthesizerTest, ShotReuseCreatesCrossVideoSimilarity) {
+  SynthesizerOptions options;
+  options.shot_reuse_probability = 0.8;
+  VideoSynthesizer synth(options);
+  // Generate several clips so the pool fills and reuse kicks in, then
+  // check that at least one later pair shares frames.
+  std::vector<VideoSequence> clips;
+  for (uint32_t i = 0; i < 6; ++i) {
+    clips.push_back(synth.GenerateClip(i, 10.0));
+  }
+  double best = 0.0;
+  for (size_t i = 0; i < clips.size(); ++i) {
+    for (size_t j = i + 1; j < clips.size(); ++j) {
+      best = std::max(best,
+                      core::ExactVideoSimilarity(clips[i], clips[j], 0.3));
+    }
+  }
+  EXPECT_GT(best, 0.2);
+  EXPECT_GT(synth.shot_pool_size(), 0u);
+}
+
+TEST(SynthesizerTest, NearDuplicateIsHighlySimilar) {
+  VideoSynthesizer synth;
+  const VideoSequence original = synth.GenerateClip(6, 10.0);
+  const VideoSequence dup = synth.MakeNearDuplicate(original, 7);
+  const double sim = core::ExactVideoSimilarity(original, dup, 0.3);
+  EXPECT_GT(sim, 0.8);
+}
+
+TEST(SynthesizerTest, NearDuplicateSubsamplesFrames) {
+  VideoSynthesizer synth;
+  const VideoSequence original = synth.GenerateClip(8, 20.0);
+  NearDuplicateOptions nd;
+  nd.keep_probability = 0.5;
+  const VideoSequence dup = synth.MakeNearDuplicate(original, 9, nd);
+  EXPECT_LT(dup.num_frames(), original.num_frames());
+  EXPECT_GT(dup.num_frames(), original.num_frames() / 4);
+}
+
+TEST(SynthesizerTest, DatabaseFollowsTable2Mix) {
+  VideoSynthesizer synth;
+  const VideoDatabase db = synth.GenerateDatabase(0.01);
+  // Paper ratios: 2934 : 2519 : 1134 at durations 30/15/10.
+  size_t n30 = 0, n15 = 0, n10 = 0;
+  for (const VideoSequence& v : db.videos) {
+    if (v.duration_seconds == 30.0) ++n30;
+    if (v.duration_seconds == 15.0) ++n15;
+    if (v.duration_seconds == 10.0) ++n10;
+  }
+  EXPECT_EQ(n30 + n15 + n10, db.num_videos());
+  EXPECT_GT(n30, n15);
+  EXPECT_GT(n15, n10);
+  EXPECT_EQ(db.dimension, 64);
+}
+
+TEST(SynthesizerTest, DatabaseIdsAreDense) {
+  VideoSynthesizer synth;
+  const VideoDatabase db = synth.GenerateDatabase(0.005);
+  for (size_t i = 0; i < db.videos.size(); ++i) {
+    EXPECT_EQ(db.videos[i].id, static_cast<uint32_t>(i));
+  }
+}
+
+TEST(SynthesizerTest, DeterministicForSeed) {
+  SynthesizerOptions options;
+  options.seed = 777;
+  VideoSynthesizer a(options);
+  VideoSynthesizer b(options);
+  const VideoSequence ca = a.GenerateClip(0, 5.0);
+  const VideoSequence cb = b.GenerateClip(0, 5.0);
+  ASSERT_EQ(ca.num_frames(), cb.num_frames());
+  for (size_t i = 0; i < ca.frames.size(); ++i) {
+    EXPECT_EQ(ca.frames[i], cb.frames[i]);
+  }
+}
+
+TEST(SynthesizerTest, ConfigurableDimension) {
+  SynthesizerOptions options;
+  options.dimension = 16;
+  VideoSynthesizer synth(options);
+  const VideoSequence clip = synth.GenerateClip(0, 3.0);
+  EXPECT_EQ(clip.frames[0].size(), 16u);
+}
+
+TEST(SynthesizerTest, RenderedShotFramesAreCoherent) {
+  VideoSynthesizer synth;
+  auto extractor = ColorHistogramExtractor::Create(2);
+  ASSERT_TRUE(extractor.ok());
+  const Image f0 = synth.RenderShotFrame(1234, 0, 64, 48);
+  const Image f1 = synth.RenderShotFrame(1234, 1, 64, 48);
+  const Image other = synth.RenderShotFrame(5678, 0, 64, 48);
+  auto h0 = extractor->Extract(f0);
+  auto h1 = extractor->Extract(f1);
+  auto ho = extractor->Extract(other);
+  ASSERT_TRUE(h0.ok() && h1.ok() && ho.ok());
+  const double intra = linalg::Distance(*h0, *h1);
+  const double inter = linalg::Distance(*h0, *ho);
+  EXPECT_LT(intra, 0.2);
+  EXPECT_GT(inter, intra);
+}
+
+}  // namespace
+}  // namespace vitri::video

@@ -1,0 +1,208 @@
+// vitri — command-line front end of the library.
+//
+//   vitri generate  --out db.vvdb [--scale 0.01] [--dim 64] [--seed N]
+//   vitri summarize --db db.vvdb --out summary.vsnp [--epsilon 0.15]
+//   vitri stats     --summary summary.vsnp
+//   vitri query     --db db.vvdb --summary summary.vsnp --video ID
+//                   [--k 10] [--epsilon 0.15] [--method composed|naive]
+//
+// `generate` writes a synthetic TV-ad database; `summarize` builds the
+// ViTri snapshot; `query` indexes the snapshot and searches with a
+// near-duplicate of the named database video.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/ground_truth.h"
+#include "core/index.h"
+#include "core/snapshot.h"
+#include "core/vitri_builder.h"
+#include "video/serialization.h"
+#include "video/synthesizer.h"
+
+namespace {
+
+using namespace vitri;
+
+// Tiny flag parser: --name value pairs after the subcommand.
+struct Args {
+  int argc;
+  char** argv;
+
+  const char* Get(const char* name, const char* fallback) const {
+    for (int i = 0; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+    }
+    return fallback;
+  }
+  double GetDouble(const char* name, double fallback) const {
+    const char* v = Get(name, nullptr);
+    return v != nullptr ? std::atof(v) : fallback;
+  }
+  long GetLong(const char* name, long fallback) const {
+    const char* v = Get(name, nullptr);
+    return v != nullptr ? std::atol(v) : fallback;
+  }
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const char* out = args.Get("--out", nullptr);
+  if (out == nullptr) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  video::SynthesizerOptions so;
+  so.dimension = static_cast<int>(args.GetLong("--dim", 64));
+  so.seed = static_cast<uint64_t>(args.GetLong("--seed", 2005));
+  video::VideoSynthesizer synth(so);
+  const video::VideoDatabase db =
+      synth.GenerateDatabase(args.GetDouble("--scale", 0.01));
+  const Status s = video::SaveDatabase(db, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu videos (%zu frames, dim %d) to %s\n",
+              db.num_videos(), db.total_frames(), db.dimension, out);
+  return 0;
+}
+
+int CmdSummarize(const Args& args) {
+  const char* db_path = args.Get("--db", nullptr);
+  const char* out = args.Get("--out", nullptr);
+  if (db_path == nullptr || out == nullptr) {
+    std::fprintf(stderr, "summarize: --db and --out are required\n");
+    return 2;
+  }
+  auto db = video::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = args.GetDouble("--epsilon", 0.15);
+  core::ViTriBuilder builder(bo);
+  auto set = builder.BuildDatabase(*db);
+  if (!set.ok()) return Fail(set.status());
+  const Status s = core::SaveViTriSet(*set, out);
+  if (!s.ok()) return Fail(s);
+  const auto stats = core::ViTriBuilder::Summarize(*set, bo.epsilon);
+  std::printf("wrote %zu ViTris (avg cluster %.1f frames, epsilon %.2f) "
+              "to %s\n",
+              stats.num_clusters, stats.average_cluster_size, bo.epsilon,
+              out);
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  const char* snapshot = args.Get("--summary", nullptr);
+  if (snapshot == nullptr) {
+    std::fprintf(stderr, "stats: --summary is required\n");
+    return 2;
+  }
+  auto set = core::LoadViTriSet(snapshot);
+  if (!set.ok()) return Fail(set.status());
+  double total_frames = 0.0;
+  double total_radius = 0.0;
+  uint32_t max_size = 0;
+  for (const core::ViTri& v : set->vitris) {
+    total_frames += v.cluster_size;
+    total_radius += v.radius;
+    max_size = std::max(max_size, v.cluster_size);
+  }
+  std::printf("snapshot: %zu ViTris over %zu videos, dim %d\n",
+              set->size(), set->frame_counts.size(), set->dimension);
+  std::printf("frames summarized: %.0f (avg cluster %.1f, largest %u)\n",
+              total_frames,
+              total_frames / static_cast<double>(set->size()), max_size);
+  std::printf("average radius: %.4f\n",
+              total_radius / static_cast<double>(set->size()));
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  const char* db_path = args.Get("--db", nullptr);
+  const char* snapshot = args.Get("--summary", nullptr);
+  const char* video_str = args.Get("--video", nullptr);
+  if (db_path == nullptr || snapshot == nullptr || video_str == nullptr) {
+    std::fprintf(stderr,
+                 "query: --db, --summary and --video are required\n");
+    return 2;
+  }
+  auto db = video::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+  const uint32_t target = static_cast<uint32_t>(std::atol(video_str));
+  if (target >= db->num_videos()) {
+    std::fprintf(stderr, "query: video %u out of range (0..%zu)\n",
+                 target, db->num_videos() - 1);
+    return 2;
+  }
+
+  core::ViTriIndexOptions io;
+  io.epsilon = args.GetDouble("--epsilon", 0.15);
+  io.dimension = db->dimension;
+  auto index = core::LoadIndexSnapshot(snapshot, io);
+  if (!index.ok()) return Fail(index.status());
+
+  video::VideoSynthesizer synth;
+  const video::VideoSequence query =
+      synth.MakeNearDuplicate(db->videos[target], 1u << 30);
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = io.epsilon;
+  core::ViTriBuilder builder(bo);
+  auto summary = builder.Build(query);
+  if (!summary.ok()) return Fail(summary.status());
+
+  const core::KnnMethod method =
+      std::strcmp(args.Get("--method", "composed"), "naive") == 0
+          ? core::KnnMethod::kNaive
+          : core::KnnMethod::kComposed;
+  core::QueryCosts costs;
+  auto results = index->Knn(
+      *summary, static_cast<uint32_t>(query.num_frames()),
+      static_cast<size_t>(args.GetLong("--k", 10)), method, &costs);
+  if (!results.ok()) return Fail(results.status());
+
+  std::printf("query: near-duplicate of video %u (%zu frames, %zu "
+              "ViTris)\n",
+              target, query.num_frames(), summary->size());
+  for (const core::VideoMatch& m : *results) {
+    std::printf("  video %-6u similarity %.4f%s\n", m.video_id,
+                m.similarity, m.video_id == target ? "   <-- source" : "");
+  }
+  std::printf("cost: %llu page accesses, %llu candidates, %llu "
+              "similarity evals, %.2f ms\n",
+              static_cast<unsigned long long>(costs.page_accesses),
+              static_cast<unsigned long long>(costs.candidates),
+              static_cast<unsigned long long>(costs.similarity_evals),
+              costs.cpu_seconds * 1e3);
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: vitri <generate|summarize|stats|query> [flags]\n"
+               "  generate  --out db.vvdb [--scale S] [--dim N] [--seed X]\n"
+               "  summarize --db db.vvdb --out s.vsnp [--epsilon E]\n"
+               "  stats     --summary s.vsnp\n"
+               "  query     --db db.vvdb --summary s.vsnp --video ID\n"
+               "            [--k K] [--epsilon E] [--method composed|naive]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const Args args{argc - 2, argv + 2};
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "summarize") return CmdSummarize(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "query") return CmdQuery(args);
+  Usage();
+  return 2;
+}
