@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cap_method.dir/ablation_cap_method.cc.o"
+  "CMakeFiles/ablation_cap_method.dir/ablation_cap_method.cc.o.d"
+  "ablation_cap_method"
+  "ablation_cap_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cap_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

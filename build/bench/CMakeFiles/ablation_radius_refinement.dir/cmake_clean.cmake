@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_radius_refinement.dir/ablation_radius_refinement.cc.o"
+  "CMakeFiles/ablation_radius_refinement.dir/ablation_radius_refinement.cc.o.d"
+  "ablation_radius_refinement"
+  "ablation_radius_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radius_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_precision_vs_epsilon.dir/fig14_precision_vs_epsilon.cc.o"
+  "CMakeFiles/fig14_precision_vs_epsilon.dir/fig14_precision_vs_epsilon.cc.o.d"
+  "fig14_precision_vs_epsilon"
+  "fig14_precision_vs_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_precision_vs_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

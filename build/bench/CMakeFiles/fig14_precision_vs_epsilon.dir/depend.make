@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_precision_vs_epsilon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_precision_vs_k.dir/fig15_precision_vs_k.cc.o"
+  "CMakeFiles/fig15_precision_vs_k.dir/fig15_precision_vs_k.cc.o.d"
+  "fig15_precision_vs_k"
+  "fig15_precision_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_precision_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_precision_vs_k.
+# This may be replaced when dependencies are built.

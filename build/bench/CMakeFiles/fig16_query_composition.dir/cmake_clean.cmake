@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_query_composition.dir/fig16_query_composition.cc.o"
+  "CMakeFiles/fig16_query_composition.dir/fig16_query_composition.cc.o.d"
+  "fig16_query_composition"
+  "fig16_query_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_query_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

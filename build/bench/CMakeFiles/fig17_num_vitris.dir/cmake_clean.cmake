@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_num_vitris.dir/fig17_num_vitris.cc.o"
+  "CMakeFiles/fig17_num_vitris.dir/fig17_num_vitris.cc.o.d"
+  "fig17_num_vitris"
+  "fig17_num_vitris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_num_vitris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

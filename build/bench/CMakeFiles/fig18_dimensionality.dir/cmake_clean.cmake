@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_dimensionality.dir/fig18_dimensionality.cc.o"
+  "CMakeFiles/fig18_dimensionality.dir/fig18_dimensionality.cc.o.d"
+  "fig18_dimensionality"
+  "fig18_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

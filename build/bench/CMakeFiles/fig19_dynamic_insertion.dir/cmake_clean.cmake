@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_dynamic_insertion.dir/fig19_dynamic_insertion.cc.o"
+  "CMakeFiles/fig19_dynamic_insertion.dir/fig19_dynamic_insertion.cc.o.d"
+  "fig19_dynamic_insertion"
+  "fig19_dynamic_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_dynamic_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_clustering.dir/micro_clustering.cc.o"
+  "CMakeFiles/micro_clustering.dir/micro_clustering.cc.o.d"
+  "micro_clustering"
+  "micro_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

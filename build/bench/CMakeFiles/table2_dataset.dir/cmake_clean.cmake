@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dataset.dir/table2_dataset.cc.o"
+  "CMakeFiles/table2_dataset.dir/table2_dataset.cc.o.d"
+  "table2_dataset"
+  "table2_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_summary.cc" "bench/CMakeFiles/table3_summary.dir/table3_summary.cc.o" "gcc" "bench/CMakeFiles/table3_summary.dir/table3_summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/vitri_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vitri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vitri_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vitri_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/vitri_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vitri_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vitri_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vitri_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vitri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_bench_common.dir/harness/bench_common.cc.o"
+  "CMakeFiles/vitri_bench_common.dir/harness/bench_common.cc.o.d"
+  "libvitri_bench_common.a"
+  "libvitri_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

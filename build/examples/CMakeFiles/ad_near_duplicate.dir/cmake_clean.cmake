@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_near_duplicate.dir/ad_near_duplicate.cpp.o"
+  "CMakeFiles/ad_near_duplicate.dir/ad_near_duplicate.cpp.o.d"
+  "ad_near_duplicate"
+  "ad_near_duplicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_near_duplicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

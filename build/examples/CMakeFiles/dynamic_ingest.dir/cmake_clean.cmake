@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_ingest.dir/dynamic_ingest.cpp.o"
+  "CMakeFiles/dynamic_ingest.dir/dynamic_ingest.cpp.o.d"
+  "dynamic_ingest"
+  "dynamic_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tour.dir/storage_tour.cpp.o"
+  "CMakeFiles/storage_tour.dir/storage_tour.cpp.o.d"
+  "storage_tour"
+  "storage_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

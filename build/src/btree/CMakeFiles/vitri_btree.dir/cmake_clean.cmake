@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_btree.dir/bplus_tree.cc.o"
+  "CMakeFiles/vitri_btree.dir/bplus_tree.cc.o.d"
+  "libvitri_btree.a"
+  "libvitri_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

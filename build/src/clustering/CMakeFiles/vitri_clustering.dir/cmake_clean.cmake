@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_clustering.dir/cluster_generator.cc.o"
+  "CMakeFiles/vitri_clustering.dir/cluster_generator.cc.o.d"
+  "CMakeFiles/vitri_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/vitri_clustering.dir/kmeans.cc.o.d"
+  "libvitri_clustering.a"
+  "libvitri_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_common.dir/logging.cc.o"
+  "CMakeFiles/vitri_common.dir/logging.cc.o.d"
+  "CMakeFiles/vitri_common.dir/status.cc.o"
+  "CMakeFiles/vitri_common.dir/status.cc.o.d"
+  "libvitri_common.a"
+  "libvitri_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

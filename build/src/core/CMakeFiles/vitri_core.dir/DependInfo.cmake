@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alt_measures.cc" "src/core/CMakeFiles/vitri_core.dir/alt_measures.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/alt_measures.cc.o.d"
+  "/root/repo/src/core/ground_truth.cc" "src/core/CMakeFiles/vitri_core.dir/ground_truth.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/ground_truth.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/vitri_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/index.cc.o.d"
+  "/root/repo/src/core/keyframe_baseline.cc" "src/core/CMakeFiles/vitri_core.dir/keyframe_baseline.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/keyframe_baseline.cc.o.d"
+  "/root/repo/src/core/pyramid.cc" "src/core/CMakeFiles/vitri_core.dir/pyramid.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/pyramid.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/vitri_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/vitri_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/core/CMakeFiles/vitri_core.dir/transform.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/transform.cc.o.d"
+  "/root/repo/src/core/vitri.cc" "src/core/CMakeFiles/vitri_core.dir/vitri.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/vitri.cc.o.d"
+  "/root/repo/src/core/vitri_builder.cc" "src/core/CMakeFiles/vitri_core.dir/vitri_builder.cc.o" "gcc" "src/core/CMakeFiles/vitri_core.dir/vitri_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vitri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vitri_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vitri_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vitri_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vitri_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/vitri_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vitri_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_core.dir/alt_measures.cc.o"
+  "CMakeFiles/vitri_core.dir/alt_measures.cc.o.d"
+  "CMakeFiles/vitri_core.dir/ground_truth.cc.o"
+  "CMakeFiles/vitri_core.dir/ground_truth.cc.o.d"
+  "CMakeFiles/vitri_core.dir/index.cc.o"
+  "CMakeFiles/vitri_core.dir/index.cc.o.d"
+  "CMakeFiles/vitri_core.dir/keyframe_baseline.cc.o"
+  "CMakeFiles/vitri_core.dir/keyframe_baseline.cc.o.d"
+  "CMakeFiles/vitri_core.dir/pyramid.cc.o"
+  "CMakeFiles/vitri_core.dir/pyramid.cc.o.d"
+  "CMakeFiles/vitri_core.dir/similarity.cc.o"
+  "CMakeFiles/vitri_core.dir/similarity.cc.o.d"
+  "CMakeFiles/vitri_core.dir/snapshot.cc.o"
+  "CMakeFiles/vitri_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/vitri_core.dir/transform.cc.o"
+  "CMakeFiles/vitri_core.dir/transform.cc.o.d"
+  "CMakeFiles/vitri_core.dir/vitri.cc.o"
+  "CMakeFiles/vitri_core.dir/vitri.cc.o.d"
+  "CMakeFiles/vitri_core.dir/vitri_builder.cc.o"
+  "CMakeFiles/vitri_core.dir/vitri_builder.cc.o.d"
+  "libvitri_core.a"
+  "libvitri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

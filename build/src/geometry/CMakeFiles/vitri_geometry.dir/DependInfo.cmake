@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/hypersphere.cc" "src/geometry/CMakeFiles/vitri_geometry.dir/hypersphere.cc.o" "gcc" "src/geometry/CMakeFiles/vitri_geometry.dir/hypersphere.cc.o.d"
+  "/root/repo/src/geometry/paper_series.cc" "src/geometry/CMakeFiles/vitri_geometry.dir/paper_series.cc.o" "gcc" "src/geometry/CMakeFiles/vitri_geometry.dir/paper_series.cc.o.d"
+  "/root/repo/src/geometry/special_functions.cc" "src/geometry/CMakeFiles/vitri_geometry.dir/special_functions.cc.o" "gcc" "src/geometry/CMakeFiles/vitri_geometry.dir/special_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vitri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_geometry.dir/hypersphere.cc.o"
+  "CMakeFiles/vitri_geometry.dir/hypersphere.cc.o.d"
+  "CMakeFiles/vitri_geometry.dir/paper_series.cc.o"
+  "CMakeFiles/vitri_geometry.dir/paper_series.cc.o.d"
+  "CMakeFiles/vitri_geometry.dir/special_functions.cc.o"
+  "CMakeFiles/vitri_geometry.dir/special_functions.cc.o.d"
+  "libvitri_geometry.a"
+  "libvitri_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_linalg.dir/eigen.cc.o"
+  "CMakeFiles/vitri_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/vitri_linalg.dir/matrix.cc.o"
+  "CMakeFiles/vitri_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/vitri_linalg.dir/pca.cc.o"
+  "CMakeFiles/vitri_linalg.dir/pca.cc.o.d"
+  "CMakeFiles/vitri_linalg.dir/vec.cc.o"
+  "CMakeFiles/vitri_linalg.dir/vec.cc.o.d"
+  "libvitri_linalg.a"
+  "libvitri_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

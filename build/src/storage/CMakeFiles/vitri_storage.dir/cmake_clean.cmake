@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/vitri_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/vitri_storage.dir/io_stats.cc.o"
+  "CMakeFiles/vitri_storage.dir/io_stats.cc.o.d"
+  "CMakeFiles/vitri_storage.dir/pager.cc.o"
+  "CMakeFiles/vitri_storage.dir/pager.cc.o.d"
+  "libvitri_storage.a"
+  "libvitri_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvitri_storage.a"
+)

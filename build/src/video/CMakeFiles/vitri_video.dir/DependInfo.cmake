@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/feature_extractor.cc" "src/video/CMakeFiles/vitri_video.dir/feature_extractor.cc.o" "gcc" "src/video/CMakeFiles/vitri_video.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/video/serialization.cc" "src/video/CMakeFiles/vitri_video.dir/serialization.cc.o" "gcc" "src/video/CMakeFiles/vitri_video.dir/serialization.cc.o.d"
+  "/root/repo/src/video/shot_detector.cc" "src/video/CMakeFiles/vitri_video.dir/shot_detector.cc.o" "gcc" "src/video/CMakeFiles/vitri_video.dir/shot_detector.cc.o.d"
+  "/root/repo/src/video/synthesizer.cc" "src/video/CMakeFiles/vitri_video.dir/synthesizer.cc.o" "gcc" "src/video/CMakeFiles/vitri_video.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vitri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vitri_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

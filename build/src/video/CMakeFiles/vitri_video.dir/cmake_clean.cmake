@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_video.dir/feature_extractor.cc.o"
+  "CMakeFiles/vitri_video.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/vitri_video.dir/serialization.cc.o"
+  "CMakeFiles/vitri_video.dir/serialization.cc.o.d"
+  "CMakeFiles/vitri_video.dir/shot_detector.cc.o"
+  "CMakeFiles/vitri_video.dir/shot_detector.cc.o.d"
+  "CMakeFiles/vitri_video.dir/synthesizer.cc.o"
+  "CMakeFiles/vitri_video.dir/synthesizer.cc.o.d"
+  "libvitri_video.a"
+  "libvitri_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

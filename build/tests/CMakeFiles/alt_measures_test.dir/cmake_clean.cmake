@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_measures_test.dir/core/alt_measures_test.cc.o"
+  "CMakeFiles/alt_measures_test.dir/core/alt_measures_test.cc.o.d"
+  "alt_measures_test"
+  "alt_measures_test.pdb"
+  "alt_measures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

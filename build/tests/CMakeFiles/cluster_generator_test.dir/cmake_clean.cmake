@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_generator_test.dir/clustering/cluster_generator_test.cc.o"
+  "CMakeFiles/cluster_generator_test.dir/clustering/cluster_generator_test.cc.o.d"
+  "cluster_generator_test"
+  "cluster_generator_test.pdb"
+  "cluster_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/end_to_end_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/end_to_end_test.dir/integration/end_to_end_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vitri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vitri_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vitri_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/vitri_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vitri_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vitri_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vitri_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vitri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

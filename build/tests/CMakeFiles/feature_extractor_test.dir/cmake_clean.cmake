@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_extractor_test.dir/video/feature_extractor_test.cc.o"
+  "CMakeFiles/feature_extractor_test.dir/video/feature_extractor_test.cc.o.d"
+  "feature_extractor_test"
+  "feature_extractor_test.pdb"
+  "feature_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

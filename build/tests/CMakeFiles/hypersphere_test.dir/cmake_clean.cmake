@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersphere_test.dir/geometry/hypersphere_test.cc.o"
+  "CMakeFiles/hypersphere_test.dir/geometry/hypersphere_test.cc.o.d"
+  "hypersphere_test"
+  "hypersphere_test.pdb"
+  "hypersphere_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersphere_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyframe_baseline_test.dir/core/keyframe_baseline_test.cc.o"
+  "CMakeFiles/keyframe_baseline_test.dir/core/keyframe_baseline_test.cc.o.d"
+  "keyframe_baseline_test"
+  "keyframe_baseline_test.pdb"
+  "keyframe_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyframe_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_series_test.dir/geometry/paper_series_test.cc.o"
+  "CMakeFiles/paper_series_test.dir/geometry/paper_series_test.cc.o.d"
+  "paper_series_test"
+  "paper_series_test.pdb"
+  "paper_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

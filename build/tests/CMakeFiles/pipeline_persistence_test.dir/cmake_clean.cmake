@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_persistence_test.dir/integration/pipeline_persistence_test.cc.o"
+  "CMakeFiles/pipeline_persistence_test.dir/integration/pipeline_persistence_test.cc.o.d"
+  "pipeline_persistence_test"
+  "pipeline_persistence_test.pdb"
+  "pipeline_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_builder_test.dir/core/vitri_builder_test.cc.o"
+  "CMakeFiles/vitri_builder_test.dir/core/vitri_builder_test.cc.o.d"
+  "vitri_builder_test"
+  "vitri_builder_test.pdb"
+  "vitri_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri_test.dir/core/vitri_test.cc.o"
+  "CMakeFiles/vitri_test.dir/core/vitri_test.cc.o.d"
+  "vitri_test"
+  "vitri_test.pdb"
+  "vitri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[PipelinePersistenceTest.DiskRoundTripMatchesInMemory]=]  /root/repo/build/tests/pipeline_persistence_test [==[--gtest_filter=PipelinePersistenceTest.DiskRoundTripMatchesInMemory]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelinePersistenceTest.DiskRoundTripMatchesInMemory]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  pipeline_persistence_test_TESTS PipelinePersistenceTest.DiskRoundTripMatchesInMemory)

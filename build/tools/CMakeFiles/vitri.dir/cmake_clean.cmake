@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitri.dir/vitri_cli.cc.o"
+  "CMakeFiles/vitri.dir/vitri_cli.cc.o.d"
+  "vitri"
+  "vitri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

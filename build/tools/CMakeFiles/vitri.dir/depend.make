@@ -1,0 +1,2 @@
+# Empty dependencies file for vitri.
+# This may be replaced when dependencies are built.
