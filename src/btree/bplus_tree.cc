@@ -38,7 +38,9 @@ namespace {
 // Free node: [0] u8 type=3, [4] u32 next-free.
 
 constexpr uint32_t kMagic = 0x56495452;  // 'VITR'
-constexpr uint32_t kVersion = 1;
+// Version 2: the last storage::kPageFooterSize bytes of every page are
+// reserved for the integrity footer, shrinking node capacities.
+constexpr uint32_t kVersion = 2;
 constexpr uint8_t kLeafType = 1;
 constexpr uint8_t kInternalType = 2;
 constexpr uint8_t kFreeType = 3;
@@ -214,9 +216,13 @@ struct BPlusTree::DeleteResult {
 
 Result<BPlusTree> BPlusTree::Create(BufferPool* pool, uint32_t value_size) {
   const size_t page_size = pool->pager()->page_size();
+  if (page_size < storage::kPageFooterSize + kLeafHeader) {
+    return Status::InvalidArgument("page size too small for a node");
+  }
+  const size_t usable = page_size - storage::kPageFooterSize;
   const size_t leaf_entry = 16 + value_size;
-  const size_t leaf_cap = (page_size - kLeafHeader) / leaf_entry;
-  const size_t internal_cap = (page_size - kInternalHeader) / kInternalEntry;
+  const size_t leaf_cap = (usable - kLeafHeader) / leaf_entry;
+  const size_t internal_cap = (usable - kInternalHeader) / kInternalEntry;
   if (leaf_cap < 2 || internal_cap < 3) {
     return Status::InvalidArgument(
         "value_size too large for the page size (need >=2 leaf entries)");
@@ -278,11 +284,12 @@ Status BPlusTree::LoadMeta() {
   first_leaf_ = DecodeU32(p + kMetaFirstLeaf);
   num_entries_ = DecodeU64(p + kMetaNumEntries);
   free_head_ = DecodeU32(p + kMetaFreeHead);
-  const size_t page_size = pool_->pager()->page_size();
+  const size_t usable =
+      pool_->pager()->page_size() - storage::kPageFooterSize;
   leaf_capacity_ =
-      static_cast<uint32_t>((page_size - kLeafHeader) / (16 + value_size_));
+      static_cast<uint32_t>((usable - kLeafHeader) / (16 + value_size_));
   internal_capacity_ =
-      static_cast<uint32_t>((page_size - kInternalHeader) / kInternalEntry);
+      static_cast<uint32_t>((usable - kInternalHeader) / kInternalEntry);
   return Status::OK();
 }
 

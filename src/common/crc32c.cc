@@ -1,0 +1,54 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace vitri {
+namespace {
+
+// Slicing-by-4: four 256-entry tables; table[0] is the classic
+// byte-at-a-time table, table[k] advances a byte that sits k positions
+// earlier in the stream. Generated at compile time.
+constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected.
+
+constexpr std::array<std::array<uint32_t, 256>, 4> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int k = 1; k < 4; ++k) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+    }
+  }
+  return t;
+}
+
+constexpr auto kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  uint32_t c = crc ^ 0xffffffffu;
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(data[0]) |
+         (static_cast<uint32_t>(data[1]) << 8) |
+         (static_cast<uint32_t>(data[2]) << 16) |
+         (static_cast<uint32_t>(data[3]) << 24);
+    c = kTables[3][c & 0xffu] ^ kTables[2][(c >> 8) & 0xffu] ^
+        kTables[1][(c >> 16) & 0xffu] ^ kTables[0][c >> 24];
+    data += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    c = (c >> 8) ^ kTables[0][(c ^ *data) & 0xffu];
+    ++data;
+    --n;
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace vitri

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/similarity.h"
+#include "storage/retry_pager.h"
 
 namespace vitri::core {
 
@@ -47,9 +49,25 @@ Status ViTriIndex::LoadTree() {
   tree_.reset();
   pool_.reset();
   pager_.reset();
-  pager_ = std::make_unique<MemPager>(options_.page_size);
+  if (options_.pager_factory) {
+    pager_ = options_.pager_factory(options_.page_size);
+    if (pager_ == nullptr) {
+      return Status::InvalidArgument("pager_factory returned null");
+    }
+    if (pager_->page_size() != options_.page_size) {
+      return Status::InvalidArgument(
+          "pager_factory page size disagrees with options.page_size");
+    }
+  } else {
+    pager_ = std::make_unique<MemPager>(options_.page_size);
+  }
   pool_ = std::make_unique<BufferPool>(pager_.get(),
                                        options_.buffer_pool_pages);
+  // Mirror transient-error retries into the pool's IoStats so query
+  // cost reporting surfaces them.
+  if (auto* retrying = dynamic_cast<storage::RetryingPager*>(pager_.get())) {
+    retrying->set_stats_sink(pool_->mutable_stats());
+  }
   VITRI_ASSIGN_OR_RETURN(
       BPlusTree tree,
       BPlusTree::Create(pool_.get(),
@@ -130,6 +148,94 @@ Result<std::vector<VideoMatch>> ViTriIndex::RankResults(
   return matches;
 }
 
+Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
+                               const std::vector<RangeSpec>& ranges,
+                               KnnMethod method,
+                               std::vector<double>* shared,
+                               QueryCosts* costs) {
+  // Evaluates `record` against one query ViTri, accumulating shared
+  // frame estimates.
+  auto evaluate = [&](const ViTri& candidate, size_t query_index) {
+    ++costs->similarity_evals;
+    const double est =
+        EstimatedSharedFrames(query[query_index], candidate);
+    if (est > 0.0 && candidate.video_id < shared->size()) {
+      (*shared)[candidate.video_id] += est;
+    }
+  };
+
+  if (method == KnnMethod::kNaive) {
+    // One range search per query ViTri; candidates in overlapping
+    // ranges are re-read and re-evaluated (the paper's naive method).
+    for (const RangeSpec& r : ranges) {
+      ++costs->range_searches;
+      auto scan_result = tree_->RangeScan(
+          r.lo, r.hi,
+          [&](double /*key*/, uint64_t /*rid*/,
+              std::span<const uint8_t> value) {
+            ++costs->candidates;
+            auto candidate =
+                ViTri::Deserialize(value, options_.dimension);
+            if (candidate.ok()) evaluate(*candidate, r.query_index);
+            return true;
+          });
+      VITRI_RETURN_IF_ERROR(scan_result.status());
+    }
+    return Status::OK();
+  }
+
+  // Query composition: merge overlapping ranges, then evaluate each
+  // scanned record against every query ViTri whose range covers it.
+  std::vector<RangeSpec> sorted = ranges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RangeSpec& a, const RangeSpec& b) {
+              return a.lo < b.lo;
+            });
+  std::vector<RangeSpec> merged;
+  for (const RangeSpec& r : sorted) {
+    if (!merged.empty() && r.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  for (const RangeSpec& m : merged) {
+    ++costs->range_searches;
+    auto scan_result = tree_->RangeScan(
+        m.lo, m.hi,
+        [&](double key, uint64_t /*rid*/,
+            std::span<const uint8_t> value) {
+          ++costs->candidates;
+          auto candidate =
+              ViTri::Deserialize(value, options_.dimension);
+          if (!candidate.ok()) return true;
+          for (const RangeSpec& r : ranges) {
+            if (key >= r.lo && key <= r.hi) {
+              evaluate(*candidate, r.query_index);
+            }
+          }
+          return true;
+        });
+    VITRI_RETURN_IF_ERROR(scan_result.status());
+  }
+  return Status::OK();
+}
+
+void ViTriIndex::EvaluateInMemory(const std::vector<ViTri>& query,
+                                  std::vector<double>* shared,
+                                  QueryCosts* costs) const {
+  for (const ViTri& candidate : vitris_) {
+    ++costs->candidates;
+    for (const ViTri& q : query) {
+      ++costs->similarity_evals;
+      const double est = EstimatedSharedFrames(q, candidate);
+      if (est > 0.0 && candidate.video_id < shared->size()) {
+        (*shared)[candidate.video_id] += est;
+      }
+    }
+  }
+}
+
 Result<std::vector<VideoMatch>> ViTriIndex::Knn(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
     KnnMethod method, QueryCosts* costs) {
@@ -144,70 +250,20 @@ Result<std::vector<VideoMatch>> ViTriIndex::Knn(
   std::vector<RangeSpec> ranges = MakeRanges(query);
 
   std::vector<double> shared(frame_counts_.size(), 0.0);
-
-  // Evaluates `record` against one query ViTri, accumulating shared
-  // frame estimates.
-  auto evaluate = [&](const ViTri& candidate, size_t query_index) {
-    ++local.similarity_evals;
-    const double est =
-        EstimatedSharedFrames(query[query_index], candidate);
-    if (est > 0.0 && candidate.video_id < shared.size()) {
-      shared[candidate.video_id] += est;
-    }
-  };
-
-  if (method == KnnMethod::kNaive) {
-    // One range search per query ViTri; candidates in overlapping
-    // ranges are re-read and re-evaluated (the paper's naive method).
-    for (const RangeSpec& r : ranges) {
-      ++local.range_searches;
-      auto scan_result = tree_->RangeScan(
-          r.lo, r.hi,
-          [&](double /*key*/, uint64_t /*rid*/,
-              std::span<const uint8_t> value) {
-            ++local.candidates;
-            auto candidate =
-                ViTri::Deserialize(value, options_.dimension);
-            if (candidate.ok()) evaluate(*candidate, r.query_index);
-            return true;
-          });
-      VITRI_RETURN_IF_ERROR(scan_result.status());
-    }
-  } else {
-    // Query composition: merge overlapping ranges, then evaluate each
-    // scanned record against every query ViTri whose range covers it.
-    std::vector<RangeSpec> sorted = ranges;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const RangeSpec& a, const RangeSpec& b) {
-                return a.lo < b.lo;
-              });
-    std::vector<RangeSpec> merged;
-    for (const RangeSpec& r : sorted) {
-      if (!merged.empty() && r.lo <= merged.back().hi) {
-        merged.back().hi = std::max(merged.back().hi, r.hi);
-      } else {
-        merged.push_back(r);
-      }
-    }
-    for (const RangeSpec& m : merged) {
-      ++local.range_searches;
-      auto scan_result = tree_->RangeScan(
-          m.lo, m.hi,
-          [&](double key, uint64_t /*rid*/,
-              std::span<const uint8_t> value) {
-            ++local.candidates;
-            auto candidate =
-                ViTri::Deserialize(value, options_.dimension);
-            if (!candidate.ok()) return true;
-            for (const RangeSpec& r : ranges) {
-              if (key >= r.lo && key <= r.hi) {
-                evaluate(*candidate, r.query_index);
-              }
-            }
-            return true;
-          });
-      VITRI_RETURN_IF_ERROR(scan_result.status());
-    }
+  const Status scan = KnnScanTree(query, ranges, method, &shared, &local);
+  if (scan.IsCorruption()) {
+    // The tree hit a quarantined page. Serve the query from the
+    // in-memory copy: same answer (the key ranges only ever *prune*
+    // zero-contribution candidates), no index acceleration.
+    VITRI_LOG(kWarn) << "Knn degraded to in-memory evaluation: "
+                        << scan.ToString();
+    local.degraded = true;
+    local.candidates = 0;
+    local.similarity_evals = 0;
+    std::fill(shared.begin(), shared.end(), 0.0);
+    EvaluateInMemory(query, &shared, &local);
+  } else if (!scan.ok()) {
+    return scan;
   }
 
   auto result = RankResults(shared, query_frames, k);
@@ -248,7 +304,18 @@ Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
         }
         return true;
       });
-  VITRI_RETURN_IF_ERROR(scan_result.status());
+  if (scan_result.status().IsCorruption()) {
+    VITRI_LOG(kWarn)
+        << "SequentialScan degraded to in-memory evaluation: "
+        << scan_result.status().ToString();
+    local.degraded = true;
+    local.candidates = 0;
+    local.similarity_evals = 0;
+    std::fill(shared.begin(), shared.end(), 0.0);
+    EvaluateInMemory(query, &shared, &local);
+  } else {
+    VITRI_RETURN_IF_ERROR(scan_result.status());
+  }
 
   auto result = RankResults(shared, query_frames, k);
   const IoStats delta = pool_->stats() - before;
@@ -295,7 +362,24 @@ Result<std::vector<VideoMatch>> ViTriIndex::FrameSearch(
         }
         return true;
       });
-  VITRI_RETURN_IF_ERROR(scan.status());
+  if (scan.status().IsCorruption()) {
+    VITRI_LOG(kWarn) << "FrameSearch degraded to in-memory evaluation: "
+                        << scan.status().ToString();
+    local.degraded = true;
+    local.candidates = 0;
+    local.similarity_evals = 0;
+    std::fill(matches_by_video.begin(), matches_by_video.end(), 0.0);
+    for (const ViTri& candidate : vitris_) {
+      ++local.candidates;
+      ++local.similarity_evals;
+      const double est = EstimatedMatchingFrames(frame, epsilon, candidate);
+      if (est > 0.0 && candidate.video_id < matches_by_video.size()) {
+        matches_by_video[candidate.video_id] += est;
+      }
+    }
+  } else {
+    VITRI_RETURN_IF_ERROR(scan.status());
+  }
 
   std::vector<VideoMatch> out;
   for (uint32_t vid = 0; vid < matches_by_video.size(); ++vid) {
@@ -324,6 +408,10 @@ Result<double> ViTriIndex::DriftAngle() const {
 }
 
 Result<bool> ViTriIndex::NeedsRebuild() const {
+  // Quarantined pages mean part of the tree is unreachable: queries
+  // still answer (degraded), but only a rebuild restores indexed
+  // serving.
+  if (!pool_->corrupt_pages().empty()) return true;
   VITRI_ASSIGN_OR_RETURN(double angle, DriftAngle());
   return angle > options_.rebuild_angle_threshold;
 }

@@ -2,8 +2,10 @@
 #define VITRI_CORE_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "btree/bplus_tree.h"
@@ -33,6 +35,12 @@ struct ViTriIndexOptions {
   /// First-principal-component drift (radians) beyond which
   /// NeedsRebuild() reports true (Section 6.3.3 policy).
   double rebuild_angle_threshold = 0.35;
+  /// Backing store factory, called with the page size whenever the tree
+  /// is (re)built. Defaults to an in-memory pager; inject a
+  /// FilePager/RetryingPager/FaultInjectingPager stack for durability or
+  /// fault-tolerance testing. Must return a fresh, empty pager.
+  std::function<std::unique_ptr<storage::Pager>(size_t page_size)>
+      pager_factory;
 };
 
 /// KNN evaluation strategy (Section 5.2).
@@ -53,6 +61,9 @@ struct QueryCosts {
   uint64_t similarity_evals = 0;   // ViTri-pair similarity computations.
   uint64_t range_searches = 0;     // Range searches issued.
   double cpu_seconds = 0.0;        // Wall time of the query.
+  /// True when the tree hit corrupted pages and the query was answered
+  /// from the in-memory ViTri copy instead (correct but unindexed).
+  bool degraded = false;
 
   QueryCosts& operator+=(const QueryCosts& rhs) {
     page_accesses += rhs.page_accesses;
@@ -61,6 +72,7 @@ struct QueryCosts {
     similarity_evals += rhs.similarity_evals;
     range_searches += rhs.range_searches;
     cpu_seconds += rhs.cpu_seconds;
+    degraded = degraded || rhs.degraded;
     return *this;
   }
 };
@@ -119,7 +131,8 @@ class ViTriIndex {
   /// current data's (0 for non-optimal reference kinds).
   Result<double> DriftAngle() const;
 
-  /// True when DriftAngle() exceeds the configured threshold.
+  /// True when DriftAngle() exceeds the configured threshold, or when
+  /// corrupted pages are quarantined (Rebuild() heals both).
   Result<bool> NeedsRebuild() const;
 
   /// Re-fits the transform on the current contents and rebuilds the
@@ -132,6 +145,14 @@ class ViTriIndex {
   size_t num_videos() const { return frame_counts_.size(); }
   uint32_t tree_height() const { return tree_->height(); }
   const storage::IoStats& io_stats() const { return pool_->stats(); }
+
+  /// Tree pages whose checksum verification failed. While non-empty,
+  /// queries touching them are served degraded and NeedsRebuild() is
+  /// true; Rebuild() reloads the tree from the in-memory copy and
+  /// clears the quarantine.
+  const std::set<storage::PageId>& quarantined_pages() const {
+    return pool_->corrupt_pages();
+  }
 
   /// Drops all cached pages (cold-cache experiments).
   Status DropCaches() { return pool_->EvictAll(); }
@@ -165,9 +186,21 @@ class ViTriIndex {
       const std::vector<double>& shared_by_video, uint32_t query_frames,
       size_t k) const;
 
+  /// Tree-backed evaluation of a KNN query into `shared`.
+  Status KnnScanTree(const std::vector<ViTri>& query,
+                     const std::vector<RangeSpec>& ranges, KnnMethod method,
+                     std::vector<double>* shared, QueryCosts* costs);
+
+  /// Degraded path: evaluates every in-memory ViTri against every query
+  /// ViTri (exactly what a full sequential scan computes, minus the
+  /// broken pages).
+  void EvaluateInMemory(const std::vector<ViTri>& query,
+                        std::vector<double>* shared,
+                        QueryCosts* costs) const;
+
   ViTriIndexOptions options_;
   std::optional<OneDimensionalTransform> transform_;
-  std::unique_ptr<storage::MemPager> pager_;
+  std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::optional<btree::BPlusTree> tree_;
   /// In-memory copies used for rebuild and drift monitoring. Queries

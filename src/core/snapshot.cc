@@ -6,12 +6,16 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 
 namespace vitri::core {
 namespace {
 
 constexpr uint32_t kMagic = 0x56534e50;  // 'VSNP'
-constexpr uint32_t kVersion = 1;
+// Version 2 appends a CRC-32C of every preceding byte (magic and
+// version included). Version 1 files, which lack it, still load.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -20,43 +24,70 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-Status WriteAll(std::FILE* f, const uint8_t* data, size_t size) {
-  if (std::fwrite(data, 1, size, f) != size) {
-    return Status::IoError("short write");
+/// A stdio stream plus a running CRC-32C of every byte that crossed it.
+/// The trailing checksum itself moves through the Raw variants, which
+/// leave the accumulator alone.
+struct CrcFile {
+  std::FILE* f = nullptr;
+  uint32_t crc = 0;
+
+  Status Write(const uint8_t* data, size_t size) {
+    if (std::fwrite(data, 1, size, f) != size) {
+      return Status::IoError("short write");
+    }
+    crc = Crc32cExtend(crc, data, size);
+    return Status::OK();
   }
-  return Status::OK();
-}
 
-Status ReadAll(std::FILE* f, uint8_t* data, size_t size) {
-  if (std::fread(data, 1, size, f) != size) {
-    return Status::IoError("short read (truncated snapshot?)");
+  Status Read(uint8_t* data, size_t size) {
+    if (std::fread(data, 1, size, f) != size) {
+      return Status::IoError("short read (truncated snapshot?)");
+    }
+    crc = Crc32cExtend(crc, data, size);
+    return Status::OK();
   }
-  return Status::OK();
-}
 
-Status WriteU32(std::FILE* f, uint32_t v) {
-  uint8_t buf[4];
-  EncodeU32(buf, v);
-  return WriteAll(f, buf, 4);
-}
+  Status WriteU32(uint32_t v) {
+    uint8_t buf[4];
+    EncodeU32(buf, v);
+    return Write(buf, 4);
+  }
 
-Status WriteU64(std::FILE* f, uint64_t v) {
-  uint8_t buf[8];
-  EncodeU64(buf, v);
-  return WriteAll(f, buf, 8);
-}
+  Status WriteU64(uint64_t v) {
+    uint8_t buf[8];
+    EncodeU64(buf, v);
+    return Write(buf, 8);
+  }
 
-Result<uint32_t> ReadU32(std::FILE* f) {
-  uint8_t buf[4];
-  VITRI_RETURN_IF_ERROR(ReadAll(f, buf, 4));
-  return DecodeU32(buf);
-}
+  Result<uint32_t> ReadU32() {
+    uint8_t buf[4];
+    VITRI_RETURN_IF_ERROR(Read(buf, 4));
+    return DecodeU32(buf);
+  }
 
-Result<uint64_t> ReadU64(std::FILE* f) {
-  uint8_t buf[8];
-  VITRI_RETURN_IF_ERROR(ReadAll(f, buf, 8));
-  return DecodeU64(buf);
-}
+  Result<uint64_t> ReadU64() {
+    uint8_t buf[8];
+    VITRI_RETURN_IF_ERROR(Read(buf, 8));
+    return DecodeU64(buf);
+  }
+
+  Status WriteRawU32(uint32_t v) {
+    uint8_t buf[4];
+    EncodeU32(buf, v);
+    if (std::fwrite(buf, 1, 4, f) != 4) {
+      return Status::IoError("short write");
+    }
+    return Status::OK();
+  }
+
+  Result<uint32_t> ReadRawU32() {
+    uint8_t buf[4];
+    if (std::fread(buf, 1, 4, f) != 4) {
+      return Status::IoError("short read (truncated snapshot?)");
+    }
+    return DecodeU32(buf);
+  }
+};
 
 }  // namespace
 
@@ -66,24 +97,24 @@ Status SaveViTriSet(const ViTriSet& set, const std::string& path) {
   if (file == nullptr) {
     return Status::IoError("cannot open " + tmp + " for writing");
   }
-  VITRI_RETURN_IF_ERROR(WriteU32(file.get(), kMagic));
-  VITRI_RETURN_IF_ERROR(WriteU32(file.get(), kVersion));
-  VITRI_RETURN_IF_ERROR(
-      WriteU32(file.get(), static_cast<uint32_t>(set.dimension)));
-  VITRI_RETURN_IF_ERROR(WriteU64(file.get(), set.frame_counts.size()));
+  CrcFile out{file.get()};
+  VITRI_RETURN_IF_ERROR(out.WriteU32(kMagic));
+  VITRI_RETURN_IF_ERROR(out.WriteU32(kVersion));
+  VITRI_RETURN_IF_ERROR(out.WriteU32(static_cast<uint32_t>(set.dimension)));
+  VITRI_RETURN_IF_ERROR(out.WriteU64(set.frame_counts.size()));
   for (uint32_t count : set.frame_counts) {
-    VITRI_RETURN_IF_ERROR(WriteU32(file.get(), count));
+    VITRI_RETURN_IF_ERROR(out.WriteU32(count));
   }
-  VITRI_RETURN_IF_ERROR(WriteU64(file.get(), set.vitris.size()));
+  VITRI_RETURN_IF_ERROR(out.WriteU64(set.vitris.size()));
   std::vector<uint8_t> buffer;
   for (const ViTri& v : set.vitris) {
     if (v.dimension() != set.dimension) {
       return Status::InvalidArgument("ViTri dimension mismatch in set");
     }
     v.Serialize(&buffer);
-    VITRI_RETURN_IF_ERROR(WriteAll(file.get(), buffer.data(),
-                                   buffer.size()));
+    VITRI_RETURN_IF_ERROR(out.Write(buffer.data(), buffer.size()));
   }
+  VITRI_RETURN_IF_ERROR(out.WriteRawU32(out.crc));
   if (std::fflush(file.get()) != 0) {
     return Status::IoError("flush failed");
   }
@@ -99,34 +130,42 @@ Result<ViTriSet> LoadViTriSet(const std::string& path) {
   if (file == nullptr) {
     return Status::NotFound("cannot open " + path);
   }
-  VITRI_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(file.get()));
+  CrcFile in{file.get()};
+  VITRI_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
   if (magic != kMagic) {
     return Status::Corruption("bad snapshot magic");
   }
-  VITRI_ASSIGN_OR_RETURN(uint32_t version, ReadU32(file.get()));
-  if (version != kVersion) {
+  VITRI_ASSIGN_OR_RETURN(uint32_t version, in.ReadU32());
+  if (version < kMinVersion || version > kVersion) {
     return Status::Corruption("unsupported snapshot version");
   }
   ViTriSet set;
-  VITRI_ASSIGN_OR_RETURN(uint32_t dimension, ReadU32(file.get()));
+  VITRI_ASSIGN_OR_RETURN(uint32_t dimension, in.ReadU32());
   if (dimension == 0 || dimension > 1 << 16) {
     return Status::Corruption("implausible snapshot dimension");
   }
   set.dimension = static_cast<int>(dimension);
-  VITRI_ASSIGN_OR_RETURN(uint64_t num_videos, ReadU64(file.get()));
+  VITRI_ASSIGN_OR_RETURN(uint64_t num_videos, in.ReadU64());
   set.frame_counts.resize(num_videos);
   for (uint64_t i = 0; i < num_videos; ++i) {
-    VITRI_ASSIGN_OR_RETURN(set.frame_counts[i], ReadU32(file.get()));
+    VITRI_ASSIGN_OR_RETURN(set.frame_counts[i], in.ReadU32());
   }
-  VITRI_ASSIGN_OR_RETURN(uint64_t num_vitris, ReadU64(file.get()));
+  VITRI_ASSIGN_OR_RETURN(uint64_t num_vitris, in.ReadU64());
   const size_t record = ViTri::SerializedSize(set.dimension);
   std::vector<uint8_t> buffer(record);
   set.vitris.reserve(num_vitris);
   for (uint64_t i = 0; i < num_vitris; ++i) {
-    VITRI_RETURN_IF_ERROR(ReadAll(file.get(), buffer.data(), record));
+    VITRI_RETURN_IF_ERROR(in.Read(buffer.data(), record));
     VITRI_ASSIGN_OR_RETURN(ViTri v,
                            ViTri::Deserialize(buffer, set.dimension));
     set.vitris.push_back(std::move(v));
+  }
+  if (version >= 2) {
+    const uint32_t expected = in.crc;
+    VITRI_ASSIGN_OR_RETURN(uint32_t stored, in.ReadRawU32());
+    if (stored != expected) {
+      return Status::Corruption("snapshot checksum mismatch");
+    }
   }
   return set;
 }

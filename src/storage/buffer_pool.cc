@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "storage/page_footer.h"
 
 namespace vitri::storage {
 
@@ -22,7 +23,10 @@ void PageRef::Release() {
 }
 
 BufferPool::BufferPool(Pager* pager, size_t capacity)
-    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {
+  assert(pager->page_size() > kPageFooterSize &&
+         "page size must leave room for the integrity footer");
+}
 
 BufferPool::~BufferPool() {
   const Status s = FlushAll();
@@ -53,6 +57,13 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   frame.data.resize(pager_->page_size());
   ++stats_.physical_reads;
   VITRI_RETURN_IF_ERROR(pager_->Read(id, frame.data.data()));
+  const Status integrity =
+      VerifyPageFooter(frame.data.data(), pager_->page_size(), id);
+  if (!integrity.ok()) {
+    ++stats_.checksum_failures;
+    corrupt_pages_.insert(id);
+    return integrity;
+  }
   frame.pin_count = 1;
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   assert(inserted);
@@ -126,6 +137,7 @@ Status BufferPool::EvictOneIfFull() {
 Status BufferPool::WriteBack(Frame& frame) {
   if (!frame.dirty) return Status::OK();
   ++stats_.physical_writes;
+  StampPageFooter(frame.data.data(), pager_->page_size(), frame.id);
   VITRI_RETURN_IF_ERROR(pager_->Write(frame.id, frame.data.data()));
   frame.dirty = false;
   return Status::OK();

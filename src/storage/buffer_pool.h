@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -73,6 +74,11 @@ class PageRef {
 /// LRU buffer pool over a Pager. Tracks logical fetches, cache hits, and
 /// physical transfers in IoStats — the counters the experiment harnesses
 /// report as the paper's "I/O cost".
+///
+/// The pool is also the page-integrity boundary: every page written back
+/// is stamped with a checksum footer (storage/page_footer.h) and every
+/// page read from the pager is verified. A mismatch fails the Fetch with
+/// Status::Corruption and quarantines the page id in corrupt_pages().
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames (>= 1). The pool does
@@ -100,6 +106,11 @@ class BufferPool {
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
 
+  /// Page ids whose checksum verification failed since construction (or
+  /// the last ClearCorruptPages). Ordered for stable reporting.
+  const std::set<PageId>& corrupt_pages() const { return corrupt_pages_; }
+  void ClearCorruptPages() { corrupt_pages_.clear(); }
+
   size_t capacity() const { return capacity_; }
   size_t resident() const { return frames_.size(); }
   Pager* pager() const { return pager_; }
@@ -126,6 +137,7 @@ class BufferPool {
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // Front = least recently used.
   IoStats stats_;
+  std::set<PageId> corrupt_pages_;
 };
 
 }  // namespace vitri::storage

@@ -1,0 +1,114 @@
+#ifndef VITRI_STORAGE_FAULT_PAGER_H_
+#define VITRI_STORAGE_FAULT_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace vitri::storage {
+
+/// What a fault rule does when it fires.
+enum class FaultKind {
+  /// Read/Write/Sync fails with IoError; the next attempt may succeed
+  /// (the rule consumes one of its fires).
+  kTransientIoError,
+  /// Every matching operation fails with IoError, forever.
+  kPersistentIoError,
+  /// The operation succeeds but one seeded-random bit of the page is
+  /// flipped (in the returned buffer on reads, in the stored bytes on
+  /// writes). Silent — detection is the checksum layer's job.
+  kBitFlip,
+  /// A write persists only the first half of the page; the second half
+  /// keeps its previous contents (or zeros for a never-written page).
+  /// Models a power-cut torn write. Reported to the caller as success.
+  kTornWrite,
+  /// Sync fails with IoError.
+  kSyncFailure,
+};
+
+/// Which pager operation a rule applies to.
+enum class FaultOp { kRead, kWrite, kSync };
+
+const char* FaultKindName(FaultKind kind);
+
+/// Matches any page id in a FaultRule.
+inline constexpr PageId kAnyPage = kInvalidPageId;
+
+/// One entry of a deterministic fault schedule. Matching operations are
+/// counted per rule; the rule fires on the (after+every)-th, then every
+/// `every`-th match, at most `limit` times (kPersistentIoError ignores
+/// `every`/`limit` and fires on every match past `after`).
+struct FaultRule {
+  FaultKind kind = FaultKind::kTransientIoError;
+  FaultOp op = FaultOp::kRead;
+  PageId page = kAnyPage;
+  uint64_t after = 0;
+  uint64_t every = 1;
+  uint64_t limit = UINT64_MAX;
+};
+
+/// Counters of injected faults, by kind.
+struct FaultStats {
+  uint64_t transient_io_errors = 0;
+  uint64_t persistent_io_errors = 0;
+  uint64_t bit_flips = 0;
+  uint64_t torn_writes = 0;
+  uint64_t sync_failures = 0;
+
+  uint64_t total() const {
+    return transient_io_errors + persistent_io_errors + bit_flips +
+           torn_writes + sync_failures;
+  }
+  std::string ToString() const;
+};
+
+/// Decorator injecting a deterministic, seeded schedule of storage
+/// faults into any Pager. Rules can be added/cleared at any time, so a
+/// test can build a healthy index first and sabotage it afterwards.
+/// Allocate is always passed through unharmed.
+class FaultInjectingPager final : public Pager {
+ public:
+  explicit FaultInjectingPager(std::unique_ptr<Pager> base,
+                               uint64_t seed = 2005);
+
+  void AddRule(const FaultRule& rule);
+  void ClearRules();
+
+  const FaultStats& fault_stats() const { return stats_; }
+  Pager* base() const { return base_.get(); }
+
+  PageId num_pages() const override;
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, uint8_t* out) override;
+  Status Write(PageId id, const uint8_t* src) override;
+  Status Sync() override;
+
+ private:
+  struct ArmedRule {
+    FaultRule rule;
+    uint64_t matches = 0;
+    uint64_t fired = 0;
+  };
+
+  /// Returns the kind of the first rule firing for (op, id), advancing
+  /// all matching rules' counters; nullptr when no rule fires.
+  const FaultRule* NextFault(FaultOp op, PageId id);
+  void CountFault(FaultKind kind);
+  void FlipRandomBit(uint8_t* page);
+
+  std::unique_ptr<Pager> base_;
+  std::vector<ArmedRule> rules_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace vitri::storage
+
+#endif  // VITRI_STORAGE_FAULT_PAGER_H_

@@ -9,7 +9,9 @@ std::string IoStats::ToString() const {
   os << "logical_reads=" << logical_reads << " cache_hits=" << cache_hits
      << " physical_reads=" << physical_reads
      << " physical_writes=" << physical_writes
-     << " allocations=" << allocations;
+     << " allocations=" << allocations
+     << " checksum_failures=" << checksum_failures
+     << " retries=" << retries;
   return os.str();
 }
 

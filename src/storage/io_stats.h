@@ -10,11 +10,14 @@ namespace vitri::storage {
 /// fetches (what the paper's I/O-cost figures count as page accesses);
 /// "physical" events are transfers that actually hit the backing pager.
 struct IoStats {
-  uint64_t logical_reads = 0;    // Buffer-pool fetches.
-  uint64_t cache_hits = 0;       // Fetches served without pager I/O.
-  uint64_t physical_reads = 0;   // Pager reads.
-  uint64_t physical_writes = 0;  // Pager writes (evictions + flushes).
-  uint64_t allocations = 0;      // Newly allocated pages.
+  uint64_t logical_reads = 0;      // Buffer-pool fetches.
+  uint64_t cache_hits = 0;         // Fetches served without pager I/O.
+  uint64_t physical_reads = 0;     // Pager reads.
+  uint64_t physical_writes = 0;    // Pager writes (evictions + flushes).
+  uint64_t allocations = 0;        // Newly allocated pages.
+  uint64_t checksum_failures = 0;  // Reads rejected by the page footer.
+  uint64_t retries = 0;            // Transient-IoError retries (see
+                                   // storage/retry_pager.h).
 
   void Reset() { *this = IoStats{}; }
 
@@ -25,6 +28,8 @@ struct IoStats {
     out.physical_reads = physical_reads - rhs.physical_reads;
     out.physical_writes = physical_writes - rhs.physical_writes;
     out.allocations = allocations - rhs.allocations;
+    out.checksum_failures = checksum_failures - rhs.checksum_failures;
+    out.retries = retries - rhs.retries;
     return out;
   }
 

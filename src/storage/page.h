@@ -14,6 +14,11 @@ inline constexpr PageId kInvalidPageId = UINT32_MAX;
 /// Default page size, matching the paper's experimental setup (4K).
 inline constexpr size_t kDefaultPageSize = 4096;
 
+/// Bytes at the end of every page reserved for the integrity footer
+/// (checksum + format epoch; see storage/page_footer.h). Page clients
+/// must keep their payload within [0, page_size - kPageFooterSize).
+inline constexpr size_t kPageFooterSize = 8;
+
 }  // namespace vitri::storage
 
 #endif  // VITRI_STORAGE_PAGE_H_

@@ -1,0 +1,77 @@
+#ifndef VITRI_STORAGE_PAGE_FOOTER_H_
+#define VITRI_STORAGE_PAGE_FOOTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace vitri::storage {
+
+/// Integrity footer occupying the last kPageFooterSize bytes of every
+/// page written through the BufferPool:
+///
+///   [size-8] u32 crc32c   over (page id || bytes [0, size-8))
+///   [size-4] u16 epoch    page format epoch (currently 1)
+///   [size-2] u16 magic    0x5646 'VF' — distinguishes stamped pages
+///
+/// Seeding the checksum with the page id catches misdirected reads
+/// (the right bytes from the wrong page). Pages whose magic does not
+/// match are treated as unstamped — freshly allocated (all-zero) pages
+/// and pages written by pre-footer builds — and are accepted without
+/// verification.
+
+inline constexpr uint16_t kPageFooterMagic = 0x5646;
+inline constexpr uint16_t kPageFormatEpoch = 1;
+
+/// Checksum of a page's payload region, seeded with its id.
+inline uint32_t PageChecksum(const uint8_t* page, size_t page_size,
+                             PageId id) {
+  uint8_t id_bytes[4];
+  EncodeU32(id_bytes, id);
+  const uint32_t seed = Crc32c(id_bytes, sizeof(id_bytes));
+  return Crc32cExtend(seed, page, page_size - kPageFooterSize);
+}
+
+/// Writes the footer into the page buffer. Requires
+/// page_size > kPageFooterSize.
+inline void StampPageFooter(uint8_t* page, size_t page_size, PageId id) {
+  uint8_t* footer = page + page_size - kPageFooterSize;
+  EncodeU32(footer, PageChecksum(page, page_size, id));
+  EncodeU16(footer + 4, kPageFormatEpoch);
+  EncodeU16(footer + 6, kPageFooterMagic);
+}
+
+/// True if the page carries a footer (magic matches).
+inline bool PageIsStamped(const uint8_t* page, size_t page_size) {
+  return DecodeU16(page + page_size - 2) == kPageFooterMagic;
+}
+
+/// Verifies a page read from the backing store. Unstamped pages pass
+/// (see above); stamped pages with a wrong epoch or checksum fail with
+/// Corruption naming the page id.
+inline Status VerifyPageFooter(const uint8_t* page, size_t page_size,
+                               PageId id) {
+  if (!PageIsStamped(page, page_size)) return Status::OK();
+  const uint8_t* footer = page + page_size - kPageFooterSize;
+  const uint16_t epoch = DecodeU16(footer + 4);
+  if (epoch != kPageFormatEpoch) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              ": unsupported format epoch " +
+                              std::to_string(epoch));
+  }
+  const uint32_t stored = DecodeU32(footer);
+  const uint32_t actual = PageChecksum(page, page_size, id);
+  if (stored != actual) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              ": checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace vitri::storage
+
+#endif  // VITRI_STORAGE_PAGE_FOOTER_H_

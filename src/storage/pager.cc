@@ -7,7 +7,51 @@
 #include <cerrno>
 #include <cstring>
 
+#include "storage/page_footer.h"
+
 namespace vitri::storage {
+namespace {
+
+// pread/pwrite may transfer fewer bytes than asked (signals, quotas,
+// disk-full for writes) or fail with EINTR without transferring
+// anything. Neither is corruption or a hard fault: loop until the full
+// page moved, retrying EINTR, advancing past short transfers.
+
+Status ReadFullyAt(int fd, uint8_t* buf, size_t n, off_t offset) {
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, buf, n, offset);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError("pread: unexpected end of file");
+    }
+    buf += r;
+    offset += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteFullyAt(int fd, const uint8_t* buf, size_t n, off_t offset) {
+  while (n > 0) {
+    const ssize_t r = ::pwrite(fd, buf, n, offset);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError("pwrite: wrote no bytes");
+    }
+    buf += r;
+    offset += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 // --- MemPager ---------------------------------------------------------
 
@@ -43,6 +87,29 @@ Status MemPager::Write(PageId id, const uint8_t* src) {
 
 Status MemPager::Sync() { return Status::OK(); }
 
+// --- integrity scan ---------------------------------------------------
+
+Result<PageVerifyReport> VerifyAllPages(Pager* pager) {
+  PageVerifyReport report;
+  std::vector<uint8_t> buf(pager->page_size());
+  const PageId n = pager->num_pages();
+  for (PageId id = 0; id < n; ++id) {
+    ++report.pages_scanned;
+    if (!pager->Read(id, buf.data()).ok()) {
+      report.corrupt.push_back(id);
+      continue;
+    }
+    if (!PageIsStamped(buf.data(), buf.size())) {
+      ++report.unstamped;
+      continue;
+    }
+    if (!VerifyPageFooter(buf.data(), buf.size(), id).ok()) {
+      report.corrupt.push_back(id);
+    }
+  }
+  return report;
+}
+
 // --- FilePager --------------------------------------------------------
 
 FilePager::FilePager(int fd, size_t page_size, PageId num_pages)
@@ -54,6 +121,9 @@ FilePager::~FilePager() {
 
 Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
                                                    size_t page_size) {
+  if (page_size == 0) {
+    return Status::InvalidArgument("page size must be positive");
+  }
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
@@ -82,10 +152,8 @@ Result<PageId> FilePager::Allocate() {
   std::vector<uint8_t> zeros(page_size(), 0);
   const off_t offset =
       static_cast<off_t>(num_pages_) * static_cast<off_t>(page_size());
-  if (::pwrite(fd_, zeros.data(), page_size(), offset) !=
-      static_cast<ssize_t>(page_size())) {
-    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
-  }
+  VITRI_RETURN_IF_ERROR(
+      WriteFullyAt(fd_, zeros.data(), page_size(), offset));
   return num_pages_++;
 }
 
@@ -95,11 +163,7 @@ Status FilePager::Read(PageId id, uint8_t* out) {
   }
   const off_t offset =
       static_cast<off_t>(id) * static_cast<off_t>(page_size());
-  if (::pread(fd_, out, page_size(), offset) !=
-      static_cast<ssize_t>(page_size())) {
-    return Status::IoError(std::string("pread: ") + std::strerror(errno));
-  }
-  return Status::OK();
+  return ReadFullyAt(fd_, out, page_size(), offset);
 }
 
 Status FilePager::Write(PageId id, const uint8_t* src) {
@@ -108,11 +172,7 @@ Status FilePager::Write(PageId id, const uint8_t* src) {
   }
   const off_t offset =
       static_cast<off_t>(id) * static_cast<off_t>(page_size());
-  if (::pwrite(fd_, src, page_size(), offset) !=
-      static_cast<ssize_t>(page_size())) {
-    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
-  }
-  return Status::OK();
+  return WriteFullyAt(fd_, src, page_size(), offset);
 }
 
 Status FilePager::Sync() {

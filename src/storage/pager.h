@@ -61,6 +61,22 @@ class MemPager final : public Pager {
   std::vector<std::vector<uint8_t>> pages_;
 };
 
+/// Result of an integrity scan over a pager (see VerifyAllPages).
+struct PageVerifyReport {
+  uint64_t pages_scanned = 0;
+  /// Pages carrying a footer whose epoch or checksum is wrong.
+  std::vector<PageId> corrupt;
+  /// Pages without a footer (never written through a BufferPool, or
+  /// written by a pre-footer build) — readable but unverifiable.
+  uint64_t unstamped = 0;
+
+  bool clean() const { return corrupt.empty(); }
+};
+
+/// Reads every page of `pager` and verifies its integrity footer. Read
+/// failures count the page as corrupt too (the bytes are unreachable).
+Result<PageVerifyReport> VerifyAllPages(Pager* pager);
+
 /// File-backed pager over a single file, pages stored contiguously.
 class FilePager final : public Pager {
  public:

@@ -1,0 +1,60 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vitri {
+namespace {
+
+uint32_t CrcOf(const std::string& s) {
+  return Crc32c(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Canonical CRC-32C test vectors (RFC 3720 appendix B.4 style).
+  EXPECT_EQ(CrcOf(""), 0x00000000u);
+  EXPECT_EQ(CrcOf("a"), 0xC1D04330u);
+  EXPECT_EQ(CrcOf("123456789"), 0xE3069283u);
+  EXPECT_EQ(CrcOf("The quick brown fox jumps over the lazy dog"),
+            0x22620404u);
+}
+
+TEST(Crc32cTest, AllZeroAndAllOneBlocks) {
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposesWithOneShot) {
+  const std::string s = "123456789";
+  for (size_t split = 0; split <= s.size(); ++split) {
+    const uint32_t head =
+        Crc32c(reinterpret_cast<const uint8_t*>(s.data()), split);
+    const uint32_t full = Crc32cExtend(
+        head, reinterpret_cast<const uint8_t*>(s.data()) + split,
+        s.size() - split);
+    EXPECT_EQ(full, 0xE3069283u) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlips) {
+  std::vector<uint8_t> buf(4096);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 131u);
+  }
+  const uint32_t base = Crc32c(buf.data(), buf.size());
+  for (size_t bit : {size_t{0}, size_t{7}, size_t{2048 * 8 + 3},
+                     buf.size() * 8 - 1}) {
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32c(buf.data(), buf.size()), base) << "bit " << bit;
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), base);
+}
+
+}  // namespace
+}  // namespace vitri

@@ -80,6 +80,82 @@ TEST(SnapshotTest, TruncatedSnapshotFails) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotTest, BitFlipIsDetected) {
+  const std::string path = TempPath("snapshot_bitflip.vsnp");
+  std::remove(path.c_str());
+  const ViTriSet original = SmallSet();
+  ASSERT_TRUE(SaveViTriSet(original, path).ok());
+
+  // Flip one bit somewhere in the middle of the payload.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_GT(size, 16);
+  std::fseek(f, size / 2, SEEK_SET);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x10, f);
+  std::fclose(f);
+
+  auto loaded = LoadViTriSet(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedChecksumFails) {
+  const std::string path = TempPath("snapshot_no_crc.vsnp");
+  std::remove(path.c_str());
+  const ViTriSet original = SmallSet();
+  ASSERT_TRUE(SaveViTriSet(original, path).ok());
+  // Chop off the trailing checksum only; the body is intact.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), size - 4), 0);
+  auto loaded = LoadViTriSet(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LegacyVersion1WithoutChecksumStillLoads) {
+  const std::string path = TempPath("snapshot_legacy_v1.vsnp");
+  std::remove(path.c_str());
+  // Hand-craft a minimal v1 file: one video of 7 frames, zero ViTris,
+  // dimension 4, and no trailing checksum.
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  auto put_u32 = [f](uint32_t v) {
+    uint8_t buf[4] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                      static_cast<uint8_t>(v >> 16),
+                      static_cast<uint8_t>(v >> 24)};
+    ASSERT_EQ(std::fwrite(buf, 1, 4, f), 4u);
+  };
+  auto put_u64 = [f](uint64_t v) {
+    uint8_t buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+    ASSERT_EQ(std::fwrite(buf, 1, 8, f), 8u);
+  };
+  put_u32(0x56534e50);  // magic 'VSNP'
+  put_u32(1);           // version 1: no checksum
+  put_u32(4);           // dimension
+  put_u64(1);           // one video
+  put_u32(7);           // ... of 7 frames
+  put_u64(0);           // zero ViTris
+  std::fclose(f);
+
+  auto loaded = LoadViTriSet(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dimension, 4);
+  ASSERT_EQ(loaded->frame_counts.size(), 1u);
+  EXPECT_EQ(loaded->frame_counts[0], 7u);
+  EXPECT_TRUE(loaded->vitris.empty());
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotTest, IndexRoundTripAnswersIdentically) {
   const std::string path = TempPath("snapshot_index.vsnp");
   std::remove(path.c_str());

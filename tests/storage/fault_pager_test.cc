@@ -1,0 +1,288 @@
+#include "storage/fault_pager.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_footer.h"
+#include "storage/retry_pager.h"
+
+namespace vitri::storage {
+namespace {
+
+constexpr size_t kPage = 128;
+
+std::unique_ptr<FaultInjectingPager> MakeFaulty(uint64_t seed = 7) {
+  return std::make_unique<FaultInjectingPager>(
+      std::make_unique<MemPager>(kPage), seed);
+}
+
+std::vector<uint8_t> Pattern(uint8_t fill) {
+  std::vector<uint8_t> v(kPage, fill);
+  return v;
+}
+
+RetryPolicy FastRetries(int max_attempts = 4) {
+  RetryPolicy p;
+  p.max_attempts = max_attempts;
+  p.initial_backoff = std::chrono::microseconds(0);
+  return p;
+}
+
+// A pager whose reads always fail with a fixed status; counts attempts.
+class FailingPager final : public Pager {
+ public:
+  FailingPager(size_t page_size, Status status)
+      : Pager(page_size), status_(std::move(status)) {}
+
+  int read_calls = 0;
+
+  PageId num_pages() const override { return 1; }
+  Result<PageId> Allocate() override { return PageId{0}; }
+  Status Read(PageId, uint8_t*) override {
+    ++read_calls;
+    return status_;
+  }
+  Status Write(PageId, const uint8_t*) override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  Status status_;
+};
+
+TEST(FaultInjectingPagerTest, TransientReadErrorFiresOnScheduleThenStops) {
+  auto pager = MakeFaulty();
+  auto id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  // Fire on the 3rd and 6th read, then never again.
+  pager->AddRule(FaultRule{FaultKind::kTransientIoError, FaultOp::kRead,
+                           kAnyPage, /*after=*/0, /*every=*/3,
+                           /*limit=*/2});
+  std::vector<uint8_t> buf(kPage);
+  int failures = 0;
+  for (int i = 1; i <= 12; ++i) {
+    const Status s = pager->Read(*id, buf.data());
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsIoError());
+      EXPECT_TRUE(i == 3 || i == 6) << "unexpected failure on read " << i;
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(pager->fault_stats().transient_io_errors, 2u);
+}
+
+TEST(FaultInjectingPagerTest, PersistentErrorNeverRecovers) {
+  auto pager = MakeFaulty();
+  auto id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  auto other = pager->Allocate();
+  ASSERT_TRUE(other.ok());
+  pager->AddRule(FaultRule{FaultKind::kPersistentIoError, FaultOp::kRead,
+                           *id});
+  std::vector<uint8_t> buf(kPage);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(pager->Read(*id, buf.data()).IsIoError());
+  }
+  // Only the targeted page is affected.
+  EXPECT_TRUE(pager->Read(*other, buf.data()).ok());
+  EXPECT_EQ(pager->fault_stats().persistent_io_errors, 5u);
+}
+
+TEST(FaultInjectingPagerTest, BitFlipOnWriteCorruptsExactlyOneBit) {
+  auto pager = MakeFaulty();
+  auto id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  pager->AddRule(FaultRule{FaultKind::kBitFlip, FaultOp::kWrite, *id,
+                           /*after=*/0, /*every=*/1, /*limit=*/1});
+  const std::vector<uint8_t> src = Pattern(0x5a);
+  ASSERT_TRUE(pager->Write(*id, src.data()).ok());
+  std::vector<uint8_t> stored(kPage);
+  ASSERT_TRUE(pager->Read(*id, stored.data()).ok());
+  int differing_bits = 0;
+  for (size_t i = 0; i < kPage; ++i) {
+    differing_bits += __builtin_popcount(src[i] ^ stored[i]);
+  }
+  EXPECT_EQ(differing_bits, 1);
+  EXPECT_EQ(pager->fault_stats().bit_flips, 1u);
+}
+
+TEST(FaultInjectingPagerTest, BitFlipIsDeterministicForASeed) {
+  auto flipped_page = [](uint64_t seed) {
+    auto pager = MakeFaulty(seed);
+    auto id = pager->Allocate();
+    EXPECT_TRUE(id.ok());
+    pager->AddRule(FaultRule{FaultKind::kBitFlip, FaultOp::kRead, *id});
+    std::vector<uint8_t> buf(kPage);
+    EXPECT_TRUE(pager->Read(*id, buf.data()).ok());
+    return buf;
+  };
+  EXPECT_EQ(flipped_page(42), flipped_page(42));
+  EXPECT_NE(flipped_page(42), flipped_page(43));
+}
+
+TEST(FaultInjectingPagerTest, TornWriteKeepsOldTail) {
+  auto pager = MakeFaulty();
+  auto id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(pager->Write(*id, Pattern(0x11).data()).ok());
+  pager->AddRule(FaultRule{FaultKind::kTornWrite, FaultOp::kWrite, *id,
+                           /*after=*/0, /*every=*/1, /*limit=*/1});
+  // The torn write still reports success.
+  ASSERT_TRUE(pager->Write(*id, Pattern(0x22).data()).ok());
+  std::vector<uint8_t> stored(kPage);
+  ASSERT_TRUE(pager->Read(*id, stored.data()).ok());
+  for (size_t i = 0; i < kPage / 2; ++i) EXPECT_EQ(stored[i], 0x22);
+  for (size_t i = kPage / 2; i < kPage; ++i) EXPECT_EQ(stored[i], 0x11);
+  EXPECT_EQ(pager->fault_stats().torn_writes, 1u);
+}
+
+TEST(FaultInjectingPagerTest, SyncFailureFires) {
+  auto pager = MakeFaulty();
+  pager->AddRule(FaultRule{FaultKind::kSyncFailure, FaultOp::kSync,
+                           kAnyPage, /*after=*/0, /*every=*/1,
+                           /*limit=*/1});
+  EXPECT_TRUE(pager->Sync().IsIoError());
+  EXPECT_TRUE(pager->Sync().ok());
+  EXPECT_EQ(pager->fault_stats().sync_failures, 1u);
+}
+
+TEST(FaultInjectingPagerTest, ClearRulesStopsInjection) {
+  auto pager = MakeFaulty();
+  auto id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  pager->AddRule(FaultRule{FaultKind::kPersistentIoError, FaultOp::kRead});
+  std::vector<uint8_t> buf(kPage);
+  EXPECT_TRUE(pager->Read(*id, buf.data()).IsIoError());
+  pager->ClearRules();
+  EXPECT_TRUE(pager->Read(*id, buf.data()).ok());
+}
+
+TEST(RetryingPagerTest, RecoversTransientErrorsWithinBudget) {
+  auto faulty = MakeFaulty();
+  FaultInjectingPager* fault_handle = faulty.get();
+  RetryingPager retrying(std::move(faulty), FastRetries(4));
+  auto id = retrying.Allocate();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(retrying.Write(*id, Pattern(0x77).data()).ok());
+  // Two consecutive failures, then the third attempt succeeds.
+  fault_handle->AddRule(FaultRule{FaultKind::kTransientIoError,
+                                  FaultOp::kRead, kAnyPage, /*after=*/0,
+                                  /*every=*/1, /*limit=*/2});
+  IoStats sink;
+  retrying.set_stats_sink(&sink);
+  std::vector<uint8_t> buf(kPage);
+  ASSERT_TRUE(retrying.Read(*id, buf.data()).ok());
+  EXPECT_EQ(buf, Pattern(0x77));
+  EXPECT_EQ(retrying.retries(), 2u);
+  EXPECT_EQ(sink.retries, 2u);
+}
+
+TEST(RetryingPagerTest, GivesUpAfterBudgetOnPersistentErrors) {
+  auto faulty = MakeFaulty();
+  FaultInjectingPager* fault_handle = faulty.get();
+  RetryingPager retrying(std::move(faulty), FastRetries(3));
+  auto id = retrying.Allocate();
+  ASSERT_TRUE(id.ok());
+  fault_handle->AddRule(
+      FaultRule{FaultKind::kPersistentIoError, FaultOp::kRead});
+  std::vector<uint8_t> buf(kPage);
+  EXPECT_TRUE(retrying.Read(*id, buf.data()).IsIoError());
+  EXPECT_EQ(retrying.retries(), 2u);  // max_attempts=3 → 2 retries.
+  EXPECT_EQ(fault_handle->fault_stats().persistent_io_errors, 3u);
+}
+
+TEST(RetryingPagerTest, NeverRetriesCorruption) {
+  auto failing = std::make_unique<FailingPager>(
+      kPage, Status::Corruption("rotten page"));
+  FailingPager* handle = failing.get();
+  RetryingPager retrying(std::move(failing), FastRetries(5));
+  std::vector<uint8_t> buf(kPage);
+  EXPECT_TRUE(retrying.Read(0, buf.data()).IsCorruption());
+  EXPECT_EQ(handle->read_calls, 1);
+  EXPECT_EQ(retrying.retries(), 0u);
+}
+
+TEST(RetryingPagerTest, BacksOffExponentiallyWithCap) {
+  auto failing = std::make_unique<FailingPager>(
+      kPage, Status::IoError("flaky disk"));
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = std::chrono::microseconds(100);
+  policy.multiplier = 2.0;
+  policy.max_backoff = std::chrono::microseconds(300);
+  RetryingPager retrying(std::move(failing), policy);
+  std::vector<int64_t> sleeps;
+  retrying.set_sleep_fn([&](std::chrono::microseconds d) {
+    sleeps.push_back(d.count());
+  });
+  std::vector<uint8_t> buf(kPage);
+  EXPECT_TRUE(retrying.Read(0, buf.data()).IsIoError());
+  EXPECT_EQ(sleeps, (std::vector<int64_t>{100, 200, 300, 300}));
+}
+
+TEST(FaultToleranceTest, ChecksumLayerCatchesBitFlipThroughThePool) {
+  // Full stack: BufferPool (integrity) over Retry over Fault over Mem.
+  // A silent bit flip on the stored bytes must surface as Corruption,
+  // not as wrong data — and must NOT be retried.
+  auto faulty = MakeFaulty();
+  FaultInjectingPager* fault_handle = faulty.get();
+  RetryingPager retrying(std::move(faulty), FastRetries(4));
+  BufferPool pool(&retrying, 2);
+  PageId id;
+  {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+    page->mutable_data()[3] = 0xee;
+    page->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  fault_handle->AddRule(
+      FaultRule{FaultKind::kBitFlip, FaultOp::kRead, id});
+  auto fetch = pool.Fetch(id);
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_TRUE(fetch.status().IsCorruption());
+  EXPECT_EQ(retrying.retries(), 0u);
+  EXPECT_EQ(pool.corrupt_pages().count(id), 1u);
+}
+
+TEST(FaultToleranceTest, ChecksumLayerCatchesTornWrite) {
+  auto faulty = MakeFaulty();
+  FaultInjectingPager* fault_handle = faulty.get();
+  BufferPool pool(fault_handle, 2);
+  PageId id;
+  {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+    std::memset(page->mutable_data(), 0x33, kPage);
+    page->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  // Rewrite the page; the write is torn (first half new, tail stale —
+  // including the stale footer, which no longer matches).
+  fault_handle->AddRule(FaultRule{FaultKind::kTornWrite, FaultOp::kWrite,
+                                  id, /*after=*/0, /*every=*/1,
+                                  /*limit=*/1});
+  {
+    auto page = pool.Fetch(id);
+    ASSERT_TRUE(page.ok());
+    std::memset(page->mutable_data(), 0x44, kPage - kPageFooterSize);
+    page->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  auto fetch = pool.Fetch(id);
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_TRUE(fetch.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace vitri::storage

@@ -5,10 +5,13 @@
 //   vitri stats     --summary summary.vsnp
 //   vitri query     --db db.vvdb --summary summary.vsnp --video ID
 //                   [--k 10] [--epsilon 0.15] [--method composed|naive]
+//   vitri verify    [--summary summary.vsnp] [--pages tree.vpag
+//                   [--page-size 4096]]
 //
 // `generate` writes a synthetic TV-ad database; `summarize` builds the
 // ViTri snapshot; `query` indexes the snapshot and searches with a
-// near-duplicate of the named database video.
+// near-duplicate of the named database video; `verify` checks snapshot
+// and page-file checksums offline.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +22,7 @@
 #include "core/index.h"
 #include "core/snapshot.h"
 #include "core/vitri_builder.h"
+#include "storage/pager.h"
 #include "video/serialization.h"
 #include "video/synthesizer.h"
 
@@ -180,14 +184,59 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+int CmdVerify(const Args& args) {
+  const char* snapshot = args.Get("--summary", nullptr);
+  const char* pages = args.Get("--pages", nullptr);
+  if (snapshot == nullptr && pages == nullptr) {
+    std::fprintf(stderr,
+                 "verify: at least one of --summary or --pages is "
+                 "required\n");
+    return 2;
+  }
+  int rc = 0;
+  if (snapshot != nullptr) {
+    auto set = core::LoadViTriSet(snapshot);
+    if (set.ok()) {
+      std::printf("%s: OK (%zu ViTris over %zu videos)\n", snapshot,
+                  set->size(), set->frame_counts.size());
+    } else {
+      std::fprintf(stderr, "%s: %s\n", snapshot,
+                   set.status().ToString().c_str());
+      rc = 1;
+    }
+  }
+  if (pages != nullptr) {
+    const size_t page_size =
+        static_cast<size_t>(args.GetLong("--page-size", 4096));
+    auto pager = storage::FilePager::Open(pages, page_size);
+    if (!pager.ok()) return Fail(pager.status());
+    auto report = storage::VerifyAllPages(pager->get());
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s: %llu pages scanned, %zu corrupt, %llu unstamped\n",
+                pages,
+                static_cast<unsigned long long>(report->pages_scanned),
+                report->corrupt.size(),
+                static_cast<unsigned long long>(report->unstamped));
+    for (storage::PageId id : report->corrupt) {
+      std::printf("  corrupt page %llu\n",
+                  static_cast<unsigned long long>(id));
+    }
+    if (!report->clean()) rc = 1;
+  }
+  return rc;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: vitri <generate|summarize|stats|query> [flags]\n"
+               "usage: vitri <generate|summarize|stats|query|verify> "
+               "[flags]\n"
                "  generate  --out db.vvdb [--scale S] [--dim N] [--seed X]\n"
                "  summarize --db db.vvdb --out s.vsnp [--epsilon E]\n"
                "  stats     --summary s.vsnp\n"
                "  query     --db db.vvdb --summary s.vsnp --video ID\n"
-               "            [--k K] [--epsilon E] [--method composed|naive]\n");
+               "            [--k K] [--epsilon E] [--method composed|naive]\n"
+               "  verify    [--summary s.vsnp] [--pages tree.vpag "
+               "[--page-size N]]\n");
 }
 
 }  // namespace
@@ -203,6 +252,7 @@ int main(int argc, char** argv) {
   if (command == "summarize") return CmdSummarize(args);
   if (command == "stats") return CmdStats(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "verify") return CmdVerify(args);
   Usage();
   return 2;
 }
