@@ -1,10 +1,11 @@
 #include "btree/bplus_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <limits>
+#include <string>
 
+#include "common/check.h"
 #include "common/coding.h"
 
 namespace vitri::btree {
@@ -355,7 +356,9 @@ Status BPlusTree::Insert(double key, uint64_t rid,
     ++height_;
   }
   ++num_entries_;
-  return StoreMeta();
+  VITRI_RETURN_IF_ERROR(StoreMeta());
+  VITRI_DCHECK_OK(ValidateInvariants());
+  return Status::OK();
 }
 
 Result<BPlusTree::SplitResult> BPlusTree::InsertRec(
@@ -576,6 +579,7 @@ Result<bool> BPlusTree::Delete(double key, uint64_t rid) {
     --height_;
   }
   VITRI_RETURN_IF_ERROR(StoreMeta());
+  VITRI_DCHECK_OK(ValidateInvariants());
   return true;
 }
 
@@ -831,21 +835,62 @@ Status BPlusTree::BulkLoad(const std::vector<Entry>& entries,
   }
   root_ = level[0].page;
   num_entries_ = entries.size();
-  return StoreMeta();
+  VITRI_RETURN_IF_ERROR(StoreMeta());
+  // Low fill factors legitimately pack below the default occupancy
+  // floor, so the post-bulk-load self-check scales its bound down.
+  TreeCheckOptions check;
+  check.min_fill = std::min(check.min_fill, fill_factor / 4.0);
+  VITRI_DCHECK_OK(ValidateInvariants(check));
+  return Status::OK();
 }
 
 // ---- validation ---------------------------------------------------------
 
-Status BPlusTree::ValidateStructure() const {
-  uint64_t entry_count = 0;
-  std::vector<PageId> leaves;
-  auto* self = const_cast<BPlusTree*>(this);
-  VITRI_RETURN_IF_ERROR(self->ValidateNode(
-      root_, 0, false, 0.0, 0, false, 0.0, 0, &entry_count, &leaves));
-  if (entry_count != num_entries_) {
-    return Status::Corruption("entry count mismatch");
+Status BPlusTree::ValidateInvariants(const TreeCheckOptions& options) const {
+  // The validator is observation-free: it restores the pool's I/O
+  // counters so debug-build self-checks never skew the page-access
+  // costs the experiments report.
+  const storage::IoStats saved = pool_->stats();
+  const Status status = ValidateInvariantsImpl(options);
+  *pool_->mutable_stats() = saved;
+  return status;
+}
+
+Status BPlusTree::ValidateInvariantsImpl(
+    const TreeCheckOptions& options) const {
+  // Meta page must agree with the in-memory header fields (StoreMeta
+  // runs at the end of every mutating operation).
+  {
+    VITRI_ASSIGN_OR_RETURN(PageRef meta, pool_->Fetch(0));
+    const uint8_t* p = meta.data();
+    if (DecodeU32(p + kMetaMagic) != kMagic ||
+        DecodeU32(p + kMetaVersion) != kVersion) {
+      return Status::Corruption("meta page magic/version mismatch");
+    }
+    if (DecodeU32(p + kMetaValueSize) != value_size_ ||
+        DecodeU32(p + kMetaRoot) != root_ ||
+        DecodeU32(p + kMetaHeight) != height_ ||
+        DecodeU32(p + kMetaFirstLeaf) != first_leaf_ ||
+        DecodeU64(p + kMetaNumEntries) != num_entries_ ||
+        DecodeU32(p + kMetaFreeHead) != free_head_) {
+      return Status::Corruption(
+          "meta page disagrees with the in-memory tree header");
+    }
   }
-  // Leaf chain must enumerate the same leaves, in order.
+
+  uint64_t entry_count = 0;
+  uint64_t node_count = 0;
+  std::vector<PageId> leaves;
+  VITRI_RETURN_IF_ERROR(ValidateNode(options, root_, 0, false, 0.0, 0,
+                                     false, 0.0, 0, &entry_count,
+                                     &node_count, &leaves));
+  if (entry_count != num_entries_) {
+    return Status::Corruption(
+        "entry count mismatch: tree holds " + std::to_string(entry_count) +
+        ", meta claims " + std::to_string(num_entries_));
+  }
+
+  // Leaf chain must enumerate the same leaves, in order, doubly linked.
   PageId id = first_leaf_;
   PageId prev = kInvalidPageId;
   size_t chain_idx = 0;
@@ -853,7 +898,10 @@ Status BPlusTree::ValidateStructure() const {
     VITRI_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(id));
     NodeView leaf(const_cast<uint8_t*>(page.data()), value_size_);
     if (!leaf.is_leaf()) return Status::Corruption("chain hits non-leaf");
-    if (leaf.prev() != prev) return Status::Corruption("bad prev link");
+    if (leaf.prev() != prev) {
+      return Status::Corruption("bad prev link in leaf " +
+                                std::to_string(id));
+    }
     if (chain_idx >= leaves.size() || leaves[chain_idx] != id) {
       return Status::Corruption("leaf chain order mismatch");
     }
@@ -864,20 +912,74 @@ Status BPlusTree::ValidateStructure() const {
   if (chain_idx != leaves.size()) {
     return Status::Corruption("leaf chain shorter than the tree");
   }
+
+  // Free list: every page marked free, no cycles, and exact page
+  // accounting — meta + reachable nodes + free pages cover the pager.
+  const uint64_t total_pages = pool_->pager()->num_pages();
+  uint64_t free_count = 0;
+  PageId free_id = free_head_;
+  while (free_id != kInvalidPageId) {
+    if (++free_count > total_pages) {
+      return Status::Corruption("free list cycle");
+    }
+    VITRI_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(free_id));
+    if (page.data()[kNodeType] != kFreeType) {
+      return Status::Corruption("free-list page " + std::to_string(free_id) +
+                                " is not marked free");
+    }
+    free_id = DecodeU32(page.data() + kInternalChild0);
+  }
+  if (1 + node_count + free_count != total_pages) {
+    return Status::Corruption(
+        "page accounting mismatch: meta + " + std::to_string(node_count) +
+        " nodes + " + std::to_string(free_count) + " free pages != " +
+        std::to_string(total_pages) + " pager pages");
+  }
+
+  if (options.verify_checksums) {
+    VITRI_ASSIGN_OR_RETURN(storage::PageVerifyReport report,
+                           storage::VerifyAllPages(pool_->pager()));
+    if (!report.clean()) {
+      return Status::Corruption(
+          "page footer checksum mismatch on " +
+          std::to_string(report.corrupt.size()) + " page(s), first: " +
+          std::to_string(report.corrupt.front()));
+    }
+  }
   return Status::OK();
 }
 
-Status BPlusTree::ValidateNode(PageId node_id, uint32_t depth, bool has_lo,
+Status BPlusTree::ValidateNode(const TreeCheckOptions& options,
+                               PageId node_id, uint32_t depth, bool has_lo,
                                double lo_key, uint64_t lo_rid, bool has_hi,
                                double hi_key, uint64_t hi_rid,
-                               uint64_t* entry_count,
+                               uint64_t* entry_count, uint64_t* node_count,
                                std::vector<PageId>* leaves_in_order) const {
+  if (++*node_count > pool_->pager()->num_pages()) {
+    return Status::Corruption("node graph has more nodes than pages "
+                              "(child cycle)");
+  }
   VITRI_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(node_id));
   NodeView node(const_cast<uint8_t*>(page.data()), value_size_);
 
   if (node.is_leaf()) {
     if (depth + 1 != height_) {
       return Status::Corruption("leaf at wrong depth");
+    }
+    // Bound the count before touching entries: a corrupted count would
+    // otherwise walk past the end of the page.
+    if (node.count() > leaf_capacity_) {
+      return Status::Corruption("leaf " + std::to_string(node_id) +
+                                " count exceeds capacity");
+    }
+    const auto min_entries = std::max(
+        1u, static_cast<uint32_t>(options.min_fill *
+                                  static_cast<double>(leaf_capacity_)));
+    if (node_id != root_ && node.count() < min_entries) {
+      return Status::Corruption("leaf " + std::to_string(node_id) +
+                                " below minimum fill: " +
+                                std::to_string(node.count()) + " < " +
+                                std::to_string(min_entries));
     }
     for (size_t i = 0; i < node.count(); ++i) {
       const double k = node.leaf_key(i);
@@ -904,6 +1006,23 @@ Status BPlusTree::ValidateNode(PageId node_id, uint32_t depth, bool has_lo,
   if (node.count() == 0 && node_id != root_) {
     return Status::Corruption("empty interior node");
   }
+  if (node.count() > internal_capacity_) {
+    return Status::Corruption("interior node " + std::to_string(node_id) +
+                              " count exceeds capacity");
+  }
+  // Interior occupancy counts children (count + 1): bulk load packs
+  // children per node, so the guaranteed floor is on fan-out, not on
+  // separators.
+  const auto min_children = std::max(
+      2u, static_cast<uint32_t>(
+              options.min_fill *
+              static_cast<double>(internal_capacity_ + 1)));
+  if (node_id != root_ && node.count() + 1u < min_children) {
+    return Status::Corruption("interior node " + std::to_string(node_id) +
+                              " below minimum fill: " +
+                              std::to_string(node.count() + 1u) + " < " +
+                              std::to_string(min_children) + " children");
+  }
   for (size_t i = 0; i + 1 < node.count(); ++i) {
     if (!CompositeLess(node.sep_key(i), node.sep_rid(i),
                        node.sep_key(i + 1), node.sep_rid(i + 1))) {
@@ -919,9 +1038,9 @@ Status BPlusTree::ValidateNode(PageId node_id, uint32_t depth, bool has_lo,
     const uint64_t child_hi_rid =
         (i < node.count()) ? node.sep_rid(i) : hi_rid;
     VITRI_RETURN_IF_ERROR(ValidateNode(
-        node.child(i), depth + 1, child_has_lo, child_lo_key, child_lo_rid,
-        child_has_hi, child_hi_key, child_hi_rid, entry_count,
-        leaves_in_order));
+        options, node.child(i), depth + 1, child_has_lo, child_lo_key,
+        child_lo_rid, child_has_hi, child_hi_key, child_hi_rid, entry_count,
+        node_count, leaves_in_order));
   }
   return Status::OK();
 }

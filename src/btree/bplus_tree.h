@@ -29,6 +29,21 @@ struct Entry {
 using ScanCallback = std::function<bool(double key, uint64_t rid,
                                         std::span<const uint8_t> value)>;
 
+/// Knobs for BPlusTree::ValidateInvariants.
+struct TreeCheckOptions {
+  /// Minimum occupancy fraction every non-root node must satisfy.
+  /// The default is safely below both the deletion rebalance threshold
+  /// (1/2) and the worst case of a BulkLoad at fill factors >= 0.5;
+  /// callers that bulk-loaded at a known fill factor f may tighten it
+  /// to f/2.
+  double min_fill = 0.25;
+  /// Also re-read every page of the backing pager and verify its
+  /// integrity footer (storage::VerifyAllPages). Off by default: the
+  /// structural walk already checksums pages it faults in, and offline
+  /// audits (`vitri check`) turn this on for full coverage.
+  bool verify_checksums = false;
+};
+
 /// Disk-paged B+-tree over composite keys (double, uint64) with
 /// fixed-size values, built on a BufferPool. Single-threaded.
 ///
@@ -89,9 +104,26 @@ class BPlusTree {
 
   storage::BufferPool* pool() const { return pool_; }
 
-  /// Exhaustively checks structural invariants (ordering, occupancy,
-  /// leaf chaining, entry count, separator correctness). Test hook.
-  Status ValidateStructure() const;
+  /// Exhaustively checks every structural invariant of the tree:
+  ///  * composite keys strictly ordered within and across nodes, with
+  ///    separator bounds propagated to every subtree;
+  ///  * node occupancy within [min_fill * capacity, capacity] for all
+  ///    non-root nodes, and counts that fit on the page;
+  ///  * all leaves at the same depth (== height) and the doubly linked
+  ///    leaf chain enumerating exactly the tree's leaves in key order;
+  ///  * the meta page agreeing with the in-memory header fields;
+  ///  * the free list well-formed (marked pages, no cycles) and page
+  ///    accounting exact: meta + reachable nodes + free pages cover the
+  ///    pager;
+  ///  * optionally (TreeCheckOptions::verify_checksums) every page's
+  ///    integrity footer.
+  /// Pages faulted in during the walk are checksum-verified by the
+  /// BufferPool as usual, so on-disk corruption surfaces as Corruption.
+  /// The pool's IoStats are restored afterwards: validation is
+  /// observation-free and never skews reported query costs. Runs after
+  /// every mutating operation in debug builds (VITRI_DCHECK), in tests,
+  /// and via `vitri check`.
+  Status ValidateInvariants(const TreeCheckOptions& options = {}) const;
 
  private:
   explicit BPlusTree(storage::BufferPool* pool) : pool_(pool) {}
@@ -112,9 +144,12 @@ class BPlusTree {
                                  uint64_t rid);
   Status RebalanceChild(storage::PageRef& parent, uint32_t child_pos,
                         bool* parent_underflow);
-  Status ValidateNode(storage::PageId node_id, uint32_t depth, bool has_lo,
+  Status ValidateInvariantsImpl(const TreeCheckOptions& options) const;
+  Status ValidateNode(const TreeCheckOptions& options,
+                      storage::PageId node_id, uint32_t depth, bool has_lo,
                       double lo_key, uint64_t lo_rid, bool has_hi,
                       double hi_key, uint64_t hi_rid, uint64_t* entry_count,
+                      uint64_t* node_count,
                       std::vector<storage::PageId>* leaves_in_order) const;
 
   storage::BufferPool* pool_ = nullptr;

@@ -1,0 +1,117 @@
+#ifndef VITRI_COMMON_CHECK_H_
+#define VITRI_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vitri {
+
+/// Invariant-checking macros, modeled after the glog CHECK family.
+///
+///   VITRI_CHECK(cond) << "context";   // Always on; aborts on failure.
+///   VITRI_DCHECK(cond) << "context";  // Debug builds only (see below).
+///   VITRI_CHECK_OK(status_or_result); // Aborts on a non-OK Status/Result.
+///   VITRI_DCHECK_OK(expr);            // Debug-only variant.
+///
+/// VITRI_DCHECK and VITRI_DCHECK_OK compile to nothing (the condition is
+/// *not evaluated*) unless dchecks are enabled. Dchecks are on in builds
+/// without NDEBUG (i.e. Debug), and can be forced into any build type by
+/// defining VITRI_ENABLE_DCHECKS (CMake: -DVITRI_DCHECKS=ON).
+///
+/// Checks are for programming errors — violated internal invariants that
+/// have no sane recovery. Expected runtime failures (I/O errors, corrupt
+/// input) must keep flowing through Status/Result.
+
+#if defined(VITRI_ENABLE_DCHECKS)
+#define VITRI_DCHECKS_ENABLED 1
+#elif !defined(NDEBUG)
+#define VITRI_DCHECKS_ENABLED 1
+#else
+#define VITRI_DCHECKS_ENABLED 0
+#endif
+
+namespace internal {
+
+/// Collects the failure message and aborts the process on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "VITRI_CHECK failed at " << file << ":" << line << ": "
+            << expr;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands of compiled-out VITRI_DCHECK statements.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+inline const Status& ToStatus(const Status& status) { return status; }
+
+template <typename T>
+const Status& ToStatus(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace internal
+
+/// Aborts (after printing file:line, the expression, and any streamed
+/// message) when `cond` is false.
+#define VITRI_CHECK(cond)                                       \
+  while (!(cond))                                               \
+  ::vitri::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#if VITRI_DCHECKS_ENABLED
+#define VITRI_DCHECK(cond) VITRI_CHECK(cond)
+#else
+// `false && (cond)` keeps the condition compiled (names stay checked)
+// but never evaluated: side effects inside VITRI_DCHECK vanish in
+// release builds by design.
+#define VITRI_DCHECK(cond) \
+  while (false && static_cast<bool>(cond)) ::vitri::internal::NullStream()
+#endif
+
+/// Aborts when `expr` (a Status expression) is not OK.
+#define VITRI_CHECK_OK(expr)                                              \
+  do {                                                                    \
+    const ::vitri::Status _vitri_check_status =                           \
+        ::vitri::internal::ToStatus(expr);                                \
+    while (!_vitri_check_status.ok())                                     \
+      ::vitri::internal::CheckFailure(__FILE__, __LINE__, #expr).stream() \
+          << " -> " << _vitri_check_status.ToString();                    \
+  } while (false)
+
+#if VITRI_DCHECKS_ENABLED
+#define VITRI_DCHECK_OK(expr) VITRI_CHECK_OK(expr)
+#else
+#define VITRI_DCHECK_OK(expr)                            \
+  while (false && ::vitri::internal::ToStatus(expr).ok()) \
+  static_cast<void>(0)
+#endif
+
+}  // namespace vitri
+
+#endif  // VITRI_COMMON_CHECK_H_

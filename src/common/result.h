@@ -13,7 +13,7 @@ namespace vitri {
 /// Status and no value. Accessing the value of an error Result aborts
 /// in debug builds (assert) — callers must check ok() first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: makes `return value;` work in functions
   /// returning Result<T>.

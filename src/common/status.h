@@ -26,8 +26,11 @@ enum class StatusCode : int {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
-/// (no allocation); error states carry a message.
-class Status {
+/// (no allocation); error states carry a message. [[nodiscard]]: a
+/// dropped Status is a swallowed error, so ignoring one is a compile
+/// error under -Werror; truly fire-and-forget calls must spell out
+/// `(void)expr`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

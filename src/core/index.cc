@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <string>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/similarity.h"
+#include "core/validate.h"
 #include "storage/retry_pager.h"
 
 namespace vitri::core {
@@ -88,7 +92,9 @@ Status ViTriIndex::LoadTree() {
             [](const btree::Entry& a, const btree::Entry& b) {
               return a.key < b.key || (a.key == b.key && a.rid < b.rid);
             });
-  return tree_->BulkLoad(entries);
+  VITRI_RETURN_IF_ERROR(tree_->BulkLoad(entries));
+  VITRI_DCHECK_OK(ValidateInvariants());
+  return Status::OK();
 }
 
 Status ViTriIndex::Insert(uint32_t video_id, uint32_t num_frames,
@@ -109,6 +115,7 @@ Status ViTriIndex::Insert(uint32_t video_id, uint32_t num_frames,
     vitris_.push_back(v);
     positions_.push_back(v.position);
   }
+  VITRI_DCHECK_OK(ValidateInvariants());
   return Status::OK();
 }
 
@@ -401,6 +408,100 @@ Result<std::vector<VideoMatch>> ViTriIndex::FrameSearch(
   local.cpu_seconds = watch.ElapsedSeconds();
   if (costs != nullptr) *costs = local;
   return out;
+}
+
+namespace {
+
+Status IndexInvariantViolation(const std::string& what) {
+  return Status::Internal("index invariant violated: " + what);
+}
+
+}  // namespace
+
+Status ViTriIndex::ValidateInvariants() {
+  const IoStats saved = pool_->stats();
+  const Status status = ValidateInvariantsImpl();
+  *pool_->mutable_stats() = saved;
+  return status;
+}
+
+Status ViTriIndex::ValidateInvariantsImpl() {
+  if (!transform_.has_value() || !tree_.has_value() || pool_ == nullptr ||
+      pager_ == nullptr) {
+    return IndexInvariantViolation("index is not fully constructed");
+  }
+  if (positions_.size() != vitris_.size()) {
+    return IndexInvariantViolation(
+        "positions_ caches " + std::to_string(positions_.size()) +
+        " entries for " + std::to_string(vitris_.size()) + " ViTris");
+  }
+  for (size_t i = 0; i < vitris_.size(); ++i) {
+    if (positions_[i] != vitris_[i].position) {
+      return IndexInvariantViolation(
+          "cached position " + std::to_string(i) +
+          " diverged from its ViTri");
+    }
+  }
+
+  ViTriCheckOptions check;
+  check.epsilon = options_.epsilon;
+  const ViTriSet snapshot = Snapshot();
+  VITRI_RETURN_IF_ERROR(ValidateViTriSet(snapshot, check));
+  VITRI_RETURN_IF_ERROR(ValidateSnapshotRoundTrip(snapshot));
+
+  VITRI_RETURN_IF_ERROR(pool_->ValidateInvariants());
+  VITRI_RETURN_IF_ERROR(tree_->ValidateInvariants());
+  if (tree_->num_entries() != vitris_.size()) {
+    return IndexInvariantViolation(
+        "tree holds " + std::to_string(tree_->num_entries()) +
+        " records for " + std::to_string(vitris_.size()) + " ViTris");
+  }
+
+  // Every stored record must deserialize to its in-memory twin and sit
+  // under exactly the transform key of its position.
+  Status record_status = Status::OK();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto scanned = tree_->RangeScan(
+      -kInf, kInf,
+      [&](double key, uint64_t rid, std::span<const uint8_t> value) {
+        if (rid >= vitris_.size()) {
+          record_status = IndexInvariantViolation(
+              "tree record has out-of-range rid " + std::to_string(rid));
+          return false;
+        }
+        auto parsed = ViTri::Deserialize(value, options_.dimension);
+        if (!parsed.ok()) {
+          record_status = IndexInvariantViolation(
+              "record " + std::to_string(rid) +
+              " does not deserialize: " + parsed.status().ToString());
+          return false;
+        }
+        const ViTri& twin = vitris_[rid];
+        if (parsed->video_id != twin.video_id ||
+            parsed->cluster_size != twin.cluster_size ||
+            parsed->radius != twin.radius ||
+            parsed->position != twin.position) {
+          record_status = IndexInvariantViolation(
+              "record " + std::to_string(rid) +
+              " disagrees with its in-memory ViTri");
+          return false;
+        }
+        if (key != transform_->Key(twin.position)) {
+          record_status = IndexInvariantViolation(
+              "record " + std::to_string(rid) +
+              " is filed under the wrong transform key");
+          return false;
+        }
+        return true;
+      });
+  VITRI_RETURN_IF_ERROR(scanned.status());
+  VITRI_RETURN_IF_ERROR(record_status);
+  if (*scanned != vitris_.size()) {
+    return IndexInvariantViolation(
+        "leaf scan visited " + std::to_string(*scanned) + " records for " +
+        std::to_string(vitris_.size()) + " ViTris");
+  }
+  return Status::OK();
 }
 
 Result<double> ViTriIndex::DriftAngle() const {

@@ -157,6 +157,17 @@ class ViTriIndex {
   /// Drops all cached pages (cold-cache experiments).
   Status DropCaches() { return pool_->EvictAll(); }
 
+  /// Deep self-check of the whole index: the in-memory summary obeys
+  /// every ViTri invariant (core/validate.h, with this index's epsilon)
+  /// and survives a serialization round trip, positions_ mirrors the
+  /// triplets, the buffer pool and B+-tree pass their own validators,
+  /// and a full leaf scan proves each stored record deserializes to its
+  /// in-memory twin filed under exactly transform().Key(position). The
+  /// pool's IoStats are restored afterwards, so validation never skews
+  /// reported query costs. Runs after every mutating operation in debug
+  /// builds (VITRI_DCHECK) and via `vitri check`.
+  Status ValidateInvariants();
+
   /// A copy of the current contents as a ViTriSet (the input of
   /// snapshot persistence; see core/snapshot.h).
   ViTriSet Snapshot() const {
@@ -173,6 +184,8 @@ class ViTriIndex {
   /// (Re)creates pager/pool/tree and bulk-loads all current ViTris using
   /// the current transform.
   Status LoadTree();
+
+  Status ValidateInvariantsImpl();
 
   /// Accumulates per-video estimated shared frames for a scanned record.
   struct RangeSpec {

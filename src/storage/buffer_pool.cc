@@ -1,14 +1,16 @@
 #include "storage/buffer_pool.h"
 
-#include <cassert>
+#include <string>
+#include <unordered_set>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "storage/page_footer.h"
 
 namespace vitri::storage {
 
 void PageRef::MarkDirty() {
-  assert(valid());
+  VITRI_DCHECK(valid()) << "MarkDirty on a released PageRef";
   // Dirtiness is latched at unpin time; remember it locally.
   dirty_latch_ = true;
 }
@@ -24,8 +26,8 @@ void PageRef::Release() {
 
 BufferPool::BufferPool(Pager* pager, size_t capacity)
     : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {
-  assert(pager->page_size() > kPageFooterSize &&
-         "page size must leave room for the integrity footer");
+  VITRI_CHECK(pager->page_size() > kPageFooterSize)
+      << "page size must leave room for the integrity footer";
 }
 
 BufferPool::~BufferPool() {
@@ -66,7 +68,8 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   }
   frame.pin_count = 1;
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
-  assert(inserted);
+  VITRI_DCHECK(inserted) << "page " << id << " already had a frame";
+  VITRI_DCHECK_OK(ValidateInvariants());
   return PageRef(this, id, pos->second.data.data());
 }
 
@@ -81,7 +84,9 @@ Result<PageRef> BufferPool::New() {
   frame.pin_count = 1;
   frame.dirty = true;
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
-  assert(inserted);
+  VITRI_DCHECK(inserted) << "freshly allocated page " << id
+                         << " already had a frame";
+  VITRI_DCHECK_OK(ValidateInvariants());
   return PageRef(this, id, pos->second.data.data());
 }
 
@@ -108,15 +113,16 @@ Status BufferPool::EvictAll() {
 
 void BufferPool::Unpin(PageId id, bool dirty) {
   auto it = frames_.find(id);
-  assert(it != frames_.end());
+  VITRI_CHECK(it != frames_.end()) << "unpin of unknown page " << id;
   Frame& frame = it->second;
-  assert(frame.pin_count > 0);
+  VITRI_CHECK(frame.pin_count > 0) << "unpin of unpinned page " << id;
   if (dirty) frame.dirty = true;
   if (--frame.pin_count == 0) {
     lru_.push_back(id);
     frame.lru_pos = std::prev(lru_.end());
     frame.in_lru = true;
   }
+  VITRI_DCHECK_OK(ValidateInvariants());
 }
 
 Status BufferPool::EvictOneIfFull() {
@@ -128,9 +134,95 @@ Status BufferPool::EvictOneIfFull() {
   const PageId victim = lru_.front();
   lru_.pop_front();
   auto it = frames_.find(victim);
-  assert(it != frames_.end());
+  VITRI_CHECK(it != frames_.end()) << "LRU victim " << victim
+                                   << " has no resident frame";
   VITRI_RETURN_IF_ERROR(WriteBack(it->second));
   frames_.erase(it);
+  return Status::OK();
+}
+
+namespace {
+
+Status PoolInvariantViolation(const std::string& what) {
+  return Status::Internal("buffer pool invariant violated: " + what);
+}
+
+}  // namespace
+
+Status BufferPool::ValidateInvariants() const {
+  if (capacity_ < 1) {
+    return PoolInvariantViolation("capacity must be >= 1");
+  }
+  if (frames_.size() > capacity_) {
+    return PoolInvariantViolation(
+        "resident frames (" + std::to_string(frames_.size()) +
+        ") exceed capacity (" + std::to_string(capacity_) + ")");
+  }
+
+  // Every LRU entry must name a distinct, resident, unpinned frame whose
+  // back-pointer is exactly this list position.
+  std::unordered_set<PageId> on_lru;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (!on_lru.insert(*it).second) {
+      return PoolInvariantViolation("page " + std::to_string(*it) +
+                                    " appears twice on the LRU list");
+    }
+    auto frame_it = frames_.find(*it);
+    if (frame_it == frames_.end()) {
+      return PoolInvariantViolation("LRU entry for page " +
+                                    std::to_string(*it) +
+                                    " has no resident frame");
+    }
+    const Frame& frame = frame_it->second;
+    if (!frame.in_lru || frame.lru_pos != it) {
+      return PoolInvariantViolation("page " + std::to_string(*it) +
+                                    " has a desynced LRU back-pointer");
+    }
+    if (frame.pin_count != 0) {
+      return PoolInvariantViolation("pinned page " + std::to_string(*it) +
+                                    " sits on the LRU list");
+    }
+  }
+
+  size_t unpinned = 0;
+  for (const auto& [id, frame] : frames_) {
+    if (frame.id != id) {
+      return PoolInvariantViolation(
+          "frame keyed " + std::to_string(id) + " believes it is page " +
+          std::to_string(frame.id));
+    }
+    if (frame.data.size() != pager_->page_size()) {
+      return PoolInvariantViolation("page " + std::to_string(id) +
+                                    " buffer size mismatch");
+    }
+    if (id >= pager_->num_pages()) {
+      return PoolInvariantViolation("page " + std::to_string(id) +
+                                    " is beyond the pager's extent");
+    }
+    if (frame.pin_count < 0) {
+      return PoolInvariantViolation("page " + std::to_string(id) +
+                                    " has a negative pin count");
+    }
+    if (frame.pin_count == 0) {
+      ++unpinned;
+      if (!frame.in_lru) {
+        return PoolInvariantViolation("unpinned page " + std::to_string(id) +
+                                      " is missing from the LRU list");
+      }
+    } else if (frame.in_lru) {
+      return PoolInvariantViolation("pinned page " + std::to_string(id) +
+                                    " is flagged as on the LRU list");
+    }
+  }
+  if (unpinned != lru_.size()) {
+    return PoolInvariantViolation(
+        "LRU list length " + std::to_string(lru_.size()) +
+        " disagrees with " + std::to_string(unpinned) + " unpinned frames");
+  }
+
+  if (stats_.cache_hits > stats_.logical_reads) {
+    return PoolInvariantViolation("more cache hits than logical reads");
+  }
   return Status::OK();
 }
 

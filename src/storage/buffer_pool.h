@@ -115,8 +115,20 @@ class BufferPool {
   size_t resident() const { return frames_.size(); }
   Pager* pager() const { return pager_; }
 
+  /// Deep self-check of the pool's bookkeeping: every frame's pin count
+  /// is non-negative, a frame sits on the LRU list iff it is unpinned
+  /// (exactly once, with a live back-pointer), no page id owns two
+  /// frames, frame buffers match the pager's page size, and the hit
+  /// counter never exceeds the fetch counter. Runs after every
+  /// mutating operation in debug builds (VITRI_DCHECK) and via
+  /// `vitri check`; returns Internal naming the violated invariant.
+  Status ValidateInvariants() const;
+
  private:
   friend class PageRef;
+  /// Test hook: lets invariant tests break internal bookkeeping on
+  /// purpose to prove ValidateInvariants() catches it.
+  friend struct BufferPoolTestPeer;
 
   struct Frame {
     PageId id = kInvalidPageId;

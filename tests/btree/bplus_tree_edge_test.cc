@@ -39,7 +39,7 @@ TEST(BPlusTreeEdgeTest, EmptyBulkLoadLeavesTreeUsable) {
   ASSERT_TRUE(tree->BulkLoad({}).ok());
   EXPECT_EQ(tree->num_entries(), 0u);
   ASSERT_TRUE(tree->Insert(1.0, 1, Value(1)).ok());
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
 }
 
 TEST(BPlusTreeEdgeTest, NegativeZeroAndPositiveZeroKeys) {
@@ -128,7 +128,7 @@ TEST(BPlusTreeEdgeTest, AlternatingInsertDeleteChurn) {
       ASSERT_TRUE(deleted.ok());
       ASSERT_TRUE(*deleted);
     }
-    ASSERT_TRUE(tree->ValidateStructure().ok()) << "cycle " << cycle;
+    ASSERT_TRUE(tree->ValidateInvariants().ok()) << "cycle " << cycle;
     EXPECT_EQ(tree->num_entries(), live.size());
   }
   // Page count must stay bounded (free list reuse), not grow per cycle.

@@ -64,7 +64,7 @@ TEST_P(BPlusTreeDifferentialTest, MatchesReferenceModel) {
     EXPECT_EQ(tree->num_entries(), model.size());
 
     if (op % 64 == 63) {
-      ASSERT_TRUE(tree->ValidateStructure().ok()) << "op " << op;
+      ASSERT_TRUE(tree->ValidateInvariants().ok()) << "op " << op;
     }
     if (op % 97 == 96) {
       // Random range scan must agree with the model exactly.
@@ -92,7 +92,7 @@ TEST_P(BPlusTreeDifferentialTest, MatchesReferenceModel) {
   }
 
   // Final full check.
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   std::vector<std::pair<double, uint64_t>> all;
   ASSERT_TRUE(tree->RangeScan(-1e300, 1e300,
                               [&](double k, uint64_t r,
@@ -148,7 +148,7 @@ TEST_P(BulkLoadEquivalenceTest, SameContentsAsIncrementalInsert) {
   auto bulk = BPlusTree::Create(&pool_a, kValueSize);
   ASSERT_TRUE(bulk.ok());
   ASSERT_TRUE(bulk->BulkLoad(entries, fill).ok());
-  ASSERT_TRUE(bulk->ValidateStructure().ok());
+  ASSERT_TRUE(bulk->ValidateInvariants().ok());
 
   MemPager pager_b(512);
   BufferPool pool_b(&pager_b, 64);

@@ -45,7 +45,7 @@ TEST(BPlusTreeTest, CreateEmptyTree) {
   ASSERT_TRUE(tree.ok());
   EXPECT_EQ(tree->num_entries(), 0u);
   EXPECT_EQ(tree->height(), 1u);
-  EXPECT_TRUE(tree->ValidateStructure().ok());
+  EXPECT_TRUE(tree->ValidateInvariants().ok());
 }
 
 TEST(BPlusTreeTest, CreateRejectsOversizedValues) {
@@ -115,7 +115,7 @@ TEST(BPlusTreeTest, AscendingInsertsSplitCorrectly) {
   }
   EXPECT_EQ(tree->num_entries(), static_cast<uint64_t>(kN));
   EXPECT_GT(tree->height(), 1u);
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   for (int i = 0; i < kN; ++i) {
     auto found = tree->Lookup(i, i, nullptr);
     ASSERT_TRUE(found.ok());
@@ -131,7 +131,7 @@ TEST(BPlusTreeTest, DescendingInsertsSplitCorrectly) {
   for (int i = kN - 1; i >= 0; --i) {
     ASSERT_TRUE(tree->Insert(i, i, MakeValue(i)).ok()) << i;
   }
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   for (int i = 0; i < kN; ++i) {
     auto found = tree->Lookup(i, i, nullptr);
     ASSERT_TRUE(found.ok() && *found) << i;
@@ -150,7 +150,7 @@ TEST(BPlusTreeTest, RandomInsertsMatchReference) {
     ASSERT_TRUE(tree->Insert(key, rid, MakeValue(rid)).ok());
     reference[{key, rid}] = rid;
   }
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   // Full scan must enumerate exactly the reference, in order.
   std::vector<std::pair<double, uint64_t>> scanned;
   auto visited = tree->RangeScan(
@@ -250,7 +250,7 @@ TEST(BPlusTreeTest, DuplicateRawKeysAllScanned) {
   for (int i = 0; i < 300; ++i) {
     ASSERT_TRUE(tree->Insert(i % 3, i, MakeValue(i)).ok());
   }
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   for (int key = 0; key < 3; ++key) {
     int count = 0;
     ASSERT_TRUE(tree
@@ -304,12 +304,12 @@ TEST(BPlusTreeTest, DeleteEverythingShrinksTree) {
     ASSERT_TRUE(deleted.ok());
     ASSERT_TRUE(*deleted) << i;
     if (i % 50 == 0) {
-      ASSERT_TRUE(tree->ValidateStructure().ok()) << "after delete " << i;
+      ASSERT_TRUE(tree->ValidateInvariants().ok()) << "after delete " << i;
     }
   }
   EXPECT_EQ(tree->num_entries(), 0u);
   EXPECT_EQ(tree->height(), 1u);
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
 }
 
 TEST(BPlusTreeTest, DeleteInReverseOrder) {
@@ -324,7 +324,7 @@ TEST(BPlusTreeTest, DeleteInReverseOrder) {
     auto deleted = tree->Delete(i, i);
     ASSERT_TRUE(deleted.ok() && *deleted) << i;
   }
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   EXPECT_EQ(tree->num_entries(), 0u);
 }
 
@@ -344,7 +344,7 @@ TEST(BPlusTreeTest, FreedPagesAreRecycled) {
     ASSERT_TRUE(tree->Insert(i, i, MakeValue(i)).ok());
   }
   EXPECT_LE(fx.pager.num_pages(), pages_after_churn + 2);
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
 }
 
 TEST(BPlusTreeTest, BulkLoadMatchesScan) {
@@ -361,7 +361,7 @@ TEST(BPlusTreeTest, BulkLoadMatchesScan) {
   }
   ASSERT_TRUE(tree->BulkLoad(entries).ok());
   EXPECT_EQ(tree->num_entries(), 1000u);
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   size_t i = 0;
   auto visited = tree->RangeScan(
       -1e300, 1e300, [&](double k, uint64_t r, std::span<const uint8_t>) {
@@ -408,14 +408,14 @@ TEST(BPlusTreeTest, BulkLoadThenInsertAndDelete) {
     ASSERT_TRUE(
         tree->Insert(2 * i + 1, 1000 + i, MakeValue(1000 + i)).ok());
   }
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   EXPECT_EQ(tree->num_entries(), 600u);
   // Delete the originals.
   for (int i = 0; i < 300; ++i) {
     auto deleted = tree->Delete(2 * i, i);
     ASSERT_TRUE(deleted.ok() && *deleted) << i;
   }
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   EXPECT_EQ(tree->num_entries(), 300u);
 }
 
@@ -441,7 +441,7 @@ TEST(BPlusTreeTest, PersistsAcrossReopenWithFilePager) {
     auto tree = BPlusTree::Open(&pool);
     ASSERT_TRUE(tree.ok());
     EXPECT_EQ(tree->num_entries(), 300u);
-    ASSERT_TRUE(tree->ValidateStructure().ok());
+    ASSERT_TRUE(tree->ValidateInvariants().ok());
     for (int i = 0; i < 300; ++i) {
       std::vector<uint8_t> value;
       auto found = tree->Lookup(i, i, &value);
@@ -471,7 +471,7 @@ TEST(BPlusTreeTest, WorksWithTinyBufferPool) {
   for (int i = 0; i < 2000; ++i) {
     ASSERT_TRUE(tree->Insert(i, i, MakeValue(i)).ok()) << i;
   }
-  ASSERT_TRUE(tree->ValidateStructure().ok());
+  ASSERT_TRUE(tree->ValidateInvariants().ok());
   int count = 0;
   ASSERT_TRUE(tree
                   ->RangeScan(-1e300, 1e300,

@@ -1,0 +1,83 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vitri {
+namespace {
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  int x = 1;
+  VITRI_CHECK(x == 1);
+  VITRI_CHECK(x == 1) << "streamed message is not evaluated on success";
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpressionText) {
+  EXPECT_DEATH(VITRI_CHECK(1 + 1 == 3), "VITRI_CHECK failed");
+  EXPECT_DEATH(VITRI_CHECK(false) << "extra context 42",
+               "extra context 42");
+}
+
+TEST(CheckTest, CheckOkPassesThroughOkStatus) {
+  VITRI_CHECK_OK(Status::OK());
+  const Result<int> result(7);
+  VITRI_CHECK_OK(result);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnErrorWithStatusText) {
+  EXPECT_DEATH(VITRI_CHECK_OK(Status::Corruption("flipped bit")),
+               "flipped bit");
+  const Result<int> result(Status::NotFound("missing record"));
+  EXPECT_DEATH(VITRI_CHECK_OK(result), "missing record");
+}
+
+TEST(CheckTest, DcheckEvaluatesConditionOnlyWhenEnabled) {
+  int evaluations = 0;
+  auto condition = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  VITRI_DCHECK(condition());
+#if VITRI_DCHECKS_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  // In release builds the condition must compile but never run: a
+  // side-effecting debug check would make release behavior diverge.
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(CheckTest, DcheckOkEvaluatesExpressionOnlyWhenEnabled) {
+  int evaluations = 0;
+  auto make_status = [&evaluations]() {
+    ++evaluations;
+    return Status::OK();
+  };
+  VITRI_DCHECK_OK(make_status());
+#if VITRI_DCHECKS_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+#if VITRI_DCHECKS_ENABLED
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(VITRI_DCHECK(false) << "debug-only failure",
+               "debug-only failure");
+}
+#else
+TEST(CheckTest, DcheckIsInertWhenDisabled) {
+  // Must not abort, and the streamed operands must not be evaluated.
+  int evaluations = 0;
+  VITRI_DCHECK(false) << "never evaluated " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace vitri

@@ -1,0 +1,223 @@
+// End-to-end fault tolerance: the index built over a faulty storage
+// stack must retry transient errors transparently, degrade (but stay
+// correct) on persistent corruption, and heal through Rebuild().
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/index.h"
+#include "core/vitri_builder.h"
+#include "storage/fault_pager.h"
+#include "storage/retry_pager.h"
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+using storage::FaultInjectingPager;
+using storage::FaultKind;
+using storage::FaultOp;
+using storage::FaultRule;
+using storage::kAnyPage;
+using storage::MemPager;
+using storage::RetryingPager;
+using storage::RetryPolicy;
+
+struct World {
+  video::VideoDatabase db;
+  ViTriSet set;
+};
+
+World MakeWorld(double scale = 0.004, double epsilon = 0.15,
+                uint64_t seed = 2005) {
+  video::SynthesizerOptions so;
+  so.seed = seed;
+  video::VideoSynthesizer synth(so);
+  World w;
+  w.db = synth.GenerateDatabase(scale);
+  ViTriBuilderOptions bo;
+  bo.epsilon = epsilon;
+  ViTriBuilder builder(bo);
+  auto set = builder.BuildDatabase(w.db);
+  EXPECT_TRUE(set.ok());
+  w.set = std::move(*set);
+  return w;
+}
+
+/// The stored summary of one video, used as a self-query.
+std::vector<ViTri> VideoSummary(const ViTriSet& set, uint32_t video_id) {
+  std::vector<ViTri> out;
+  for (const ViTri& v : set.vitris) {
+    if (v.video_id == video_id) out.push_back(v);
+  }
+  return out;
+}
+
+RetryPolicy FastRetries() {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff = std::chrono::microseconds(0);
+  return p;
+}
+
+void ExpectSameMatches(const std::vector<VideoMatch>& a,
+                       const std::vector<VideoMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].video_id, b[i].video_id) << "rank " << i;
+    EXPECT_NEAR(a[i].similarity, b[i].similarity, 1e-9) << "rank " << i;
+  }
+}
+
+TEST(IndexFaultToleranceTest, TransientReadErrorsAreRetriedTransparently) {
+  World w = MakeWorld();
+  ViTriIndexOptions options;
+  options.dimension = 64;
+  // A small pool forces physical reads, so the fault schedule gets
+  // traffic to act on.
+  options.buffer_pool_pages = 8;
+  // One transient IoError per 100 physical reads, underneath a retry
+  // layer with a fresh budget per operation.
+  options.pager_factory = [](size_t page_size) {
+    auto faulty = std::make_unique<FaultInjectingPager>(
+        std::make_unique<MemPager>(page_size));
+    faulty->AddRule(FaultRule{FaultKind::kTransientIoError, FaultOp::kRead,
+                              kAnyPage, /*after=*/0, /*every=*/100});
+    return std::make_unique<RetryingPager>(std::move(faulty),
+                                           FastRetries());
+  };
+  auto index = ViTriIndex::Build(w.set, options);
+  ASSERT_TRUE(index.ok());
+
+  const uint32_t num_videos =
+      static_cast<uint32_t>(w.set.frame_counts.size());
+  int queries_run = 0;
+  for (int q = 0; q < 100; ++q) {
+    const uint32_t video = static_cast<uint32_t>(q) % num_videos;
+    const std::vector<ViTri> query = VideoSummary(w.set, video);
+    if (query.empty()) continue;
+    ASSERT_TRUE(index->DropCaches().ok());
+    QueryCosts costs;
+    auto result = index->Knn(query, w.set.frame_counts[video], 5,
+                             KnnMethod::kComposed, &costs);
+    ASSERT_TRUE(result.ok()) << "query " << q << ": "
+                             << result.status().ToString();
+    EXPECT_FALSE(costs.degraded);
+    ++queries_run;
+  }
+  EXPECT_EQ(queries_run, 100);
+  // Faults were injected and absorbed: queries all fine, retries logged.
+  EXPECT_GT(index->io_stats().retries, 0u);
+  EXPECT_TRUE(index->quarantined_pages().empty());
+  auto needs_rebuild = index->NeedsRebuild();
+  ASSERT_TRUE(needs_rebuild.ok());
+  EXPECT_FALSE(*needs_rebuild);
+}
+
+TEST(IndexFaultToleranceTest, CorruptionDegradesToCorrectAnswersAndHeals) {
+  World w = MakeWorld();
+  ViTriIndexOptions options;
+  options.dimension = 64;
+  options.buffer_pool_pages = 8;
+  FaultInjectingPager* fault_handle = nullptr;
+  options.pager_factory = [&fault_handle](size_t page_size) {
+    auto faulty = std::make_unique<FaultInjectingPager>(
+        std::make_unique<MemPager>(page_size));
+    fault_handle = faulty.get();
+    return faulty;
+  };
+  auto index = ViTriIndex::Build(w.set, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_NE(fault_handle, nullptr);
+
+  const uint32_t video = 0;
+  const std::vector<ViTri> query = VideoSummary(w.set, video);
+  ASSERT_FALSE(query.empty());
+  const uint32_t frames = w.set.frame_counts[video];
+
+  auto healthy = index->Knn(query, frames, 5, KnnMethod::kComposed);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_FALSE(healthy->empty());
+
+  // Persistently bit-flip every page read from disk, then drop the
+  // cache so queries must go through the rot.
+  fault_handle->AddRule(
+      FaultRule{FaultKind::kBitFlip, FaultOp::kRead, kAnyPage});
+  ASSERT_TRUE(index->DropCaches().ok());
+
+  QueryCosts costs;
+  auto degraded = index->Knn(query, frames, 5, KnnMethod::kComposed,
+                             &costs);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(costs.degraded);
+  ExpectSameMatches(*healthy, *degraded);
+  EXPECT_GT(index->io_stats().checksum_failures, 0u);
+  EXPECT_FALSE(index->quarantined_pages().empty());
+
+  // Quarantined pages flag the index for rebuild even with zero drift.
+  auto needs_rebuild = index->NeedsRebuild();
+  ASSERT_TRUE(needs_rebuild.ok());
+  EXPECT_TRUE(*needs_rebuild);
+
+  // Rebuild reloads the tree from the in-memory copy into a fresh
+  // store (the factory runs again, without fault rules this time).
+  ASSERT_TRUE(index->Rebuild().ok());
+  EXPECT_TRUE(index->quarantined_pages().empty());
+  QueryCosts healed_costs;
+  auto healed = index->Knn(query, frames, 5, KnnMethod::kComposed,
+                           &healed_costs);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed_costs.degraded);
+  ExpectSameMatches(*healthy, *healed);
+  needs_rebuild = index->NeedsRebuild();
+  ASSERT_TRUE(needs_rebuild.ok());
+  EXPECT_FALSE(*needs_rebuild);
+}
+
+TEST(IndexFaultToleranceTest, SequentialScanAndFrameSearchDegrade) {
+  World w = MakeWorld();
+  ViTriIndexOptions options;
+  options.dimension = 64;
+  options.buffer_pool_pages = 8;
+  FaultInjectingPager* fault_handle = nullptr;
+  options.pager_factory = [&fault_handle](size_t page_size) {
+    auto faulty = std::make_unique<FaultInjectingPager>(
+        std::make_unique<MemPager>(page_size));
+    fault_handle = faulty.get();
+    return faulty;
+  };
+  auto index = ViTriIndex::Build(w.set, options);
+  ASSERT_TRUE(index.ok());
+
+  const std::vector<ViTri> query = VideoSummary(w.set, 0);
+  ASSERT_FALSE(query.empty());
+  const uint32_t frames = w.set.frame_counts[0];
+  const linalg::Vec probe = w.set.vitris[0].position;
+
+  auto seq_healthy = index->SequentialScan(query, frames, 5);
+  ASSERT_TRUE(seq_healthy.ok());
+  auto frame_healthy = index->FrameSearch(probe, 0.15, 5);
+  ASSERT_TRUE(frame_healthy.ok());
+
+  fault_handle->AddRule(
+      FaultRule{FaultKind::kBitFlip, FaultOp::kRead, kAnyPage});
+  ASSERT_TRUE(index->DropCaches().ok());
+
+  QueryCosts seq_costs;
+  auto seq_degraded = index->SequentialScan(query, frames, 5, &seq_costs);
+  ASSERT_TRUE(seq_degraded.ok());
+  EXPECT_TRUE(seq_costs.degraded);
+  ExpectSameMatches(*seq_healthy, *seq_degraded);
+
+  QueryCosts frame_costs;
+  auto frame_degraded = index->FrameSearch(probe, 0.15, 5, &frame_costs);
+  ASSERT_TRUE(frame_degraded.ok());
+  EXPECT_TRUE(frame_costs.degraded);
+  ExpectSameMatches(*frame_healthy, *frame_degraded);
+}
+
+}  // namespace
+}  // namespace vitri::core

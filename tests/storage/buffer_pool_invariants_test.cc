@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace vitri::storage {
+
+/// Reaches into BufferPool's private bookkeeping to break one invariant
+/// at a time, proving ValidateInvariants() catches exactly that breakage.
+struct BufferPoolTestPeer {
+  static void SetPinCount(BufferPool* pool, PageId id, int pins) {
+    pool->frames_.at(id).pin_count = pins;
+  }
+  static void SetFrameId(BufferPool* pool, PageId id, PageId claimed) {
+    pool->frames_.at(id).id = claimed;
+  }
+  static void ShrinkBuffer(BufferPool* pool, PageId id) {
+    pool->frames_.at(id).data.resize(pool->pager()->page_size() - 1);
+  }
+  static void RestoreBuffer(BufferPool* pool, PageId id) {
+    pool->frames_.at(id).data.resize(pool->pager()->page_size());
+  }
+  static void DuplicateLruEntry(BufferPool* pool, PageId id) {
+    pool->lru_.push_back(id);
+  }
+  static void PopLruEntry(BufferPool* pool) { pool->lru_.pop_back(); }
+  static void RemoveLruEntry(BufferPool* pool, PageId id) {
+    pool->lru_.remove(id);
+  }
+  static void DropLruFlag(BufferPool* pool, PageId id) {
+    pool->frames_.at(id).in_lru = false;
+  }
+  static void InflateCacheHits(BufferPool* pool) {
+    pool->stats_.cache_hits = pool->stats_.logical_reads + 1;
+  }
+};
+
+namespace {
+
+class BufferPoolInvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pager_ = std::make_unique<MemPager>(256);
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 4);
+    // Three allocated pages, all unpinned (on the LRU list).
+    for (int i = 0; i < 3; ++i) {
+      auto page = pool_->New();
+      ASSERT_TRUE(page.ok());
+    }
+    ASSERT_TRUE(pool_->ValidateInvariants().ok());
+  }
+
+  static void ExpectViolation(const Status& status,
+                              const std::string& fragment) {
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.IsInternal()) << status.ToString();
+    EXPECT_NE(status.ToString().find("buffer pool invariant violated"),
+              std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.ToString().find(fragment), std::string::npos)
+        << status.ToString();
+  }
+
+  std::unique_ptr<MemPager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BufferPoolInvariantsTest, HealthyWorkoutStaysValid) {
+  // Pin, re-pin, unpin, evict: the pool must validate at every stage.
+  auto a = pool_->Fetch(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(pool_->ValidateInvariants().ok());
+  auto b = pool_->Fetch(0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(pool_->ValidateInvariants().ok());
+  b->Release();
+  EXPECT_TRUE(pool_->ValidateInvariants().ok());
+  a->Release();
+  EXPECT_TRUE(pool_->ValidateInvariants().ok());
+  ASSERT_TRUE(pool_->EvictAll().ok());
+  EXPECT_TRUE(pool_->ValidateInvariants().ok());
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesNegativePinCount) {
+  // Pin page 1 so it leaves the LRU list, then drive its count negative.
+  auto page = pool_->Fetch(1);
+  ASSERT_TRUE(page.ok());
+  BufferPoolTestPeer::SetPinCount(pool_.get(), 1, -1);
+  const Status status = pool_->ValidateInvariants();
+  // Restore before the PageRef unpins, or its Release would trip the
+  // always-on unpin check.
+  BufferPoolTestPeer::SetPinCount(pool_.get(), 1, 1);
+  ExpectViolation(status, "negative pin count");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesPinnedFrameOnLruList) {
+  // Frame 1 sits on the LRU list; claiming it is pinned must trip the
+  // pinned-iff-off-LRU rule.
+  BufferPoolTestPeer::SetPinCount(pool_.get(), 1, 1);
+  ExpectViolation(pool_->ValidateInvariants(), "sits on the LRU list");
+  BufferPoolTestPeer::SetPinCount(pool_.get(), 1, 0);
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesStaleLruEntryForPinnedFrame) {
+  // A pinned frame left a stale entry behind on the LRU list.
+  auto page = pool_->Fetch(2);
+  ASSERT_TRUE(page.ok());
+  BufferPoolTestPeer::DuplicateLruEntry(pool_.get(), 2);
+  const Status status = pool_->ValidateInvariants();
+  BufferPoolTestPeer::PopLruEntry(pool_.get());
+  ExpectViolation(status, "LRU");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesDuplicateLruEntries) {
+  BufferPoolTestPeer::DuplicateLruEntry(pool_.get(), 1);
+  const Status status = pool_->ValidateInvariants();
+  BufferPoolTestPeer::PopLruEntry(pool_.get());
+  ExpectViolation(status, "appears twice");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesDesyncedLruBackPointer) {
+  BufferPoolTestPeer::DropLruFlag(pool_.get(), 1);
+  const Status status = pool_->ValidateInvariants();
+  BufferPoolTestPeer::RemoveLruEntry(pool_.get(), 1);
+  ExpectViolation(status, "desynced LRU back-pointer");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesUnpinnedFrameMissingFromLru) {
+  // Frame 1 still believes it is listed, but the entry is gone: the
+  // listed-frame count no longer matches the unpinned-frame count.
+  BufferPoolTestPeer::RemoveLruEntry(pool_.get(), 1);
+  ExpectViolation(pool_->ValidateInvariants(), "disagrees with");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesFrameKeyedUnderWrongPage) {
+  BufferPoolTestPeer::SetFrameId(pool_.get(), 1, 2);
+  const Status status = pool_->ValidateInvariants();
+  BufferPoolTestPeer::SetFrameId(pool_.get(), 1, 1);
+  ExpectViolation(status, "believes it is page");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesBufferSizeMismatch) {
+  BufferPoolTestPeer::ShrinkBuffer(pool_.get(), 1);
+  const Status status = pool_->ValidateInvariants();
+  BufferPoolTestPeer::RestoreBuffer(pool_.get(), 1);
+  ExpectViolation(status, "buffer size mismatch");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesImpossibleHitCounter) {
+  BufferPoolTestPeer::InflateCacheHits(pool_.get());
+  ExpectViolation(pool_->ValidateInvariants(),
+                  "more cache hits than logical reads");
+}
+
+}  // namespace
+}  // namespace vitri::storage

@@ -7,21 +7,29 @@
 //                   [--k 10] [--epsilon 0.15] [--method composed|naive]
 //   vitri verify    [--summary summary.vsnp] [--pages tree.vpag
 //                   [--page-size 4096]]
+//   vitri check     [--summary summary.vsnp [--epsilon E] [--deep]
+//                   [--strict-frames 0|1]] [--pages tree.vpag
+//                   [--page-size 4096]]
 //
 // `generate` writes a synthetic TV-ad database; `summarize` builds the
 // ViTri snapshot; `query` indexes the snapshot and searches with a
 // near-duplicate of the named database video; `verify` checks snapshot
-// and page-file checksums offline.
+// and page-file checksums offline; `check` runs the deep invariant
+// validators (core/validate.h and the structural self-checks) on a
+// snapshot and/or a B+-tree page file.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "btree/bplus_tree.h"
 #include "core/ground_truth.h"
 #include "core/index.h"
 #include "core/snapshot.h"
+#include "core/validate.h"
 #include "core/vitri_builder.h"
+#include "storage/buffer_pool.h"
 #include "storage/pager.h"
 #include "video/serialization.h"
 #include "video/synthesizer.h"
@@ -35,6 +43,13 @@ struct Args {
   int argc;
   char** argv;
 
+  /// Presence of a bare (valueless) flag like --deep.
+  bool Has(const char* name) const {
+    for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(argv[i], name) == 0) return true;
+    }
+    return false;
+  }
   const char* Get(const char* name, const char* fallback) const {
     for (int i = 0; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
@@ -226,9 +241,84 @@ int CmdVerify(const Args& args) {
   return rc;
 }
 
+// Deep invariant audit: every validator the library runs as a debug
+// self-check, applied offline to persisted artifacts.
+int CmdCheck(const Args& args) {
+  const char* snapshot = args.Get("--summary", nullptr);
+  const char* pages = args.Get("--pages", nullptr);
+  if (snapshot == nullptr && pages == nullptr) {
+    std::fprintf(stderr,
+                 "check: at least one of --summary or --pages is "
+                 "required\n");
+    return 2;
+  }
+  int rc = 0;
+  if (snapshot != nullptr) {
+    auto set = core::LoadViTriSet(snapshot);
+    if (!set.ok()) return Fail(set.status());
+    core::ViTriCheckOptions co;
+    // <= 0 skips the radius-cap check; pass the build-time epsilon to
+    // also prove every refined radius obeys R <= epsilon / 2.
+    co.epsilon = args.GetDouble("--epsilon", 0.0);
+    co.check_frame_accounting = args.GetLong("--strict-frames", 1) != 0;
+    Status s = core::ValidateViTriSet(*set, co);
+    if (s.ok()) s = core::ValidateSnapshotRoundTrip(*set);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", snapshot, s.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("%s: summary invariants OK (%zu ViTris over %zu "
+                  "videos)\n",
+                  snapshot, set->size(), set->frame_counts.size());
+      if (args.Has("--deep")) {
+        // Rebuild the index from the snapshot and run the full
+        // structural audit: B+-tree, buffer pool, and record-level
+        // agreement between tree and summary.
+        core::ViTriIndexOptions io;
+        io.dimension = set->dimension;
+        if (co.epsilon > 0.0) io.epsilon = co.epsilon;
+        auto index = core::ViTriIndex::Build(*set, io);
+        if (!index.ok()) return Fail(index.status());
+        const Status deep = index->ValidateInvariants();
+        if (!deep.ok()) {
+          std::fprintf(stderr, "%s: %s\n", snapshot,
+                       deep.ToString().c_str());
+          rc = 1;
+        } else {
+          std::printf("%s: index invariants OK (height %u, %llu "
+                      "records)\n",
+                      snapshot, index->tree_height(),
+                      static_cast<unsigned long long>(index->num_vitris()));
+        }
+      }
+    }
+  }
+  if (pages != nullptr) {
+    const size_t page_size =
+        static_cast<size_t>(args.GetLong("--page-size", 4096));
+    auto pager = storage::FilePager::Open(pages, page_size);
+    if (!pager.ok()) return Fail(pager.status());
+    storage::BufferPool pool(pager->get(), 256);
+    auto tree = btree::BPlusTree::Open(&pool);
+    if (!tree.ok()) return Fail(tree.status());
+    btree::TreeCheckOptions to;
+    to.verify_checksums = true;
+    const Status s = tree->ValidateInvariants(to);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", pages, s.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("%s: tree invariants OK (height %u, %llu records)\n",
+                  pages, tree->height(),
+                  static_cast<unsigned long long>(tree->num_entries()));
+    }
+  }
+  return rc;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: vitri <generate|summarize|stats|query|verify> "
+               "usage: vitri <generate|summarize|stats|query|verify|check> "
                "[flags]\n"
                "  generate  --out db.vvdb [--scale S] [--dim N] [--seed X]\n"
                "  summarize --db db.vvdb --out s.vsnp [--epsilon E]\n"
@@ -236,7 +326,10 @@ void Usage() {
                "  query     --db db.vvdb --summary s.vsnp --video ID\n"
                "            [--k K] [--epsilon E] [--method composed|naive]\n"
                "  verify    [--summary s.vsnp] [--pages tree.vpag "
-               "[--page-size N]]\n");
+               "[--page-size N]]\n"
+               "  check     [--summary s.vsnp [--epsilon E] [--deep] "
+               "[--strict-frames 0|1]]\n"
+               "            [--pages tree.vpag [--page-size N]]\n");
 }
 
 }  // namespace
@@ -253,6 +346,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(args);
   if (command == "query") return CmdQuery(args);
   if (command == "verify") return CmdVerify(args);
+  if (command == "check") return CmdCheck(args);
   Usage();
   return 2;
 }
