@@ -27,6 +27,7 @@ Workload BuildWorkload(const WorkloadOptions& options) {
 
   core::ViTriBuilderOptions bo;
   bo.epsilon = options.epsilon;
+  bo.num_threads = options.num_threads;
   core::ViTriBuilder builder(bo);
   auto set = builder.BuildDatabase(w.db);
   if (!set.ok()) {

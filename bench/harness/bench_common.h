@@ -48,6 +48,8 @@ struct WorkloadOptions {
   bool keep_frames = true;  // false: drop frames after summarizing
                             // (cost-only experiments at larger scales).
   uint64_t seed = 2005;
+  int num_threads = 1;      // Builder threads for the database summary;
+                            // any value gives identical ViTris.
 };
 
 /// Builds a workload; prints a one-line description to stdout.

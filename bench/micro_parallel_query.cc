@@ -1,0 +1,131 @@
+// Scaling of the parallel query and ingest paths: BatchKnn throughput
+// and BuildDatabase wall time at 1/2/4/8 worker threads, verifying at
+// every thread count that the results are bit-identical to the
+// sequential run. Speedup depends on the machine's core count; the
+// bit-identity checks hold everywhere.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/index.h"
+#include "core/vitri_builder.h"
+#include "harness/bench_common.h"
+
+namespace {
+
+using namespace vitri;
+using namespace vitri::core;
+
+bool Identical(const std::vector<std::vector<VideoMatch>>& a,
+               const std::vector<std::vector<VideoMatch>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].size() != b[q].size()) return false;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      if (a[q][i].video_id != b[q][i].video_id) return false;
+      if (std::memcmp(&a[q][i].similarity, &b[q][i].similarity,
+                      sizeof(double)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::EnvDouble("VITRI_SCALE", 0.02);
+  const int num_queries = bench::EnvInt("VITRI_QUERIES", 32);
+  const int repeats = bench::EnvInt("VITRI_REPEATS", 3);
+
+  bench::PrintHeader("Parallel scaling",
+                     "BatchKnn / BuildDatabase throughput vs. threads");
+  std::printf("# hardware threads: %zu\n\n",
+              ThreadPool::HardwareThreads());
+
+  bench::WorkloadOptions wo;
+  wo.scale = scale;
+  wo.num_queries = num_queries;
+  bench::Workload w = bench::BuildWorkload(wo);
+
+  ViTriIndexOptions io;
+  io.epsilon = w.epsilon;
+  auto index = ViTriIndex::Build(w.set, io);
+  if (!index.ok()) return 1;
+
+  std::vector<BatchQuery> batch;
+  batch.reserve(w.queries.size());
+  for (const video::VideoSequence& query : w.queries) {
+    batch.push_back(BatchQuery{
+        bench::Summarize(query, w.epsilon),
+        static_cast<uint32_t>(query.num_frames())});
+  }
+
+  // --- Query scaling -----------------------------------------------
+  std::printf("%-10s %-12s %-14s %-10s %-10s\n", "threads", "wall ms",
+              "queries/s", "speedup", "identical");
+  std::vector<std::vector<VideoMatch>> baseline;
+  double baseline_ms = 0.0;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4},
+                               size_t{8}}) {
+    double best_ms = 0.0;
+    std::vector<std::vector<VideoMatch>> last;
+    for (int r = 0; r < repeats; ++r) {
+      Stopwatch timer;
+      auto results =
+          index->BatchKnn(batch, 10, KnnMethod::kComposed, threads);
+      const double ms = timer.ElapsedMillis();
+      if (!results.ok()) {
+        std::fprintf(stderr, "BatchKnn failed: %s\n",
+                     results.status().ToString().c_str());
+        return 1;
+      }
+      last = std::move(*results);
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (threads == 1) {
+      baseline = last;
+      baseline_ms = best_ms;
+    }
+    const bool same = Identical(baseline, last);
+    std::printf("%-10zu %-12.2f %-14.1f %-10.2f %-10s\n", threads,
+                best_ms,
+                static_cast<double>(batch.size()) / (best_ms / 1e3),
+                baseline_ms / best_ms, same ? "yes" : "NO");
+    if (!same) return 1;
+  }
+
+  // --- Ingest scaling ----------------------------------------------
+  std::printf("\n%-10s %-12s %-14s %-10s\n", "threads", "wall ms",
+              "videos/s", "speedup");
+  double ingest_baseline_ms = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    ViTriBuilderOptions bo;
+    bo.epsilon = w.epsilon;
+    bo.num_threads = threads;
+    ViTriBuilder builder(bo);
+    double best_ms = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      Stopwatch timer;
+      auto set = builder.BuildDatabase(w.db);
+      const double ms = timer.ElapsedMillis();
+      if (!set.ok() || set->size() != w.set.size()) {
+        std::fprintf(stderr, "parallel summarize diverged\n");
+        return 1;
+      }
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (threads == 1) ingest_baseline_ms = best_ms;
+    std::printf("%-10d %-12.2f %-14.1f %-10.2f\n", threads, best_ms,
+                static_cast<double>(w.db.num_videos()) / (best_ms / 1e3),
+                ingest_baseline_ms / best_ms);
+  }
+
+  std::printf("\n# expected shape: near-linear speedup up to the core "
+              "count, identical results at every thread count\n");
+  return 0;
+}

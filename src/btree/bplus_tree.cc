@@ -506,7 +506,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(
 // ---- lookup / scan ------------------------------------------------------
 
 Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
-                               std::vector<uint8_t>* value) {
+                               std::vector<uint8_t>* value) const {
   PageId node_id = root_;
   for (uint32_t level = 0; level + 1 < height_; ++level) {
     VITRI_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(node_id));
@@ -527,7 +527,7 @@ Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
 }
 
 Result<uint64_t> BPlusTree::RangeScan(double lo, double hi,
-                                      const ScanCallback& callback) {
+                                      const ScanCallback& callback) const {
   if (lo > hi) return static_cast<uint64_t>(0);
   // Descend toward the leftmost composite >= (lo, 0).
   PageId node_id = root_;

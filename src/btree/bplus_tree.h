@@ -45,7 +45,17 @@ struct TreeCheckOptions {
 };
 
 /// Disk-paged B+-tree over composite keys (double, uint64) with
-/// fixed-size values, built on a BufferPool. Single-threaded.
+/// fixed-size values, built on a BufferPool.
+///
+/// Thread-safety: the read-only operations — Lookup() and RangeScan() —
+/// are safe to run concurrently with each other from any number of
+/// threads (the BufferPool latches all shared page state, and readers
+/// touch no tree header fields mutably). Mutating operations (Insert,
+/// Delete, BulkLoad) and ValidateInvariants() — whose IoStats
+/// save/restore assumes a quiescent pool — require exclusive access to
+/// the tree; the caller provides that exclusion (ViTriIndex, for
+/// example, only fans out read-only batches). See DESIGN.md "Threading
+/// model".
 ///
 /// Page 0 of the pager is the tree's meta page; interior pages hold
 /// (separator, child) arrays, leaves hold (key, rid, value) records and
@@ -76,14 +86,17 @@ class BPlusTree {
   Result<bool> Delete(double key, uint64_t rid);
 
   /// Looks up a single record; returns false if absent. On success the
-  /// payload is copied into *value (resized).
+  /// payload is copied into *value (resized). Safe to call concurrently
+  /// with other read-only operations.
   Result<bool> Lookup(double key, uint64_t rid,
-                      std::vector<uint8_t>* value);
+                      std::vector<uint8_t>* value) const;
 
   /// Visits every record with lo <= key <= hi in ascending (key, rid)
-  /// order. Returns the number of records visited.
+  /// order. Returns the number of records visited. Safe to call
+  /// concurrently with other read-only operations; the callback runs
+  /// without any pool latch held (only a pin on the current leaf).
   Result<uint64_t> RangeScan(double lo, double hi,
-                             const ScanCallback& callback);
+                             const ScanCallback& callback) const;
 
   /// Bulk-loads `entries` (must be sorted by (key, rid), strictly
   /// increasing, all values of value_size bytes) into an empty tree,

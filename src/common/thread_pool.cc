@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/check.h"
+
+namespace vitri {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t count = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  VITRI_CHECK(task != nullptr) << "Submit of an empty task";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VITRI_CHECK(!stop_) << "Submit on a shutting-down ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  // Per-call completion state lives on the caller's stack: the caller
+  // blocks until `remaining` hits zero, so the references the worker
+  // tasks capture stay valid for exactly as long as they are used.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+  };
+  ForState state;
+  const size_t tasks = std::min(workers_.size(), n);
+  state.remaining = tasks;
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([&state, &body, n] {
+      for (size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+           i < n;
+           i = state.next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.remaining == 0) state.done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+}
+
+size_t ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace vitri

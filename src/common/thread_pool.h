@@ -1,0 +1,62 @@
+#ifndef VITRI_COMMON_THREAD_POOL_H_
+#define VITRI_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vitri {
+
+/// Fixed-size thread pool with a FIFO task queue. Deliberately simple —
+/// no work stealing, no priorities: the workloads it serves (per-query
+/// KNN fan-out, per-video summarization) are embarrassingly parallel
+/// batches of similar-sized tasks, so a shared queue is enough.
+///
+/// Thread-safety: Submit() and ParallelFor() may be called from any
+/// thread, including concurrently. Tasks must not throw (the library is
+/// Status-based; an escaping exception terminates the process) and must
+/// not Submit() work they then wait on from inside the pool — that can
+/// deadlock a fully busy pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), spread across the workers, and
+  /// blocks until all n calls returned. The calling thread only waits;
+  /// indices are claimed dynamically, so per-index cost imbalance is
+  /// tolerated. Safe to call repeatedly; each call is independent.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace vitri
+
+#endif  // VITRI_COMMON_THREAD_POOL_H_

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/similarity.h"
 #include "core/validate.h"
 #include "storage/retry_pager.h"
@@ -159,7 +160,7 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
                                const std::vector<RangeSpec>& ranges,
                                KnnMethod method,
                                std::vector<double>* shared,
-                               QueryCosts* costs) {
+                               QueryCosts* costs) const {
   // Evaluates `record` against one query ViTri, accumulating shared
   // frame estimates.
   auto evaluate = [&](const ViTri& candidate, size_t query_index) {
@@ -193,20 +194,13 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
 
   // Query composition: merge overlapping ranges, then evaluate each
   // scanned record against every query ViTri whose range covers it.
-  std::vector<RangeSpec> sorted = ranges;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const RangeSpec& a, const RangeSpec& b) {
-              return a.lo < b.lo;
-            });
-  std::vector<RangeSpec> merged;
-  for (const RangeSpec& r : sorted) {
-    if (!merged.empty() && r.lo <= merged.back().hi) {
-      merged.back().hi = std::max(merged.back().hi, r.hi);
-    } else {
-      merged.push_back(r);
-    }
+  std::vector<KeyRange> to_merge;
+  to_merge.reserve(ranges.size());
+  for (const RangeSpec& r : ranges) {
+    to_merge.push_back(KeyRange{r.lo, r.hi});
   }
-  for (const RangeSpec& m : merged) {
+  const std::vector<KeyRange> merged = ComposeKeyRanges(std::move(to_merge));
+  for (const KeyRange& m : merged) {
     ++costs->range_searches;
     auto scan_result = tree_->RangeScan(
         m.lo, m.hi,
@@ -243,43 +237,95 @@ void ViTriIndex::EvaluateInMemory(const std::vector<ViTri>& query,
   }
 }
 
-Result<std::vector<VideoMatch>> ViTriIndex::Knn(
+Result<std::vector<VideoMatch>> ViTriIndex::KnnCompute(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
-    KnnMethod method, QueryCosts* costs) {
+    KnnMethod method, QueryCosts* local) const {
   if (query.empty()) {
     return Status::InvalidArgument("query summary is empty");
   }
-  Stopwatch watch;
-  const IoStats before = pool_->stats();
-  QueryCosts local;
-
   // Per-query-ViTri keys and radii for candidate evaluation.
   std::vector<RangeSpec> ranges = MakeRanges(query);
 
   std::vector<double> shared(frame_counts_.size(), 0.0);
-  const Status scan = KnnScanTree(query, ranges, method, &shared, &local);
+  const Status scan = KnnScanTree(query, ranges, method, &shared, local);
   if (scan.IsCorruption()) {
     // The tree hit a quarantined page. Serve the query from the
     // in-memory copy: same answer (the key ranges only ever *prune*
     // zero-contribution candidates), no index acceleration.
     VITRI_LOG(kWarn) << "Knn degraded to in-memory evaluation: "
                         << scan.ToString();
-    local.degraded = true;
-    local.candidates = 0;
-    local.similarity_evals = 0;
+    local->degraded = true;
+    local->candidates = 0;
+    local->similarity_evals = 0;
     std::fill(shared.begin(), shared.end(), 0.0);
-    EvaluateInMemory(query, &shared, &local);
+    EvaluateInMemory(query, &shared, local);
   } else if (!scan.ok()) {
     return scan;
   }
+  return RankResults(shared, query_frames, k);
+}
 
-  auto result = RankResults(shared, query_frames, k);
+Result<std::vector<VideoMatch>> ViTriIndex::Knn(
+    const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
+    KnnMethod method, QueryCosts* costs) {
+  Stopwatch watch;
+  const IoStats before = pool_->stats();
+  QueryCosts local;
+  auto result = KnnCompute(query, query_frames, k, method, &local);
+  if (!result.ok()) return result;
   const IoStats delta = pool_->stats() - before;
   local.page_accesses = delta.logical_reads;
   local.physical_reads = delta.physical_reads;
   local.cpu_seconds = watch.ElapsedSeconds();
   if (costs != nullptr) *costs = local;
   return result;
+}
+
+Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
+    const std::vector<BatchQuery>& queries, size_t k, KnnMethod method,
+    size_t num_threads, QueryCosts* costs) {
+  Stopwatch watch;
+  const IoStats before = pool_->stats();
+  const size_t n = queries.size();
+  std::vector<std::vector<VideoMatch>> results(n);
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<QueryCosts> locals(n);
+
+  // Each worker reads shared index state (transform, tree, in-memory
+  // ViTris) and writes only its own slots, so the fan-out is race-free
+  // and the per-query computation — hence the result — is identical to
+  // the sequential path whatever the scheduling.
+  auto run_one = [&](size_t i) {
+    auto result = KnnCompute(queries[i].vitris, queries[i].num_frames, k,
+                             method, &locals[i]);
+    if (result.ok()) {
+      results[i] = std::move(*result);
+    } else {
+      statuses[i] = result.status();
+    }
+  };
+
+  if (num_threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    ThreadPool pool(std::min(num_threads, n));
+    pool.ParallelFor(n, run_one);
+  }
+
+  for (const Status& s : statuses) {
+    VITRI_RETURN_IF_ERROR(s);
+  }
+
+  if (costs != nullptr) {
+    QueryCosts total;
+    for (const QueryCosts& local : locals) total += local;
+    const IoStats delta = pool_->stats() - before;
+    total.page_accesses = delta.logical_reads;
+    total.physical_reads = delta.physical_reads;
+    total.cpu_seconds = watch.ElapsedSeconds();
+    *costs = total;
+  }
+  return results;
 }
 
 Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(

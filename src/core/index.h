@@ -84,11 +84,25 @@ struct VideoMatch {
   double similarity = 0.0;
 };
 
+/// One query of a BatchKnn() fan-out: a query video's summary plus its
+/// frame count (for similarity normalization).
+struct BatchQuery {
+  std::vector<ViTri> vitris;
+  uint32_t num_frames = 0;
+};
+
 /// The paper's index: ViTri positions mapped to one-dimensional keys by
 /// a reference-point transform and stored in a disk-paged B+-tree whose
 /// leaves carry the full triplets. Supports bulk build, dynamic insert,
-/// naive and composed KNN search, a sequential-scan baseline, and the
-/// PCA-drift rebuild policy. Single-threaded.
+/// naive and composed KNN search (single query or a batch fanned across
+/// a thread pool), a sequential-scan baseline, and the PCA-drift rebuild
+/// policy.
+///
+/// Thread-safety: queries (Knn, SequentialScan, FrameSearch, and the
+/// per-query workers inside BatchKnn) are read-only and safe to run
+/// concurrently; BatchKnn does exactly that. Mutations (Insert, Rebuild)
+/// and ValidateInvariants() require exclusive access — callers serialize
+/// them against queries. See DESIGN.md "Threading model".
 class ViTriIndex {
  public:
   ViTriIndex(ViTriIndex&&) noexcept = default;
@@ -112,6 +126,19 @@ class ViTriIndex {
                                       uint32_t query_frames, size_t k,
                                       KnnMethod method,
                                       QueryCosts* costs = nullptr);
+
+  /// Fans the batch's queries across `num_threads` worker threads, each
+  /// running the same per-query KNN (with per-query query composition)
+  /// as Knn(). Results are indexed like `queries` and bit-identical to
+  /// calling Knn() sequentially on each query: every query accumulates
+  /// into its own buffers in the same order regardless of scheduling.
+  /// num_threads <= 1 runs inline (no pool); 0 is treated as 1.
+  /// `costs`, if given, aggregates the whole batch: page/physical counts
+  /// are the pool delta across the batch, cpu_seconds is the batch wall
+  /// time, the rest are summed per-query counters.
+  Result<std::vector<std::vector<VideoMatch>>> BatchKnn(
+      const std::vector<BatchQuery>& queries, size_t k, KnnMethod method,
+      size_t num_threads, QueryCosts* costs = nullptr);
 
   /// Baseline: evaluates the query against every stored ViTri by
   /// scanning the whole leaf level.
@@ -149,8 +176,9 @@ class ViTriIndex {
   /// Tree pages whose checksum verification failed. While non-empty,
   /// queries touching them are served degraded and NeedsRebuild() is
   /// true; Rebuild() reloads the tree from the in-memory copy and
-  /// clears the quarantine.
-  const std::set<storage::PageId>& quarantined_pages() const {
+  /// clears the quarantine. Returns a copy (snapshot) — safe to call
+  /// while queries run.
+  std::set<storage::PageId> quarantined_pages() const {
     return pool_->corrupt_pages();
   }
 
@@ -199,10 +227,20 @@ class ViTriIndex {
       const std::vector<double>& shared_by_video, uint32_t query_frames,
       size_t k) const;
 
-  /// Tree-backed evaluation of a KNN query into `shared`.
+  /// Tree-backed evaluation of a KNN query into `shared`. Read-only;
+  /// safe to run concurrently from BatchKnn workers.
   Status KnnScanTree(const std::vector<ViTri>& query,
                      const std::vector<RangeSpec>& ranges, KnnMethod method,
-                     std::vector<double>* shared, QueryCosts* costs);
+                     std::vector<double>* shared, QueryCosts* costs) const;
+
+  /// The whole per-query KNN pipeline minus the IoStats delta / wall
+  /// clock wrapper: ranges, tree scan (with the degraded in-memory
+  /// fallback), ranking. Fills the per-query counters of `local` except
+  /// page_accesses/physical_reads/cpu_seconds. Read-only.
+  Result<std::vector<VideoMatch>> KnnCompute(const std::vector<ViTri>& query,
+                                             uint32_t query_frames, size_t k,
+                                             KnnMethod method,
+                                             QueryCosts* local) const;
 
   /// Degraded path: evaluates every in-memory ViTri against every query
   /// ViTri (exactly what a full sequential scan computes, minus the

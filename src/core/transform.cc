@@ -93,4 +93,22 @@ Result<double> OneDimensionalTransform::DriftAngle(
   return pca_->FirstComponentAngle(fresh);
 }
 
+std::vector<KeyRange> ComposeKeyRanges(std::vector<KeyRange> ranges) {
+  std::erase_if(ranges, [](const KeyRange& r) { return r.lo > r.hi; });
+  std::sort(ranges.begin(), ranges.end(),
+            [](const KeyRange& a, const KeyRange& b) {
+              return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+            });
+  std::vector<KeyRange> merged;
+  merged.reserve(ranges.size());
+  for (const KeyRange& r : ranges) {
+    if (!merged.empty() && r.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
 }  // namespace vitri::core

@@ -24,6 +24,20 @@ enum class ReferencePointKind {
 
 const char* ReferencePointKindName(ReferencePointKind kind);
 
+/// A closed interval [lo, hi] on the one-dimensional key axis — the key
+/// range one query ViTri's range search covers.
+struct KeyRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Query composition (Section 5.2): merges every overlapping or touching
+/// pair of ranges, returning disjoint ranges in ascending order whose
+/// union is exactly the input union. Composed KNN scans each merged
+/// range once, so no leaf is visited twice for overlapping query ViTris.
+/// Empty ranges (lo > hi) are dropped.
+std::vector<KeyRange> ComposeKeyRanges(std::vector<KeyRange> ranges);
+
 /// The one-dimensional transformation key(p) = d(p, O'). Holds the
 /// chosen reference point and, for kOptimal, the PCA snapshot used to
 /// derive it (needed by the drift-triggered rebuild policy).

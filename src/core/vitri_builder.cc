@@ -1,6 +1,9 @@
 #include "core/vitri_builder.h"
 
+#include <algorithm>
+
 #include "clustering/cluster_generator.h"
+#include "common/thread_pool.h"
 
 namespace vitri::core {
 
@@ -42,7 +45,40 @@ Result<ViTriSet> ViTriBuilder::BuildDatabase(
           "video ids must be dense in [0, num_videos)");
     }
     set.frame_counts[seq.id] = static_cast<uint32_t>(seq.num_frames());
-    VITRI_ASSIGN_OR_RETURN(std::vector<ViTri> vitris, Build(seq));
+  }
+
+  // Summarize each video into its own slot — workers share nothing but
+  // the input — then concatenate in input order, so the thread count
+  // never changes the output.
+  const size_t n = db.videos.size();
+  std::vector<std::vector<ViTri>> per_video(n);
+  std::vector<Status> statuses(n, Status::OK());
+  auto build_one = [&](size_t i) {
+    auto vitris = Build(db.videos[i]);
+    if (vitris.ok()) {
+      per_video[i] = std::move(*vitris);
+    } else {
+      statuses[i] = vitris.status();
+    }
+  };
+  const size_t threads =
+      options_.num_threads <= 1
+          ? 1
+          : std::min(static_cast<size_t>(options_.num_threads), n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) build_one(i);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(n, build_one);
+  }
+
+  for (const Status& s : statuses) {
+    VITRI_RETURN_IF_ERROR(s);
+  }
+  size_t total = 0;
+  for (const std::vector<ViTri>& vitris : per_video) total += vitris.size();
+  set.vitris.reserve(total);
+  for (std::vector<ViTri>& vitris : per_video) {
     for (ViTri& v : vitris) set.vitris.push_back(std::move(v));
   }
   return set;

@@ -20,6 +20,10 @@ struct ViTriBuilderOptions {
   /// Use the paper's radius refinement min(R_max, mu + sigma); ablation
   /// knob, see DESIGN.md.
   bool refine_radius = true;
+  /// Worker threads BuildDatabase() fans per-video summarization across
+  /// (each video's 2-means bisection is independent). <= 1 runs inline;
+  /// any value yields output byte-identical to the sequential build.
+  int num_threads = 1;
 };
 
 /// Summary statistics for a built database (the paper's Table 3 rows).
@@ -42,7 +46,10 @@ class ViTriBuilder {
   Result<std::vector<ViTri>> Build(const video::VideoSequence& sequence) const;
 
   /// Summarizes a whole database. The result's frame_counts is indexed
-  /// by video id; ids must be dense in [0, num_videos).
+  /// by video id; ids must be dense in [0, num_videos). With
+  /// options().num_threads > 1 the per-video summarizations run on a
+  /// thread pool; ViTris are still concatenated in input order, so the
+  /// result is identical to the single-threaded build.
   Result<ViTriSet> BuildDatabase(const video::VideoDatabase& db) const;
 
   /// Table 3 statistics for a built set.

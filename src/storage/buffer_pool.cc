@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -39,6 +40,7 @@ BufferPool::~BufferPool() {
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(latch_);
   ++stats_.logical_reads;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
@@ -52,7 +54,7 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
     return PageRef(this, id, frame.data.data());
   }
 
-  VITRI_RETURN_IF_ERROR(EvictOneIfFull());
+  VITRI_RETURN_IF_ERROR(EvictOneIfFullLocked());
 
   Frame frame;
   frame.id = id;
@@ -69,14 +71,15 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   frame.pin_count = 1;
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   VITRI_DCHECK(inserted) << "page " << id << " already had a frame";
-  VITRI_DCHECK_OK(ValidateInvariants());
+  VITRI_DCHECK_OK(ValidateInvariantsLocked());
   return PageRef(this, id, pos->second.data.data());
 }
 
 Result<PageRef> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(latch_);
   VITRI_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
   ++stats_.allocations;
-  VITRI_RETURN_IF_ERROR(EvictOneIfFull());
+  VITRI_RETURN_IF_ERROR(EvictOneIfFullLocked());
 
   Frame frame;
   frame.id = id;
@@ -86,25 +89,27 @@ Result<PageRef> BufferPool::New() {
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   VITRI_DCHECK(inserted) << "freshly allocated page " << id
                          << " already had a frame";
-  VITRI_DCHECK_OK(ValidateInvariants());
+  VITRI_DCHECK_OK(ValidateInvariantsLocked());
   return PageRef(this, id, pos->second.data.data());
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(latch_);
   for (auto& [id, frame] : frames_) {
-    VITRI_RETURN_IF_ERROR(WriteBack(frame));
+    VITRI_RETURN_IF_ERROR(WriteBackLocked(frame));
   }
   return pager_->Sync();
 }
 
 Status BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(latch_);
   for (auto it = frames_.begin(); it != frames_.end();) {
     Frame& frame = it->second;
     if (frame.pin_count > 0) {
       ++it;
       continue;
     }
-    VITRI_RETURN_IF_ERROR(WriteBack(frame));
+    VITRI_RETURN_IF_ERROR(WriteBackLocked(frame));
     if (frame.in_lru) lru_.erase(frame.lru_pos);
     it = frames_.erase(it);
   }
@@ -112,6 +117,7 @@ Status BufferPool::EvictAll() {
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(latch_);
   auto it = frames_.find(id);
   VITRI_CHECK(it != frames_.end()) << "unpin of unknown page " << id;
   Frame& frame = it->second;
@@ -122,10 +128,10 @@ void BufferPool::Unpin(PageId id, bool dirty) {
     frame.lru_pos = std::prev(lru_.end());
     frame.in_lru = true;
   }
-  VITRI_DCHECK_OK(ValidateInvariants());
+  VITRI_DCHECK_OK(ValidateInvariantsLocked());
 }
 
-Status BufferPool::EvictOneIfFull() {
+Status BufferPool::EvictOneIfFullLocked() {
   if (frames_.size() < capacity_) return Status::OK();
   if (lru_.empty()) {
     return Status::ResourceExhausted(
@@ -136,7 +142,7 @@ Status BufferPool::EvictOneIfFull() {
   auto it = frames_.find(victim);
   VITRI_CHECK(it != frames_.end()) << "LRU victim " << victim
                                    << " has no resident frame";
-  VITRI_RETURN_IF_ERROR(WriteBack(it->second));
+  VITRI_RETURN_IF_ERROR(WriteBackLocked(it->second));
   frames_.erase(it);
   return Status::OK();
 }
@@ -150,6 +156,11 @@ Status PoolInvariantViolation(const std::string& what) {
 }  // namespace
 
 Status BufferPool::ValidateInvariants() const {
+  std::lock_guard<std::mutex> lock(latch_);
+  return ValidateInvariantsLocked();
+}
+
+Status BufferPool::ValidateInvariantsLocked() const {
   if (capacity_ < 1) {
     return PoolInvariantViolation("capacity must be >= 1");
   }
@@ -220,13 +231,14 @@ Status BufferPool::ValidateInvariants() const {
         " disagrees with " + std::to_string(unpinned) + " unpinned frames");
   }
 
-  if (stats_.cache_hits > stats_.logical_reads) {
+  if (stats_.cache_hits.load(std::memory_order_relaxed) >
+      stats_.logical_reads.load(std::memory_order_relaxed)) {
     return PoolInvariantViolation("more cache hits than logical reads");
   }
   return Status::OK();
 }
 
-Status BufferPool::WriteBack(Frame& frame) {
+Status BufferPool::WriteBackLocked(Frame& frame) {
   if (!frame.dirty) return Status::OK();
   ++stats_.physical_writes;
   StampPageFooter(frame.data.data(), pager_->page_size(), frame.id);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -17,8 +18,11 @@ namespace vitri::storage {
 class BufferPool;
 
 /// RAII pin on a cached page. Unpins on destruction. Mark dirty after
-/// mutating the buffer. Movable, not copyable. Single-threaded by design
-/// (documented limitation; the index is not concurrent).
+/// mutating the buffer. Movable, not copyable. A PageRef may be created,
+/// used, and released on any thread, but a single PageRef object must
+/// not be shared between threads without external synchronization, and
+/// mutating the page bytes of a given page requires exclusive ownership
+/// of that page (the pool latches its bookkeeping, not page contents).
 class PageRef {
  public:
   PageRef() = default;
@@ -79,6 +83,16 @@ class PageRef {
 /// is stamped with a checksum footer (storage/page_footer.h) and every
 /// page read from the pager is verified. A mismatch fails the Fetch with
 /// Status::Corruption and quarantines the page id in corrupt_pages().
+///
+/// Thread-safety: all public operations are safe to call concurrently.
+/// A single latch guards the page table, LRU list, and pin counts; the
+/// backing pager is only ever accessed with the latch held, so pagers
+/// need no locking of their own. The latch is the innermost lock in the
+/// system and no callback or user code runs under it (see DESIGN.md
+/// "Threading model"). Page *contents* are not latched: concurrent
+/// readers of a page are fine, but a writer needs exclusive ownership of
+/// that page. FlushAll()/EvictAll() write back pinned dirty frames too,
+/// so they must not run concurrently with writers mutating pinned pages.
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames (>= 1). The pool does
@@ -103,16 +117,30 @@ class BufferPool {
   /// cache for benchmark repeatability.
   Status EvictAll();
 
+  /// The counters are atomic, so reading through the reference is safe
+  /// while other threads fetch pages; copy it to snapshot a delta.
   const IoStats& stats() const { return stats_; }
+  /// Writing through this pointer (the validators' save/restore trick)
+  /// requires that no other thread is using the pool.
   IoStats* mutable_stats() { return &stats_; }
 
   /// Page ids whose checksum verification failed since construction (or
-  /// the last ClearCorruptPages). Ordered for stable reporting.
-  const std::set<PageId>& corrupt_pages() const { return corrupt_pages_; }
-  void ClearCorruptPages() { corrupt_pages_.clear(); }
+  /// the last ClearCorruptPages). Ordered for stable reporting; returns
+  /// a copy so the caller's view cannot race with concurrent fetches.
+  std::set<PageId> corrupt_pages() const {
+    std::lock_guard<std::mutex> lock(latch_);
+    return corrupt_pages_;
+  }
+  void ClearCorruptPages() {
+    std::lock_guard<std::mutex> lock(latch_);
+    corrupt_pages_.clear();
+  }
 
   size_t capacity() const { return capacity_; }
-  size_t resident() const { return frames_.size(); }
+  size_t resident() const {
+    std::lock_guard<std::mutex> lock(latch_);
+    return frames_.size();
+  }
   Pager* pager() const { return pager_; }
 
   /// Deep self-check of the pool's bookkeeping: every frame's pin count
@@ -141,11 +169,16 @@ class BufferPool {
   };
 
   void Unpin(PageId id, bool dirty);
-  Status EvictOneIfFull();
-  Status WriteBack(Frame& frame);
+  // The *Locked helpers assume latch_ is held by the caller.
+  Status EvictOneIfFullLocked();
+  Status WriteBackLocked(Frame& frame);
+  Status ValidateInvariantsLocked() const;
 
   Pager* pager_;
   size_t capacity_;
+  /// Guards frames_, lru_, corrupt_pages_, and all pager_ access. The
+  /// IoStats counters are atomic and may be read without it.
+  mutable std::mutex latch_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // Front = least recently used.
   IoStats stats_;

@@ -6,12 +6,16 @@ namespace vitri::storage {
 
 std::string IoStats::ToString() const {
   std::ostringstream os;
-  os << "logical_reads=" << logical_reads << " cache_hits=" << cache_hits
-     << " physical_reads=" << physical_reads
-     << " physical_writes=" << physical_writes
-     << " allocations=" << allocations
-     << " checksum_failures=" << checksum_failures
-     << " retries=" << retries;
+  os << "logical_reads=" << logical_reads.load(std::memory_order_relaxed)
+     << " cache_hits=" << cache_hits.load(std::memory_order_relaxed)
+     << " physical_reads="
+     << physical_reads.load(std::memory_order_relaxed)
+     << " physical_writes="
+     << physical_writes.load(std::memory_order_relaxed)
+     << " allocations=" << allocations.load(std::memory_order_relaxed)
+     << " checksum_failures="
+     << checksum_failures.load(std::memory_order_relaxed)
+     << " retries=" << retries.load(std::memory_order_relaxed);
   return os.str();
 }
 

@@ -1,6 +1,7 @@
 #ifndef VITRI_STORAGE_IO_STATS_H_
 #define VITRI_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -9,27 +10,69 @@ namespace vitri::storage {
 /// Counters describing page traffic. "Logical" events are buffer-pool
 /// fetches (what the paper's I/O-cost figures count as page accesses);
 /// "physical" events are transfers that actually hit the backing pager.
+///
+/// Every counter is an atomic: increments from concurrent queries
+/// (BatchKnn fan-out, parallel ingest) never race, so the save/restore
+/// trick the ValidateInvariants() implementations use stays clean under
+/// ThreadSanitizer. Copying or subtracting an IoStats reads each counter
+/// with relaxed ordering — the copy is a per-field snapshot, not a
+/// globally consistent one, which is all cost reporting needs. Restoring
+/// saved counters (operator=) while *other* threads are mid-query would
+/// silently drop their increments; callers that save/restore (the
+/// invariant validators) therefore require exclusive access — see
+/// DESIGN.md "Threading model".
 struct IoStats {
-  uint64_t logical_reads = 0;      // Buffer-pool fetches.
-  uint64_t cache_hits = 0;         // Fetches served without pager I/O.
-  uint64_t physical_reads = 0;     // Pager reads.
-  uint64_t physical_writes = 0;    // Pager writes (evictions + flushes).
-  uint64_t allocations = 0;        // Newly allocated pages.
-  uint64_t checksum_failures = 0;  // Reads rejected by the page footer.
-  uint64_t retries = 0;            // Transient-IoError retries (see
-                                   // storage/retry_pager.h).
+  std::atomic<uint64_t> logical_reads{0};   // Buffer-pool fetches.
+  std::atomic<uint64_t> cache_hits{0};      // Served without pager I/O.
+  std::atomic<uint64_t> physical_reads{0};  // Pager reads.
+  std::atomic<uint64_t> physical_writes{0};  // Pager writes.
+  std::atomic<uint64_t> allocations{0};      // Newly allocated pages.
+  std::atomic<uint64_t> checksum_failures{0};  // Footer-rejected reads.
+  std::atomic<uint64_t> retries{0};  // Transient-IoError retries (see
+                                     // storage/retry_pager.h).
+
+  IoStats() = default;
+  IoStats(const IoStats& rhs) { *this = rhs; }
+  IoStats& operator=(const IoStats& rhs) {
+    logical_reads.store(rhs.logical_reads.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    cache_hits.store(rhs.cache_hits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    physical_reads.store(rhs.physical_reads.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    physical_writes.store(
+        rhs.physical_writes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    allocations.store(rhs.allocations.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    checksum_failures.store(
+        rhs.checksum_failures.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    retries.store(rhs.retries.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = IoStats{}; }
 
   IoStats operator-(const IoStats& rhs) const {
     IoStats out;
-    out.logical_reads = logical_reads - rhs.logical_reads;
-    out.cache_hits = cache_hits - rhs.cache_hits;
-    out.physical_reads = physical_reads - rhs.physical_reads;
-    out.physical_writes = physical_writes - rhs.physical_writes;
-    out.allocations = allocations - rhs.allocations;
-    out.checksum_failures = checksum_failures - rhs.checksum_failures;
-    out.retries = retries - rhs.retries;
+    out.logical_reads = logical_reads.load(std::memory_order_relaxed) -
+                        rhs.logical_reads.load(std::memory_order_relaxed);
+    out.cache_hits = cache_hits.load(std::memory_order_relaxed) -
+                     rhs.cache_hits.load(std::memory_order_relaxed);
+    out.physical_reads = physical_reads.load(std::memory_order_relaxed) -
+                         rhs.physical_reads.load(std::memory_order_relaxed);
+    out.physical_writes =
+        physical_writes.load(std::memory_order_relaxed) -
+        rhs.physical_writes.load(std::memory_order_relaxed);
+    out.allocations = allocations.load(std::memory_order_relaxed) -
+                      rhs.allocations.load(std::memory_order_relaxed);
+    out.checksum_failures =
+        checksum_failures.load(std::memory_order_relaxed) -
+        rhs.checksum_failures.load(std::memory_order_relaxed);
+    out.retries = retries.load(std::memory_order_relaxed) -
+                  rhs.retries.load(std::memory_order_relaxed);
     return out;
   }
 

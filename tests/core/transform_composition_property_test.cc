@@ -1,0 +1,151 @@
+// Property tests for query composition (Section 5.2): ComposeKeyRanges
+// must merge random overlapping key ranges into disjoint ranges covering
+// exactly the union of the inputs, and the composed KNN built on it must
+// never visit a leaf record twice (candidates <= naive) while returning
+// identical results.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/index.h"
+#include "core/transform.h"
+#include "core/vitri_builder.h"
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+namespace {
+
+bool InAny(const std::vector<KeyRange>& ranges, double x) {
+  for (const KeyRange& r : ranges) {
+    if (x >= r.lo && x <= r.hi) return true;
+  }
+  return false;
+}
+
+std::vector<KeyRange> RandomRanges(Rng* rng, size_t count) {
+  std::vector<KeyRange> ranges;
+  ranges.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double lo = rng->Uniform(-10.0, 10.0);
+    // Mix of short and long ranges so some overlap, some nest, and some
+    // stand alone.
+    const double len = rng->Uniform(0.0, rng->Bernoulli(0.3) ? 8.0 : 0.5);
+    ranges.push_back(KeyRange{lo, lo + len});
+  }
+  return ranges;
+}
+
+TEST(ComposeKeyRangesPropertyTest, MergedRangesAreSortedAndDisjoint) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto merged =
+        ComposeKeyRanges(RandomRanges(&rng, 1 + rng.Index(40)));
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_LE(merged[i].lo, merged[i].hi);
+      if (i > 0) {
+        // Strictly separated: touching ranges would have been merged.
+        EXPECT_GT(merged[i].lo, merged[i - 1].hi);
+      }
+    }
+  }
+}
+
+TEST(ComposeKeyRangesPropertyTest, MergedUnionEqualsInputUnion) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto original = RandomRanges(&rng, 1 + rng.Index(30));
+    const auto merged = ComposeKeyRanges(original);
+    // Sample points inside, at the edges of, and between the original
+    // ranges: membership must agree everywhere.
+    std::vector<double> probes;
+    for (const KeyRange& r : original) {
+      probes.push_back(r.lo);
+      probes.push_back(r.hi);
+      probes.push_back((r.lo + r.hi) / 2.0);
+      probes.push_back(std::nextafter(r.lo, -1e300));
+      probes.push_back(std::nextafter(r.hi, 1e300));
+    }
+    for (int i = 0; i < 100; ++i) probes.push_back(rng.Uniform(-12.0, 12.0));
+    for (double x : probes) {
+      EXPECT_EQ(InAny(original, x), InAny(merged, x)) << "at x=" << x;
+    }
+  }
+}
+
+TEST(ComposeKeyRangesPropertyTest, EndpointsComeFromInputRanges) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto original = RandomRanges(&rng, 1 + rng.Index(20));
+    for (const KeyRange& m : ComposeKeyRanges(original)) {
+      const bool lo_known =
+          std::any_of(original.begin(), original.end(),
+                      [&](const KeyRange& r) { return r.lo == m.lo; });
+      const bool hi_known =
+          std::any_of(original.begin(), original.end(),
+                      [&](const KeyRange& r) { return r.hi == m.hi; });
+      EXPECT_TRUE(lo_known && hi_known);
+    }
+  }
+}
+
+TEST(ComposeKeyRangesPropertyTest, DropsEmptyAndKeepsPointRanges) {
+  const auto merged = ComposeKeyRanges(
+      {KeyRange{2.0, 1.0}, KeyRange{5.0, 5.0}, KeyRange{5.0, 6.0}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].lo, 5.0);
+  EXPECT_EQ(merged[0].hi, 6.0);
+}
+
+// End-to-end property on a real index: with heavily overlapping query
+// ViTris, the composed method must scan each qualifying leaf record at
+// most once (strictly fewer candidate touches than the naive method
+// re-reading overlaps) and return identical results.
+TEST(ComposeKeyRangesPropertyTest, ComposedKnnTouchesNoRecordTwice) {
+  video::SynthesizerOptions so;
+  so.seed = 2005;
+  video::VideoSynthesizer synth(so);
+  video::VideoDatabase db = synth.GenerateDatabase(0.004);
+  ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+
+  ViTriIndexOptions io;
+  io.dimension = db.dimension;
+  auto index = ViTriIndex::Build(*set, io);
+  ASSERT_TRUE(index.ok());
+
+  auto query = builder.Build(db.videos[1]);
+  ASSERT_TRUE(query.ok());
+  const auto frames = static_cast<uint32_t>(db.videos[1].num_frames());
+
+  QueryCosts naive_costs;
+  auto naive = index->Knn(*query, frames, 10, KnnMethod::kNaive,
+                          &naive_costs);
+  ASSERT_TRUE(naive.ok());
+  QueryCosts composed_costs;
+  auto composed = index->Knn(*query, frames, 10, KnnMethod::kComposed,
+                             &composed_costs);
+  ASSERT_TRUE(composed.ok());
+
+  // Identical answers...
+  ASSERT_EQ(naive->size(), composed->size());
+  for (size_t i = 0; i < naive->size(); ++i) {
+    EXPECT_EQ((*naive)[i].video_id, (*composed)[i].video_id);
+    EXPECT_DOUBLE_EQ((*naive)[i].similarity, (*composed)[i].similarity);
+  }
+  // ...with no record touched more than once: a query summarized from a
+  // database video has many overlapping ranges, so naive re-reads.
+  EXPECT_LE(composed_costs.candidates, naive_costs.candidates);
+  EXPECT_LE(composed_costs.range_searches, naive_costs.range_searches);
+  EXPECT_LE(composed_costs.page_accesses, naive_costs.page_accesses);
+  // Composed visits each candidate at most once, so the count is
+  // bounded by the number of stored ViTris.
+  EXPECT_LE(composed_costs.candidates, index->num_vitris());
+}
+
+}  // namespace
+}  // namespace vitri::core

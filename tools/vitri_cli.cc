@@ -2,9 +2,11 @@
 //
 //   vitri generate  --out db.vvdb [--scale 0.01] [--dim 64] [--seed N]
 //   vitri summarize --db db.vvdb --out summary.vsnp [--epsilon 0.15]
+//                   [--threads N]
 //   vitri stats     --summary summary.vsnp
 //   vitri query     --db db.vvdb --summary summary.vsnp --video ID
 //                   [--k 10] [--epsilon 0.15] [--method composed|naive]
+//                   [--threads N]
 //   vitri verify    [--summary summary.vsnp] [--pages tree.vpag
 //                   [--page-size 4096]]
 //   vitri check     [--summary summary.vsnp [--epsilon E] [--deep]
@@ -18,10 +20,12 @@
 // validators (core/validate.h and the structural self-checks) on a
 // snapshot and/or a B+-tree page file.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "btree/bplus_tree.h"
 #include "core/ground_truth.h"
@@ -101,6 +105,7 @@ int CmdSummarize(const Args& args) {
   if (!db.ok()) return Fail(db.status());
   core::ViTriBuilderOptions bo;
   bo.epsilon = args.GetDouble("--epsilon", 0.15);
+  bo.num_threads = static_cast<int>(args.GetLong("--threads", 1));
   core::ViTriBuilder builder(bo);
   auto set = builder.BuildDatabase(*db);
   if (!set.ok()) return Fail(set.status());
@@ -177,16 +182,23 @@ int CmdQuery(const Args& args) {
       std::strcmp(args.Get("--method", "composed"), "naive") == 0
           ? core::KnnMethod::kNaive
           : core::KnnMethod::kComposed;
+  const size_t k = static_cast<size_t>(args.GetLong("--k", 10));
+  const size_t threads =
+      static_cast<size_t>(std::max(args.GetLong("--threads", 1), 1L));
   core::QueryCosts costs;
-  auto results = index->Knn(
-      *summary, static_cast<uint32_t>(query.num_frames()),
-      static_cast<size_t>(args.GetLong("--k", 10)), method, &costs);
-  if (!results.ok()) return Fail(results.status());
+  // The batched path is the one production uses; a single query simply
+  // forms a batch of one (results are identical either way).
+  std::vector<core::BatchQuery> batch(1);
+  batch[0].vitris = std::move(*summary);
+  batch[0].num_frames = static_cast<uint32_t>(query.num_frames());
+  auto batch_results = index->BatchKnn(batch, k, method, threads, &costs);
+  if (!batch_results.ok()) return Fail(batch_results.status());
+  const std::vector<core::VideoMatch>& results = (*batch_results)[0];
 
   std::printf("query: near-duplicate of video %u (%zu frames, %zu "
               "ViTris)\n",
-              target, query.num_frames(), summary->size());
-  for (const core::VideoMatch& m : *results) {
+              target, query.num_frames(), batch[0].vitris.size());
+  for (const core::VideoMatch& m : results) {
     std::printf("  video %-6u similarity %.4f%s\n", m.video_id,
                 m.similarity, m.video_id == target ? "   <-- source" : "");
   }
@@ -321,10 +333,12 @@ void Usage() {
                "usage: vitri <generate|summarize|stats|query|verify|check> "
                "[flags]\n"
                "  generate  --out db.vvdb [--scale S] [--dim N] [--seed X]\n"
-               "  summarize --db db.vvdb --out s.vsnp [--epsilon E]\n"
+               "  summarize --db db.vvdb --out s.vsnp [--epsilon E] "
+               "[--threads N]\n"
                "  stats     --summary s.vsnp\n"
                "  query     --db db.vvdb --summary s.vsnp --video ID\n"
                "            [--k K] [--epsilon E] [--method composed|naive]\n"
+               "            [--threads N]\n"
                "  verify    [--summary s.vsnp] [--pages tree.vpag "
                "[--page-size N]]\n"
                "  check     [--summary s.vsnp [--epsilon E] [--deep] "
