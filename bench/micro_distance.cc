@@ -1,0 +1,239 @@
+// Distance-kernel throughput: scalar vs SSE2 vs AVX2 backends at the
+// workload's dimensionalities, plus the two consumers whose inner loops
+// the kernels dominate — k-means assignment and end-to-end KNN.
+//
+// Backends are registered at runtime for whatever the CPU supports, so
+// one binary reports the whole comparison:
+//   * per-pair SquaredDistance (ns/pair, GB/s),
+//   * one-to-many SquaredDistanceBatch over a contiguous FrameMatrix,
+//   * SquaredDistanceBounded at several abandon selectivities,
+//   * k-means assignment (blocked argmin, with/without early abandon),
+//   * ViTriIndex::Knn on a synthetic workload (active backend only —
+//     dispatch is fixed per process; run again with
+//     VITRI_DISABLE_SIMD=1 for the scalar before/after number).
+//
+// JSON trajectory: pass the standard google-benchmark flags, e.g.
+//   micro_distance --benchmark_out=BENCH_distance.json
+//                  --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "common/random.h"
+#include "core/index.h"
+#include "core/vitri_builder.h"
+#include "linalg/frame_matrix.h"
+#include "linalg/kernels.h"
+#include "video/synthesizer.h"
+
+namespace {
+
+using namespace vitri;
+using linalg::FrameMatrix;
+using linalg::KernelBackend;
+using linalg::KernelOps;
+
+linalg::Vec RandomVec(size_t dim, Rng& rng) {
+  linalg::Vec v(dim);
+  for (double& x : v) x = rng.NextDouble() * 2.0 - 1.0;
+  return v;
+}
+
+FrameMatrix RandomMatrix(size_t rows, size_t dim, Rng& rng) {
+  FrameMatrix m(rows, dim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (double& x : m.MutableRow(r)) x = rng.NextDouble() * 2.0 - 1.0;
+  }
+  return m;
+}
+
+void BM_SquaredDistancePair(benchmark::State& state,
+                            KernelBackend backend) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  const linalg::Vec a = RandomVec(dim, rng);
+  const linalg::Vec b = RandomVec(dim, rng);
+  const KernelOps& ops = linalg::KernelOpsFor(backend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.squared_distance(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());  // items = pairs
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * dim * sizeof(double)));
+}
+
+void BM_SquaredDistanceBatch(benchmark::State& state,
+                             KernelBackend backend) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 4096;
+  Rng rng(43);
+  const FrameMatrix m = RandomMatrix(kRows, dim, rng);
+  const linalg::Vec q = RandomVec(dim, rng);
+  std::vector<double> out(kRows);
+  const KernelOps& ops = linalg::KernelOpsFor(backend);
+  for (auto _ : state) {
+    linalg::SquaredDistanceBatch(ops, q, m, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRows));
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(kRows * dim * sizeof(double)));
+}
+
+// Bounded kernel with the threshold placed so roughly the given percent
+// of each scan survives; 100 => never abandons (pure overhead measure).
+void BM_SquaredDistanceBounded(benchmark::State& state,
+                               KernelBackend backend) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  const auto keep_percent = static_cast<double>(state.range(1));
+  Rng rng(44);
+  const linalg::Vec a = RandomVec(dim, rng);
+  const linalg::Vec b = RandomVec(dim, rng);
+  const KernelOps& ops = linalg::KernelOpsFor(backend);
+  const double full = ops.squared_distance(a.data(), b.data(), dim);
+  const double threshold = full * keep_percent / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.squared_distance_bounded(
+        a.data(), b.data(), dim, threshold));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The k-means assignment step: every point picks its nearest of k
+// centroids. This is the inner loop of 2-means bisection during ViTri
+// summarization (k=2) and of larger assignment sweeps in benches.
+void BM_KMeansAssign(benchmark::State& state, KernelBackend backend,
+                     bool early_abandon) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  const auto k = static_cast<size_t>(state.range(1));
+  constexpr size_t kPoints = 1024;
+  Rng rng(45);
+  const FrameMatrix points = RandomMatrix(kPoints, dim, rng);
+  const FrameMatrix centroids = RandomMatrix(k, dim, rng);
+  const KernelOps& ops = linalg::KernelOpsFor(backend);
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kPoints; ++i) {
+      acc += linalg::ArgMinSquaredDistance(ops, points.Row(i), centroids,
+                                           early_abandon)
+                 .index;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kPoints * k));
+}
+
+// End-to-end KNN over a synthetic index: active backend only (dispatch
+// is per-process); compare against a VITRI_DISABLE_SIMD=1 run.
+void BM_EndToEndKnn(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  video::SynthesizerOptions so;
+  so.dimension = dim;
+  video::VideoSynthesizer synth(so);
+  const video::VideoDatabase db = synth.GenerateDatabase(0.02);
+
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = 0.15;
+  core::ViTriBuilder builder(bo);
+  auto set = builder.BuildDatabase(db);
+  if (!set.ok()) {
+    state.SkipWithError("BuildDatabase failed");
+    return;
+  }
+  core::ViTriIndexOptions io;
+  io.dimension = dim;
+  io.epsilon = bo.epsilon;
+  auto index = core::ViTriIndex::Build(*set, io);
+  if (!index.ok()) {
+    state.SkipWithError("Build failed");
+    return;
+  }
+  const video::VideoSequence query_seq =
+      synth.MakeNearDuplicate(db.videos[0],
+                              static_cast<uint32_t>(db.num_videos()));
+  auto query = builder.Build(query_seq);
+  if (!query.ok()) {
+    state.SkipWithError("Build(query) failed");
+    return;
+  }
+
+  for (auto _ : state) {
+    auto result =
+        index->Knn(*query, static_cast<uint32_t>(query_seq.num_frames()),
+                   10, core::KnnMethod::kComposed, nullptr);
+    if (!result.ok()) {
+      state.SkipWithError("Knn failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string("backend:") +
+                 linalg::KernelBackendName(linalg::ActiveKernelBackend()));
+}
+
+void RegisterAll() {
+  const std::vector<int64_t> dims = {8, 32, 64, 128};
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kSse2,
+        KernelBackend::kAvx2}) {
+    if (!linalg::KernelBackendAvailable(backend)) continue;
+    const std::string tag = linalg::KernelBackendName(backend);
+
+    auto* pair = benchmark::RegisterBenchmark(
+        ("BM_SquaredDistancePair/" + tag).c_str(),
+        [backend](benchmark::State& s) {
+          BM_SquaredDistancePair(s, backend);
+        });
+    auto* batch = benchmark::RegisterBenchmark(
+        ("BM_SquaredDistanceBatch/" + tag).c_str(),
+        [backend](benchmark::State& s) {
+          BM_SquaredDistanceBatch(s, backend);
+        });
+    for (int64_t d : dims) {
+      pair->Arg(d);
+      batch->Arg(d);
+    }
+
+    auto* bounded = benchmark::RegisterBenchmark(
+        ("BM_SquaredDistanceBounded/" + tag).c_str(),
+        [backend](benchmark::State& s) {
+          BM_SquaredDistanceBounded(s, backend);
+        });
+    for (int64_t keep : {10, 50, 100}) bounded->Args({64, keep});
+
+    for (bool abandon : {true, false}) {
+      auto* assign = benchmark::RegisterBenchmark(
+          ("BM_KMeansAssign/" + tag +
+           (abandon ? "/abandon" : "/exhaustive"))
+              .c_str(),
+          [backend, abandon](benchmark::State& s) {
+            BM_KMeansAssign(s, backend, abandon);
+          });
+      assign->Args({64, 2})->Args({64, 16});
+    }
+  }
+  benchmark::RegisterBenchmark("BM_EndToEndKnn", BM_EndToEndKnn)
+      ->Arg(64)
+      ->Unit(benchmark::kMicrosecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,8 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/frame_matrix.h"
+#include "linalg/kernels.h"
+
 namespace vitri::clustering {
 
+using linalg::FrameMatrix;
 using linalg::Vec;
 using linalg::VecView;
 
@@ -13,30 +17,31 @@ namespace {
 
 // k-means++ seeding: first centroid uniform, subsequent ones sampled
 // proportional to squared distance to the nearest chosen centroid.
-std::vector<Vec> SeedPlusPlus(const std::vector<Vec>& points,
-                              const std::vector<uint32_t>& indices, int k,
-                              Rng& rng) {
+// `pts` is the gathered (contiguous) working subset; row i corresponds
+// to the i-th input index. The nearest-centroid update early-abandons
+// at the running minimum d2[i], which cannot change the minimum.
+std::vector<Vec> SeedPlusPlus(const FrameMatrix& pts, int k, Rng& rng) {
   std::vector<Vec> centroids;
-  centroids.reserve(k);
-  centroids.push_back(points[indices[rng.Index(indices.size())]]);
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(pts.RowVec(rng.Index(pts.num_rows())));
 
-  std::vector<double> d2(indices.size(),
+  std::vector<double> d2(pts.num_rows(),
                          std::numeric_limits<double>::infinity());
   while (static_cast<int>(centroids.size()) < k) {
     double total = 0.0;
-    for (size_t i = 0; i < indices.size(); ++i) {
-      const double d = linalg::SquaredDistance(points[indices[i]],
-                                               centroids.back());
+    for (size_t i = 0; i < pts.num_rows(); ++i) {
+      const double d = linalg::SquaredDistanceBounded(
+          pts.Row(i), centroids.back(), d2[i]);
       d2[i] = std::min(d2[i], d);
       total += d2[i];
     }
     size_t chosen = 0;
     if (total <= 0.0) {
       // All points coincide with existing centroids; any pick works.
-      chosen = rng.Index(indices.size());
+      chosen = rng.Index(pts.num_rows());
     } else {
       double target = rng.NextDouble() * total;
-      for (size_t i = 0; i < indices.size(); ++i) {
+      for (size_t i = 0; i < pts.num_rows(); ++i) {
         target -= d2[i];
         if (target <= 0.0) {
           chosen = i;
@@ -44,7 +49,7 @@ std::vector<Vec> SeedPlusPlus(const std::vector<Vec>& points,
         }
       }
     }
-    centroids.push_back(points[indices[chosen]]);
+    centroids.push_back(pts.RowVec(chosen));
   }
   return centroids;
 }
@@ -65,67 +70,74 @@ Result<KMeansResult> KMeans(const std::vector<Vec>& points,
   }
   const size_t dim = points[indices[0]].size();
 
+  // Densify the working subset once: every Lloyd iteration then streams
+  // contiguous rows through the batch kernels instead of chasing
+  // per-point heap allocations.
+  const FrameMatrix pts = FrameMatrix::Gather(points, indices);
+
   Rng rng(options.seed);
   KMeansResult result;
-  result.centroids = SeedPlusPlus(points, indices, k, rng);
+  result.centroids = SeedPlusPlus(pts, k, rng);
   result.assignments.assign(indices.size(), 0);
+
+  // Centroids mirrored into a contiguous matrix for the assignment
+  // kernel; refreshed whenever result.centroids changes.
+  FrameMatrix centroid_rows = FrameMatrix::FromRows(result.centroids);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: blocked argmin over the centroid matrix, with
+    // exact early-abandon pruning (ties keep the lowest centroid index,
+    // as the original per-pair loop did).
     bool changed = false;
     result.inertia = 0.0;
-    for (size_t i = 0; i < indices.size(); ++i) {
-      const VecView p = points[indices[i]];
-      double best = std::numeric_limits<double>::infinity();
-      uint32_t best_c = 0;
-      for (int c = 0; c < k; ++c) {
-        const double d = linalg::SquaredDistance(p, result.centroids[c]);
-        if (d < best) {
-          best = d;
-          best_c = static_cast<uint32_t>(c);
-        }
-      }
+    for (size_t i = 0; i < pts.num_rows(); ++i) {
+      const linalg::ArgMinResult nearest =
+          linalg::ArgMinSquaredDistance(pts.Row(i), centroid_rows);
+      const auto best_c = static_cast<uint32_t>(nearest.index);
       if (result.assignments[i] != best_c) {
         result.assignments[i] = best_c;
         changed = true;
       }
-      result.inertia += best;
+      result.inertia += nearest.squared_distance;
     }
 
     // Update step.
-    std::vector<Vec> sums(k, Vec(dim, 0.0));
-    std::vector<size_t> counts(k, 0);
-    for (size_t i = 0; i < indices.size(); ++i) {
-      linalg::AddInPlace(sums[result.assignments[i]], points[indices[i]]);
+    std::vector<Vec> sums(static_cast<size_t>(k), Vec(dim, 0.0));
+    std::vector<size_t> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < pts.num_rows(); ++i) {
+      linalg::AddInPlace(sums[result.assignments[i]], pts.Row(i));
       ++counts[result.assignments[i]];
     }
 
     double movement = 0.0;
     for (int c = 0; c < k; ++c) {
-      if (counts[c] == 0) {
+      const auto cu = static_cast<size_t>(c);
+      if (counts[cu] == 0) {
         // Re-seed an empty cluster with the point farthest from its
         // current centroid, keeping all k clusters in play.
         double worst = -1.0;
         size_t worst_i = 0;
-        for (size_t i = 0; i < indices.size(); ++i) {
+        for (size_t i = 0; i < pts.num_rows(); ++i) {
           const double d = linalg::SquaredDistance(
-              points[indices[i]], result.centroids[result.assignments[i]]);
+              pts.Row(i), result.centroids[result.assignments[i]]);
           if (d > worst) {
             worst = d;
             worst_i = i;
           }
         }
-        movement += linalg::SquaredDistance(result.centroids[c],
-                                            points[indices[worst_i]]);
-        result.centroids[c] = points[indices[worst_i]];
+        movement += linalg::SquaredDistance(result.centroids[cu],
+                                            pts.Row(worst_i));
+        result.centroids[cu] = pts.RowVec(worst_i);
+        centroid_rows.SetRow(cu, result.centroids[cu]);
         changed = true;
         continue;
       }
-      Vec next = sums[c];
-      linalg::ScaleInPlace(next, 1.0 / static_cast<double>(counts[c]));
-      movement += linalg::SquaredDistance(result.centroids[c], next);
-      result.centroids[c] = std::move(next);
+      Vec next = sums[cu];
+      linalg::ScaleInPlace(next, 1.0 / static_cast<double>(counts[cu]));
+      movement += linalg::SquaredDistance(result.centroids[cu], next);
+      result.centroids[cu] = std::move(next);
+      centroid_rows.SetRow(cu, result.centroids[cu]);
     }
 
     if (!changed || movement < options.tolerance) break;
@@ -133,19 +145,11 @@ Result<KMeansResult> KMeans(const std::vector<Vec>& points,
 
   // Final assignment pass so assignments match the final centroids.
   result.inertia = 0.0;
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const VecView p = points[indices[i]];
-    double best = std::numeric_limits<double>::infinity();
-    uint32_t best_c = 0;
-    for (int c = 0; c < k; ++c) {
-      const double d = linalg::SquaredDistance(p, result.centroids[c]);
-      if (d < best) {
-        best = d;
-        best_c = static_cast<uint32_t>(c);
-      }
-    }
-    result.assignments[i] = best_c;
-    result.inertia += best;
+  for (size_t i = 0; i < pts.num_rows(); ++i) {
+    const linalg::ArgMinResult nearest =
+        linalg::ArgMinSquaredDistance(pts.Row(i), centroid_rows);
+    result.assignments[i] = static_cast<uint32_t>(nearest.index);
+    result.inertia += nearest.squared_distance;
   }
   return result;
 }

@@ -35,7 +35,11 @@ struct KMeansResult {
 
 /// Runs k-means over points[indices], with k-means++ seeding. `points`
 /// is the backing store; `indices` selects the subset to cluster (the
-/// recursive bisecting generator clusters sub-ranges without copying).
+/// recursive bisecting generator clusters sub-ranges without copying —
+/// internally the subset is gathered once into a contiguous
+/// linalg::FrameMatrix and all distance work runs through the SIMD
+/// kernel layer with exact early-abandon pruning, so results are
+/// identical to the naive per-pair loops on the same kernel backend).
 ///
 /// Guarantees non-empty clusters when indices contain at least k distinct
 /// points: an empty cluster is re-seeded with the point farthest from its

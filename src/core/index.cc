@@ -11,6 +11,8 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/similarity.h"
+#include "linalg/frame_matrix.h"
+#include "linalg/kernels.h"
 #include "core/validate.h"
 #include "storage/retry_pager.h"
 
@@ -20,6 +22,19 @@ using btree::BPlusTree;
 using storage::BufferPool;
 using storage::IoStats;
 using storage::MemPager;
+
+namespace {
+
+// Contiguous copy of the query summary's ViTri positions, so the
+// full-evaluation refinement paths can compute every candidate-to-query
+// center distance with one batch-kernel call per candidate.
+linalg::FrameMatrix QueryPositionMatrix(const std::vector<ViTri>& query) {
+  linalg::FrameMatrix m;
+  for (const ViTri& q : query) m.AppendRow(q.position);
+  return m;
+}
+
+}  // namespace
 
 Result<ViTriIndex> ViTriIndex::Build(const ViTriSet& set,
                                      const ViTriIndexOptions& options) {
@@ -225,11 +240,17 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
 void ViTriIndex::EvaluateInMemory(const std::vector<ViTri>& query,
                                   std::vector<double>* shared,
                                   QueryCosts* costs) const {
+  // Every candidate is evaluated against every query ViTri, so the
+  // candidate's center distances come from one batch-kernel sweep over
+  // the contiguous query-position matrix.
+  const linalg::FrameMatrix qpos = QueryPositionMatrix(query);
+  std::vector<double> d2(query.size());
   for (const ViTri& candidate : vitris_) {
     ++costs->candidates;
-    for (const ViTri& q : query) {
+    linalg::SquaredDistanceBatch(candidate.position, qpos, d2);
+    for (size_t qi = 0; qi < query.size(); ++qi) {
       ++costs->similarity_evals;
-      const double est = EstimatedSharedFrames(q, candidate);
+      const double est = EstimatedSharedFrames(query[qi], candidate, d2[qi]);
       if (est > 0.0 && candidate.video_id < shared->size()) {
         (*shared)[candidate.video_id] += est;
       }
@@ -340,6 +361,8 @@ Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
   local.range_searches = 1;
 
   std::vector<double> shared(frame_counts_.size(), 0.0);
+  const linalg::FrameMatrix qpos = QueryPositionMatrix(query);
+  std::vector<double> d2(query.size());
   constexpr double kInf = std::numeric_limits<double>::infinity();
   auto scan_result = tree_->RangeScan(
       -kInf, kInf,
@@ -348,9 +371,11 @@ Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
         ++local.candidates;
         auto candidate = ViTri::Deserialize(value, options_.dimension);
         if (!candidate.ok()) return true;
-        for (const ViTri& q : query) {
+        linalg::SquaredDistanceBatch(candidate->position, qpos, d2);
+        for (size_t qi = 0; qi < query.size(); ++qi) {
           ++local.similarity_evals;
-          const double est = EstimatedSharedFrames(q, *candidate);
+          const double est =
+              EstimatedSharedFrames(query[qi], *candidate, d2[qi]);
           if (est > 0.0 && candidate->video_id < shared.size()) {
             shared[candidate->video_id] += est;
           }

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "geometry/hypersphere.h"
+#include "linalg/frame_matrix.h"
+#include "linalg/kernels.h"
 #include "linalg/vec.h"
 
 namespace vitri::core {
@@ -18,8 +20,22 @@ OverlapCase ClassifyOverlap(double d, double r1, double r2) {
 }
 
 double EstimatedSharedFrames(const ViTri& a, const ViTri& b) {
+  return EstimatedSharedFrames(
+      a, b, linalg::SquaredDistance(a.position, b.position));
+}
+
+double EstimatedSharedFrames(const ViTri& a, const ViTri& b,
+                             double squared_distance) {
   const int n = a.dimension();
-  const double d = linalg::Distance(a.position, b.position);
+  // Disjointness is decided on squared distances — the common case in a
+  // range scan — so the sqrt is only paid when the balls may actually
+  // intersect and the lens geometry needs a true distance. Strictly
+  // beyond the summed radii every case of IntersectBalls is disjoint
+  // (point clusters included); the d == reach boundary falls through to
+  // IntersectBalls, whose case analysis owns the tie-breaks.
+  const double reach = a.radius + b.radius;
+  if (squared_distance > reach * reach) return 0.0;
+  const double d = std::sqrt(squared_distance);
   const geometry::BallIntersection lens =
       geometry::IntersectBalls(n, d, a.radius, b.radius);
   if (lens.disjoint) return 0.0;
@@ -49,13 +65,19 @@ double EstimatedMatchingFrames(linalg::VecView x, double epsilon,
                                const ViTri& c) {
   if (epsilon <= 0.0 || c.cluster_size == 0) return 0.0;
   const int n = c.dimension();
-  const double d = linalg::Distance(x, c.position);
+  // Both the point-cluster membership test and the disjointness test
+  // compare against squared thresholds; sqrt is deferred to the one
+  // branch whose lens geometry needs the true distance.
+  const double d2 = linalg::SquaredDistance(x, c.position);
   if (c.radius <= 0.0) {
     // Point cluster: all of it matches iff it is within epsilon.
-    return d <= epsilon ? static_cast<double>(c.cluster_size) : 0.0;
+    return d2 <= epsilon * epsilon ? static_cast<double>(c.cluster_size)
+                                   : 0.0;
   }
+  const double reach = epsilon + c.radius;
+  if (d2 > reach * reach) return 0.0;
   const geometry::BallIntersection lens =
-      geometry::IntersectBalls(n, d, epsilon, c.radius);
+      geometry::IntersectBalls(n, std::sqrt(d2), epsilon, c.radius);
   if (lens.disjoint) return 0.0;
   const double log_ratio =
       lens.log_volume - geometry::LogBallVolume(n, c.radius);
@@ -85,11 +107,17 @@ NearestDistances ComputeNearestDistances(const video::VideoSequence& x,
                        std::numeric_limits<double>::infinity());
   out.y_nearest.assign(y.frames.size(),
                        std::numeric_limits<double>::infinity());
+  // Stream y's frames from one contiguous buffer: every x frame makes a
+  // full pass, so the O(|X| |Y| n) inner product of this ground-truth
+  // pass is the batch kernel's ideal shape. Each pair's value is
+  // bit-identical to the per-pair kernel.
+  const linalg::FrameMatrix y_rows = linalg::FrameMatrix::FromRows(y.frames);
+  std::vector<double> row(y.frames.size());
   for (size_t i = 0; i < x.frames.size(); ++i) {
+    linalg::SquaredDistanceBatch(x.frames[i], y_rows, row);
     for (size_t j = 0; j < y.frames.size(); ++j) {
-      const double d2 = linalg::SquaredDistance(x.frames[i], y.frames[j]);
-      out.x_nearest[i] = std::min(out.x_nearest[i], d2);
-      out.y_nearest[j] = std::min(out.y_nearest[j], d2);
+      out.x_nearest[i] = std::min(out.x_nearest[i], row[j]);
+      out.y_nearest[j] = std::min(out.y_nearest[j], row[j]);
     }
   }
   for (double& d : out.x_nearest) d = std::sqrt(d);
@@ -114,12 +142,16 @@ double ExactVideoSimilarity(const video::VideoSequence& x,
   const double eps_sq = epsilon * epsilon;
   size_t matched_x = 0;
   std::vector<bool> y_matched(y.frames.size(), false);
+  const linalg::FrameMatrix y_rows = linalg::FrameMatrix::FromRows(y.frames);
   for (const linalg::Vec& fx : x.frames) {
     bool found = false;
-    // No early exit: every matching y frame must be marked so the second
-    // summand of the Section 3.1 formula is exact.
+    // No early exit over j: every matching y frame must be marked so the
+    // second summand of the Section 3.1 formula is exact. Each pair's
+    // scan, however, abandons as soon as its partial sum clears eps^2 —
+    // exact for a d^2 <= eps^2 test, since the partial sum is monotone.
     for (size_t j = 0; j < y.frames.size(); ++j) {
-      if (linalg::SquaredDistance(fx, y.frames[j]) <= eps_sq) {
+      if (linalg::SquaredDistanceBounded(fx, y_rows.Row(j), eps_sq) <=
+          eps_sq) {
         found = true;
         y_matched[j] = true;
       }

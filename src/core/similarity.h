@@ -25,8 +25,18 @@ OverlapCase ClassifyOverlap(double d, double r1, double r2);
 /// Estimated number of similar frames shared by two clusters:
 /// V_intersection * min(D1, D2), evaluated as
 /// |C_sparse| * V_int / V_sphere(R_sparse) so it is numerically stable
-/// in any dimension (see DESIGN.md). Zero when the balls are disjoint.
+/// in any dimension (see DESIGN.md). Zero when the balls are disjoint;
+/// the disjointness test compares squared distances against squared
+/// radii sums, so no sqrt is paid for non-intersecting pairs.
 double EstimatedSharedFrames(const ViTri& a, const ViTri& b);
+
+/// As above, with the squared center distance already in hand — the KNN
+/// refinement path computes center distances for a whole candidate with
+/// one batch-kernel call (linalg::SquaredDistanceBatch) and feeds them
+/// here. `squared_distance` must equal
+/// linalg::SquaredDistance(a.position, b.position).
+double EstimatedSharedFrames(const ViTri& a, const ViTri& b,
+                             double squared_distance);
 
 /// Estimated number of frames of cluster `c` lying within `epsilon` of
 /// the single frame `x`: density * V(ball(x, epsilon) ^ ball(O, R)),

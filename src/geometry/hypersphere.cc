@@ -1,6 +1,7 @@
 #include "geometry/hypersphere.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -13,11 +14,37 @@ namespace {
 constexpr double kPi = 3.14159265358979323846;
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
+double ComputeLogUnitBallVolume(int n) {
+  return 0.5 * n * std::log(kPi) - LogGamma(0.5 * n + 1.0);
+}
+
+// The unit-ball log-volume is evaluated once per ViTri-pair density and
+// intersection-volume computation, always at the (few, small) feature
+// dimensionalities of the workload; memoizing the lgamma-based value in
+// a fixed-size table makes it a load. The table is built on first use
+// (thread-safe magic-static initialization) and dimensions past the
+// table fall back to direct evaluation.
+constexpr int kLogUnitBallCacheSize = 256;
+
+const std::array<double, kLogUnitBallCacheSize>& LogUnitBallCache() {
+  static const std::array<double, kLogUnitBallCacheSize> cache = [] {
+    std::array<double, kLogUnitBallCacheSize> c{};
+    for (int n = 1; n < kLogUnitBallCacheSize; ++n) {
+      c[static_cast<size_t>(n)] = ComputeLogUnitBallVolume(n);
+    }
+    return c;
+  }();
+  return cache;
+}
+
 }  // namespace
 
 double LogUnitBallVolume(int n) {
   assert(n >= 1);
-  return 0.5 * n * std::log(kPi) - LogGamma(0.5 * n + 1.0);
+  if (n < kLogUnitBallCacheSize) {
+    return LogUnitBallCache()[static_cast<size_t>(n)];
+  }
+  return ComputeLogUnitBallVolume(n);
 }
 
 double LogBallVolume(int n, double r) {

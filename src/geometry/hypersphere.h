@@ -16,6 +16,8 @@ namespace vitri::geometry {
 /// (see DESIGN.md, "Numerical notes").
 
 /// log V of the unit n-ball: (n/2)*log(pi) - logGamma(n/2 + 1).
+/// Memoized for n < 256 (one lgamma per dimension per process), so the
+/// per-call cost on the similarity hot path is a table load.
 double LogUnitBallVolume(int n);
 
 /// log V of the n-ball with radius r (r > 0): log V_unit + n*log(r).

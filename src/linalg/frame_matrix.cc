@@ -1,0 +1,50 @@
+#include "linalg/frame_matrix.h"
+
+#include <algorithm>
+
+namespace vitri::linalg {
+
+FrameMatrix FrameMatrix::FromRows(const std::vector<Vec>& rows) {
+  FrameMatrix m;
+  if (rows.empty()) return m;
+  m.dim_ = rows[0].size();
+  assert(m.dim_ > 0);
+  m.data_.reserve(rows.size() * m.dim_);
+  for (const Vec& r : rows) {
+    assert(r.size() == m.dim_);
+    m.data_.insert(m.data_.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+FrameMatrix FrameMatrix::Gather(const std::vector<Vec>& points,
+                                const std::vector<uint32_t>& indices) {
+  FrameMatrix m;
+  if (indices.empty()) return m;
+  m.dim_ = points[indices[0]].size();
+  assert(m.dim_ > 0);
+  m.data_.reserve(indices.size() * m.dim_);
+  for (uint32_t idx : indices) {
+    assert(idx < points.size());
+    const Vec& p = points[idx];
+    assert(p.size() == m.dim_);
+    m.data_.insert(m.data_.end(), p.begin(), p.end());
+  }
+  return m;
+}
+
+void FrameMatrix::SetRow(size_t i, VecView row) {
+  assert(row.size() == dim_);
+  std::copy(row.begin(), row.end(), MutableRow(i).begin());
+}
+
+void FrameMatrix::AppendRow(VecView row) {
+  assert(!row.empty());
+  if (dim_ == 0) {
+    dim_ = row.size();
+  }
+  assert(row.size() == dim_);
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+}  // namespace vitri::linalg

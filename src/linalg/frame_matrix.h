@@ -1,0 +1,79 @@
+#ifndef VITRI_LINALG_FRAME_MATRIX_H_
+#define VITRI_LINALG_FRAME_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace vitri::linalg {
+
+/// Contiguous row-major matrix of feature vectors. The library's hot
+/// loops (k-means assignment, ground-truth frame matching, KNN
+/// refinement) are one-to-many distance computations; scattering each
+/// point in its own std::vector<double> costs a pointer chase and a
+/// cache miss per pair. FrameMatrix stores all rows back to back in one
+/// flat buffer so the kernel layer (linalg/kernels.h) can stream them.
+///
+/// Rows hold exactly the same bit patterns as the vectors they were
+/// copied from, so per-pair kernel results over a FrameMatrix row are
+/// identical to results over the source Vec.
+class FrameMatrix {
+ public:
+  FrameMatrix() = default;
+
+  /// num_rows x dim, zero-filled.
+  FrameMatrix(size_t num_rows, size_t dim)
+      : data_(num_rows * dim, 0.0), dim_(dim) {
+    assert(dim > 0);
+  }
+
+  /// Copies `rows` (all the same dimension) into contiguous storage.
+  static FrameMatrix FromRows(const std::vector<Vec>& rows);
+
+  /// Copies points[indices[0]], points[indices[1]], ... into contiguous
+  /// storage: row i of the result is points[indices[i]]. The gather the
+  /// recursive bisecting clusterer uses to densify its working subset.
+  static FrameMatrix Gather(const std::vector<Vec>& points,
+                            const std::vector<uint32_t>& indices);
+
+  size_t num_rows() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  VecView Row(size_t i) const {
+    assert(i < num_rows());
+    return VecView(data_.data() + i * dim_, dim_);
+  }
+
+  std::span<double> MutableRow(size_t i) {
+    assert(i < num_rows());
+    return std::span<double>(data_.data() + i * dim_, dim_);
+  }
+
+  /// Overwrites row i. `row` must match dim().
+  void SetRow(size_t i, VecView row);
+
+  /// Appends a row; the first append fixes dim().
+  void AppendRow(VecView row);
+
+  /// Copies row i out into an owned Vec.
+  Vec RowVec(size_t i) const {
+    const VecView r = Row(i);
+    return Vec(r.begin(), r.end());
+  }
+
+  /// Flat row-major storage: row i spans [data() + i*dim, +dim).
+  const double* data() const { return data_.data(); }
+
+ private:
+  std::vector<double> data_;
+  size_t dim_ = 0;
+};
+
+}  // namespace vitri::linalg
+
+#endif  // VITRI_LINALG_FRAME_MATRIX_H_

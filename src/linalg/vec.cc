@@ -3,25 +3,25 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace vitri::linalg {
+
+// Dot / Norm / SquaredDistance / Distance dispatch to the per-process
+// kernel backend (linalg/kernels.h). The scalar backend reproduces the
+// original naive loops bit-for-bit, so with SIMD disabled every caller
+// sees exactly the pre-kernel-layer results.
 
 double Dot(VecView a, VecView b) {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return ActiveKernelOps().dot(a.data(), b.data(), a.size());
 }
 
 double Norm(VecView a) { return std::sqrt(Dot(a, a)); }
 
 double SquaredDistance(VecView a, VecView b) {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    sum += diff * diff;
-  }
-  return sum;
+  return ActiveKernelOps().squared_distance(a.data(), b.data(), a.size());
 }
 
 double Distance(VecView a, VecView b) {

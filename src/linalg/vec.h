@@ -9,7 +9,10 @@ namespace vitri::linalg {
 
 /// Dense feature vector. Frame features and ViTri positions are plain
 /// std::vector<double>; these free functions give the library one audited
-/// implementation of each primitive.
+/// implementation of each primitive. Dot/Norm/SquaredDistance/Distance
+/// dispatch to the SIMD kernel layer (linalg/kernels.h); hot one-to-many
+/// loops should use the batch/bounded kernels there directly, over a
+/// contiguous linalg::FrameMatrix (linalg/frame_matrix.h).
 using Vec = std::vector<double>;
 
 /// Read-only view over contiguous doubles; all kernels below accept views

@@ -29,6 +29,7 @@
 
 #include "btree/bplus_tree.h"
 #include "core/ground_truth.h"
+#include "linalg/kernels.h"
 #include "core/index.h"
 #include "core/snapshot.h"
 #include "core/validate.h"
@@ -343,7 +344,12 @@ void Usage() {
                "[--page-size N]]\n"
                "  check     [--summary s.vsnp [--epsilon E] [--deep] "
                "[--strict-frames 0|1]]\n"
-               "            [--pages tree.vpag [--page-size N]]\n");
+               "            [--pages tree.vpag [--page-size N]]\n"
+               "global flags:\n"
+               "  --no-simd  pin the scalar distance-kernel backend "
+               "(reproduces pre-SIMD\n"
+               "             results bit-for-bit; same as "
+               "VITRI_DISABLE_SIMD=1)\n");
 }
 
 }  // namespace
@@ -354,6 +360,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const Args args{argc - 2, argv + 2};
+  // Kernel dispatch is fixed per process, so the override must land
+  // before any distance work: pin the scalar backend now if asked
+  // (equivalent to VITRI_DISABLE_SIMD=1 in the environment).
+  if (args.Has("--no-simd")) linalg::DisableSimd();
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(args);
   if (command == "summarize") return CmdSummarize(args);
