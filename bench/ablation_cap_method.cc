@@ -9,6 +9,7 @@
 #include "geometry/hypersphere.h"
 #include "geometry/paper_series.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -16,6 +17,7 @@ int main() {
 
   bench::PrintHeader("Ablation", "Hypercap volume: paper series vs. "
                                  "incomplete-beta form");
+  bench::BenchReport report("ablation_cap_method");
 
   std::printf("%-6s %-16s %-14s %-14s\n", "dim", "max |diff|",
               "series ns/op", "beta ns/op");
@@ -46,8 +48,14 @@ int main() {
 
     std::printf("%-6d %-16.3e %-14.1f %-14.1f\n", n, max_diff, series_ns,
                 beta_ns);
+    report.AddRow()
+        .Set("dimension", n)
+        .Set("max_abs_diff", max_diff)
+        .Set("series_ns_per_op", series_ns)
+        .Set("beta_ns_per_op", beta_ns);
   }
   std::printf("\n# expected: agreement to ~1e-8; the beta form's cost is "
               "flat in n while the series grows (recurrence of n terms)\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

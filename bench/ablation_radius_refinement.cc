@@ -10,6 +10,7 @@
 #include "core/similarity.h"
 #include "core/vitri_builder.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -20,6 +21,7 @@ int main() {
                                           bench::kDefaultEpsilon);
 
   bench::PrintHeader("Ablation", "Radius refinement min(R, mu+sigma)");
+  bench::BenchReport report("ablation_radius_refinement");
 
   bench::WorkloadOptions wo;
   wo.scale = scale;
@@ -68,8 +70,15 @@ int main() {
     std::printf("%-12s %-12zu %-12.4f %-12.1f %-14.3f\n",
                 refine ? "mu+sigma" : "raw max", set->size(), avg_radius,
                 avg_size, bench::Mean(precisions));
+    report.AddRow()
+        .Set("refine", refine)
+        .Set("num_clusters", set->size())
+        .Set("average_radius", avg_radius)
+        .Set("average_cluster_size", avg_size)
+        .Set("precision_at_10", bench::Mean(precisions));
   }
   std::printf("\n# expected: refinement gives tighter radii (so sharper "
               "density estimates) at equal or better precision\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

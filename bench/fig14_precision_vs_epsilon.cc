@@ -14,6 +14,7 @@
 #include "core/keyframe_baseline.h"
 #include "core/similarity.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -23,6 +24,7 @@ int main() {
   const size_t k = static_cast<size_t>(bench::EnvInt("VITRI_K", 10));
 
   bench::PrintHeader("Figure 14", "Retrieval precision vs. epsilon");
+  bench::BenchReport report("fig14_precision_vs_epsilon");
 
   bench::WorkloadOptions wo;
   wo.scale = scale;
@@ -99,6 +101,10 @@ int main() {
     std::printf("%-10.2f %-16.3f %-16.3f\n", epsilon,
                 bench::Mean(vitri_precision),
                 bench::Mean(keyframe_precision));
+    report.AddRow()
+        .Set("epsilon", epsilon)
+        .Set("vitri_precision", bench::Mean(vitri_precision))
+        .Set("keyframe_precision", bench::Mean(keyframe_precision));
   }
   std::printf("\n# expected shape (paper): both curves fall as epsilon "
               "grows; ViTri above keyframe.\n"
@@ -107,5 +113,6 @@ int main() {
               "# inter-shot (~0.5) scales, so the geometric reach of the "
               "summaries lags the frame-level ground truth there\n"
               "# (see EXPERIMENTS.md).\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

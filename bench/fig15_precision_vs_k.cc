@@ -10,6 +10,7 @@
 #include "core/keyframe_baseline.h"
 #include "core/similarity.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -20,6 +21,7 @@ int main() {
                                           bench::kDefaultEpsilon);
 
   bench::PrintHeader("Figure 15", "Retrieval precision vs. K");
+  bench::BenchReport report("fig15_precision_vs_k");
 
   bench::WorkloadOptions wo;
   wo.scale = scale;
@@ -76,8 +78,13 @@ int main() {
     std::printf("%-8zu %-16.3f %-16.3f\n", k,
                 bench::Mean(vitri_precision),
                 bench::Mean(keyframe_precision));
+    report.AddRow()
+        .Set("k", k)
+        .Set("vitri_precision", bench::Mean(vitri_precision))
+        .Set("keyframe_precision", bench::Mean(keyframe_precision));
   }
   std::printf("\n# expected shape (paper): ViTri above keyframe; both "
               "curves roughly flat in K\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

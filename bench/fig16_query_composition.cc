@@ -8,6 +8,7 @@
 
 #include "core/index.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -17,6 +18,7 @@ int main() {
 
   bench::PrintHeader("Figure 16",
                      "Query composition vs. naive KNN processing (I/O)");
+  bench::BenchReport report("fig16_query_composition");
 
   std::printf("%-12s %-14s %-14s %-12s\n", "num ViTris", "naive I/O",
               "composed I/O", "naive/comp");
@@ -55,8 +57,14 @@ int main() {
         static_cast<double>(composed_pages) / w.queries.size();
     std::printf("%-12zu %-14.1f %-14.1f %-12.2f\n", w.set.size(),
                 naive_avg, composed_avg, naive_avg / composed_avg);
+    report.AddRow()
+        .Set("num_vitris", w.set.size())
+        .Set("naive_page_accesses", naive_avg)
+        .Set("composed_page_accesses", composed_avg)
+        .Set("naive_over_composed", naive_avg / composed_avg);
   }
   std::printf("\n# expected shape (paper): composition consistently below "
               "naive, both growing with N\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "core/pyramid.h"
 #include "core/transform.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -18,6 +19,7 @@ int main() {
   const int num_queries = bench::EnvInt("VITRI_QUERIES", 20);
 
   bench::PrintHeader("Figure 17", "Effect of the number of ViTris");
+  bench::BenchReport report("fig17_num_vitris");
 
   std::printf("%-10s | %-9s %-9s %-9s %-9s %-9s | %-8s %-8s %-8s %-8s "
               "%-8s\n",
@@ -97,6 +99,15 @@ int main() {
                 w.set.size(), io[0] / nq, io[1] / nq, io[2] / nq,
                 io[3] / nq, io[4] / nq, cpu[0] / nq, cpu[1] / nq,
                 cpu[2] / nq, cpu[3] / nq, cpu[4] / nq);
+    const char* methods[5] = {"seqscan", "space_center", "data_center",
+                              "optimal", "pyramid"};
+    for (int m = 0; m < 5; ++m) {
+      report.AddRow()
+          .Set("num_vitris", w.set.size())
+          .Set("method", methods[m])
+          .Set("page_accesses_per_query", io[m] / nq)
+          .Set("cpu_ms_per_query", cpu[m] / nq);
+    }
 
     // Per-range-search I/O: the pruning power of one ViTri's range
     // search, where the reference-point quality shows undiluted (a
@@ -134,5 +145,6 @@ int main() {
   }
   std::printf("\n# expected shape (paper): seq-scan worst and linear in N; "
               "optimal best (2-5x better than space/data center)\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "core/pyramid.h"
 #include "core/transform.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -17,6 +18,7 @@ int main() {
   const int num_queries = bench::EnvInt("VITRI_QUERIES", 20);
 
   bench::PrintHeader("Figure 18", "Effect of dimensionality");
+  bench::BenchReport report("fig18_dimensionality");
 
   std::printf("%-6s | %-9s %-9s %-9s %-9s %-9s | %-8s %-8s %-8s %-8s "
               "%-8s\n",
@@ -100,8 +102,18 @@ int main() {
                 dim, io[0] / nq, io[1] / nq, io[2] / nq, io[3] / nq,
                 io[4] / nq, cpu[0] / nq, cpu[1] / nq, cpu[2] / nq,
                 cpu[3] / nq, cpu[4] / nq);
+    const char* methods[5] = {"seqscan", "space_center", "data_center",
+                              "optimal", "pyramid"};
+    for (int m = 0; m < 5; ++m) {
+      report.AddRow()
+          .Set("dimension", dim)
+          .Set("method", methods[m])
+          .Set("page_accesses_per_query", io[m] / nq)
+          .Set("cpu_ms_per_query", cpu[m] / nq);
+    }
   }
   std::printf("\n# expected shape (paper): all costs grow with "
               "dimensionality; optimal grows slowest and stays best\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "core/index.h"
 #include "core/vitri_builder.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -19,6 +20,7 @@ int main() {
   const int num_queries = bench::EnvInt("VITRI_QUERIES", 15);
 
   bench::PrintHeader("Figure 19", "Effect of dynamic insertion");
+  bench::BenchReport report("fig19_dynamic_insertion");
 
   bench::WorkloadOptions wo;
   wo.scale = scale;
@@ -123,9 +125,18 @@ int main() {
     std::printf("%-8d %-10zu | %-12.1f %-12.1f %-12.1f | %-12.2f %-10.3f\n",
                 batch, dynamic_index->num_vitris(), dyn_io, reb_io,
                 scan_io, dyn_cpu, *drift);
+    report.AddRow()
+        .Set("batch", batch)
+        .Set("num_vitris", dynamic_index->num_vitris())
+        .Set("dynamic_page_accesses", dyn_io)
+        .Set("rebuilt_page_accesses", reb_io)
+        .Set("seqscan_page_accesses", scan_io)
+        .Set("dynamic_cpu_ms", dyn_cpu)
+        .Set("drift_radians", *drift);
   }
   std::printf("\n# expected shape (paper): indexed costs grow sub-linearly "
               "vs seq-scan's linear growth; dynamic slightly above "
               "one-off rebuild, degrading as PC drift accumulates\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

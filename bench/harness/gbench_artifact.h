@@ -1,0 +1,66 @@
+#ifndef VITRI_BENCH_HARNESS_GBENCH_ARTIFACT_H_
+#define VITRI_BENCH_HARNESS_GBENCH_ARTIFACT_H_
+
+// Bridges google-benchmark micros into the BENCH_<name>.json artifact
+// contract (harness/bench_report.h): a reporter that mirrors every run
+// into a BenchReport row while still printing the normal console table,
+// and a main() macro replacing BENCHMARK_MAIN() so each micro writes
+// its artifact on exit.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/bench_report.h"
+
+namespace vitri::bench {
+
+class GBenchArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit GBenchArtifactReporter(BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      BenchReport::Row& row = report_->AddRow();
+      row.Set("name", run.benchmark_name());
+      row.Set("iterations", static_cast<uint64_t>(run.iterations));
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.Set("real_time_per_iter_ns",
+              run.real_accumulated_time * 1e9 / iters);
+      row.Set("cpu_time_per_iter_ns",
+              run.cpu_accumulated_time * 1e9 / iters);
+      // User counters carry the bench-specific series (bytes/s,
+      // items/s, page accesses, ...).
+      for (const auto& [name, counter] : run.counters) {
+        row.Set(name, static_cast<double>(counter));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+}  // namespace vitri::bench
+
+/// Drop-in BENCHMARK_MAIN() replacement: runs the registered benchmarks
+/// through the artifact reporter and writes BENCH_<artifact>.json.
+#define VITRI_BENCHMARK_MAIN_WITH_ARTIFACT(artifact)                      \
+  int main(int argc, char** argv) {                                       \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::vitri::bench::BenchReport report(artifact);                         \
+    ::vitri::bench::GBenchArtifactReporter reporter(&report);             \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                         \
+    benchmark::Shutdown();                                                \
+    if (!report.WriteArtifact()) return 1;                                \
+    return 0;                                                             \
+  }                                                                       \
+  static_assert(true, "require a trailing semicolon")
+
+#endif  // VITRI_BENCH_HARNESS_GBENCH_ARTIFACT_H_

@@ -15,6 +15,7 @@
 #include "core/similarity.h"
 #include "core/vitri_builder.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 
 int main() {
   using namespace vitri;
@@ -24,6 +25,7 @@ int main() {
 
   bench::PrintHeader("Measure comparison",
                      "Full-sequence measures vs. the ViTri estimate");
+  bench::BenchReport report("measure_comparison");
 
   bench::WorkloadOptions wo;
   wo.scale = scale;
@@ -102,10 +104,15 @@ int main() {
     std::printf("%-26s %-14.2f %-18.1f\n", row.name,
                 row.top1_hits / num_queries,
                 row.micros_per_pair / num_queries);
+    report.AddRow()
+        .Set("measure", row.name)
+        .Set("top1_rate", row.top1_hits / num_queries)
+        .Set("us_per_video_pair", row.micros_per_pair / num_queries);
   }
   std::printf("\n# expected: frame-level measures are accurate but cost "
               "orders of magnitude more per pair than the ViTri\n"
               "# estimate; shot-duration signatures are cheap but "
               "fragile. (The paper's Section 2 argument.)\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/gbench_artifact.h"
+
 #include <vector>
 
 #include "btree/bplus_tree.h"
@@ -115,4 +117,4 @@ BENCHMARK(BM_BTreeLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VITRI_BENCHMARK_MAIN_WITH_ARTIFACT("micro_btree");

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/gbench_artifact.h"
+
 #include <numeric>
 
 #include "clustering/cluster_generator.h"
@@ -52,4 +54,4 @@ BENCHMARK(BM_FeatureSynthesis)->Arg(10)->Arg(30);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VITRI_BENCHMARK_MAIN_WITH_ARTIFACT("micro_clustering");

@@ -12,9 +12,8 @@
 //     dispatch is fixed per process; run again with
 //     VITRI_DISABLE_SIMD=1 for the scalar before/after number).
 //
-// JSON trajectory: pass the standard google-benchmark flags, e.g.
-//   micro_distance --benchmark_out=BENCH_distance.json
-//                  --benchmark_out_format=json
+// Writes BENCH_micro_distance.json (harness/bench_report.h schema) on
+// exit; the standard google-benchmark flags still work on top.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +21,8 @@
 #include <numeric>
 #include <string>
 #include <vector>
+
+#include "harness/gbench_artifact.h"
 
 #include "clustering/kmeans.h"
 #include "common/random.h"
@@ -233,7 +234,10 @@ int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  vitri::bench::BenchReport report("micro_distance");
+  vitri::bench::GBenchArtifactReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

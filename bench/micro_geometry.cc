@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/gbench_artifact.h"
+
 #include "geometry/hypersphere.h"
 #include "geometry/paper_series.h"
 #include "geometry/special_functions.h"
@@ -67,4 +69,4 @@ BENCHMARK(BM_IntersectBalls)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VITRI_BENCHMARK_MAIN_WITH_ARTIFACT("micro_geometry");

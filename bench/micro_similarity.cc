@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/gbench_artifact.h"
+
 #include "common/random.h"
 #include "core/similarity.h"
 #include "core/vitri.h"
@@ -90,4 +92,4 @@ BENCHMARK(BM_EstimatedVideoSimilarity)->Arg(5)->Arg(10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VITRI_BENCHMARK_MAIN_WITH_ARTIFACT("micro_similarity");

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 #include "video/synthesizer.h"
 
 int main() {
@@ -13,6 +14,7 @@ int main() {
   const double scale = bench::EnvDouble("VITRI_SCALE", 0.02);
 
   bench::PrintHeader("Table 2", "Data statistics");
+  bench::BenchReport report("table2_dataset");
   video::VideoSynthesizer synth;
   const video::VideoDatabase db = synth.GenerateDatabase(scale);
 
@@ -34,6 +36,10 @@ int main() {
   for (const auto& [duration, row] : rows) {
     std::printf("%-18.0f %-18zu %-18zu\n", duration, row.videos,
                 row.frames);
+    report.AddRow()
+        .Set("duration_seconds", duration)
+        .Set("num_videos", row.videos)
+        .Set("num_frames", row.frames);
     total_videos += row.videos;
     total_frames += row.frames;
   }
@@ -42,5 +48,6 @@ int main() {
               "  10s:1134/283,486\n");
   std::printf("# note: paper 30s rows imply ~750 frames per 30s clip at "
               "25fps; this harness generates exactly duration*fps frames\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

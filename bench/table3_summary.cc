@@ -7,6 +7,7 @@
 
 #include "core/vitri_builder.h"
 #include "harness/bench_common.h"
+#include "harness/bench_report.h"
 #include "video/synthesizer.h"
 
 int main() {
@@ -14,6 +15,7 @@ int main() {
   const double scale = bench::EnvDouble("VITRI_SCALE", 0.02);
 
   bench::PrintHeader("Table 3", "Summary statistics vs. epsilon");
+  bench::BenchReport report("table3_summary");
   video::VideoSynthesizer synth;
   const video::VideoDatabase db = synth.GenerateDatabase(scale);
   std::printf("# %zu videos, %zu frames\n", db.num_videos(),
@@ -35,10 +37,15 @@ int main() {
         core::ViTriBuilder::Summarize(*set, epsilon);
     std::printf("%-14.2f %-20zu %-20.0f\n", epsilon, stats.num_clusters,
                 stats.average_cluster_size);
+    report.AddRow()
+        .Set("epsilon", epsilon)
+        .Set("num_clusters", stats.num_clusters)
+        .Set("average_cluster_size", stats.average_cluster_size);
   }
   std::printf("\n# paper (eps on its scale): 0.2:141,334/22  0.3:69,477/44"
               "  0.4:33,285/92  0.5:21,213/168  0.6:9,411/324\n");
   std::printf("# expected shape: clusters fall and average size grows "
               "monotonically with epsilon\n");
+  if (!report.WriteArtifact()) return 1;
   return 0;
 }

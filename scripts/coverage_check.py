@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over a gcov-instrumented build tree.
+
+Usage:
+    cmake --preset coverage && cmake --build --preset coverage -j
+    ctest --preset coverage -j
+    python3 scripts/coverage_check.py [--build-dir build-coverage]
+        [--min-line-pct 80.0] [--json coverage.json]
+
+Walks the build tree for .gcno note files whose objects belong to
+src/ (library code only — tests, bench, tools, and examples are the
+*drivers* of coverage, not its subject), invokes `gcov --json-format
+--stdout` on each, merges the per-source line records, and fails the
+process when total line coverage drops below the threshold. Only the
+stdlib and the gcov that produced the build are required, so the gate
+runs identically on a developer box and in CI; the CI job layers a
+gcovr HTML report on top purely as a browsable artifact.
+
+gcov emits one record per source file reached from each object; the
+same header counts once per including TU, so records are merged by
+source path (a line is covered if any TU executed it) before summing.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcno(build_dir):
+    """All .gcno files for objects compiled from src/."""
+    hits = []
+    for root, _dirs, files in os.walk(build_dir):
+        # Object dirs look like .../src/core/CMakeFiles/<target>.dir/...
+        for name in files:
+            if name.endswith(".gcno"):
+                path = os.path.join(root, name)
+                rel = os.path.relpath(path, build_dir)
+                if rel.startswith("src" + os.sep):
+                    hits.append(path)
+    return hits
+
+
+def run_gcov(gcno, build_dir):
+    """Parse one note file; returns gcov's JSON document or None."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcno],
+        cwd=build_dir,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"coverage: gcov failed on {gcno}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        print(f"coverage: bad gcov JSON for {gcno}: {err}",
+              file=sys.stderr)
+        return None
+
+
+def merge(docs, source_root):
+    """Per-source-file {line -> executed} maps, library sources only."""
+    by_file = {}
+    for doc in docs:
+        for unit in doc.get("files", []):
+            path = os.path.normpath(
+                os.path.join(source_root, unit["file"])
+                if not os.path.isabs(unit["file"]) else unit["file"])
+            rel = os.path.relpath(path, source_root)
+            if rel.startswith("..") or not rel.startswith("src" + os.sep):
+                continue  # System headers, gtest, generated code.
+            lines = by_file.setdefault(rel, {})
+            for line in unit.get("lines", []):
+                num = line["line_number"]
+                lines[num] = lines.get(num, False) or line["count"] > 0
+    return by_file
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-coverage")
+    parser.add_argument("--min-line-pct", type=float, default=90.0,
+                        help="fail when total line coverage is below this "
+                        "(baseline at gate introduction: 92.3%%)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write a machine-readable summary")
+    args = parser.parse_args()
+
+    source_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build_dir = os.path.abspath(args.build_dir)
+    gcno = find_gcno(build_dir)
+    if not gcno:
+        print(f"coverage: no .gcno under {build_dir}/src — build with "
+              "--preset coverage and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    docs = [doc for doc in (run_gcov(g, build_dir) for g in gcno) if doc]
+    by_file = merge(docs, source_root)
+    if not by_file:
+        print("coverage: gcov produced no line records", file=sys.stderr)
+        return 2
+
+    total_lines = 0
+    total_covered = 0
+    rows = []
+    for rel in sorted(by_file):
+        lines = by_file[rel]
+        if not lines:  # Header with no instrumentable lines.
+            continue
+        covered = sum(1 for hit in lines.values() if hit)
+        rows.append((rel, covered, len(lines)))
+        total_lines += len(lines)
+        total_covered += covered
+
+    print(f"{'file':<52} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for rel, covered, count in rows:
+        print(f"{rel:<52} {count:>7} {covered:>8} "
+              f"{100.0 * covered / count:>6.1f}%")
+    total_pct = 100.0 * total_covered / total_lines
+    print(f"{'TOTAL':<52} {total_lines:>7} {total_covered:>8} "
+          f"{total_pct:>6.1f}%")
+
+    if args.json:
+        summary = {
+            "total_lines": total_lines,
+            "covered_lines": total_covered,
+            "line_pct": total_pct,
+            "min_line_pct": args.min_line_pct,
+            "files": [
+                {"file": rel, "lines": count, "covered": covered}
+                for rel, covered, count in rows
+            ],
+        }
+        with open(args.json, "w") as out:
+            json.dump(summary, out, indent=2)
+            out.write("\n")
+
+    if total_pct < args.min_line_pct:
+        print(f"coverage: FAIL — {total_pct:.1f}% < "
+              f"{args.min_line_pct:.1f}% minimum", file=sys.stderr)
+        return 1
+    print(f"coverage: OK — {total_pct:.1f}% >= "
+          f"{args.min_line_pct:.1f}% minimum")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

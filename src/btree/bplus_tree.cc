@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/coding.h"
+#include "common/metrics.h"
 
 namespace vitri::btree {
 
@@ -356,6 +357,7 @@ Status BPlusTree::Insert(double key, uint64_t rid,
     ++height_;
   }
   ++num_entries_;
+  VITRI_METRIC_COUNTER("btree.inserts")->Increment();
   VITRI_RETURN_IF_ERROR(StoreMeta());
   VITRI_DCHECK_OK(ValidateInvariants());
   return Status::OK();
@@ -432,6 +434,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(
     page.MarkDirty();
     right_page.MarkDirty();
 
+    VITRI_METRIC_COUNTER("btree.leaf_splits")->Increment();
     SplitResult out;
     out.split = true;
     out.sep_key = right.leaf_key(0);
@@ -495,6 +498,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(
   page.MarkDirty();
   right_page.MarkDirty();
 
+  VITRI_METRIC_COUNTER("btree.internal_splits")->Increment();
   SplitResult out;
   out.split = true;
   out.sep_key = seps[mid].key;
@@ -507,6 +511,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(
 
 Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
                                std::vector<uint8_t>* value) const {
+  VITRI_METRIC_COUNTER("btree.lookups")->Increment();
   PageId node_id = root_;
   for (uint32_t level = 0; level + 1 < height_; ++level) {
     VITRI_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(node_id));
@@ -528,6 +533,7 @@ Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
 
 Result<uint64_t> BPlusTree::RangeScan(double lo, double hi,
                                       const ScanCallback& callback) const {
+  VITRI_METRIC_COUNTER("btree.range_scans")->Increment();
   if (lo > hi) return static_cast<uint64_t>(0);
   // Descend toward the leftmost composite >= (lo, 0).
   PageId node_id = root_;
@@ -741,6 +747,7 @@ Status BPlusTree::BulkLoad(const std::vector<Entry>& entries,
   if (num_entries_ != 0) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
+  VITRI_METRIC_COUNTER("btree.bulk_loads")->Increment();
   if (fill_factor <= 0.0 || fill_factor > 1.0) {
     return Status::InvalidArgument("fill_factor must be in (0, 1]");
   }
@@ -847,13 +854,11 @@ Status BPlusTree::BulkLoad(const std::vector<Entry>& entries,
 // ---- validation ---------------------------------------------------------
 
 Status BPlusTree::ValidateInvariants(const TreeCheckOptions& options) const {
-  // The validator is observation-free: it restores the pool's I/O
-  // counters so debug-build self-checks never skew the page-access
-  // costs the experiments report.
-  const storage::IoStats saved = pool_->stats();
-  const Status status = ValidateInvariantsImpl(options);
-  *pool_->mutable_stats() = saved;
-  return status;
+  // The validator is observation-free: the audited save/restore scope
+  // rolls the pool's I/O counters back so debug-build self-checks never
+  // skew the page-access costs the experiments report.
+  storage::ScopedIoStatsRestore restore(pool_->mutable_stats());
+  return ValidateInvariantsImpl(options);
 }
 
 Status BPlusTree::ValidateInvariantsImpl(

@@ -1,0 +1,94 @@
+#ifndef VITRI_COMMON_JSON_H_
+#define VITRI_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vitri::json {
+
+/// Minimal JSON support for the observability layer: a streaming writer
+/// used by the metrics registry, query traces, `vitri stats --json`, and
+/// the BENCH_<name>.json artifacts, plus a small recursive-descent
+/// parser so tests can prove every emitter round-trips. Not a
+/// general-purpose JSON library: no comments, no \u escapes beyond
+/// pass-through, numbers are doubles (plus an exact int64 fast path).
+
+/// Streaming writer producing deterministic, compact JSON. Keys are
+/// emitted in call order; the caller is responsible for uniqueness.
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("knn");
+///   w.Key("pages"); w.Uint(42);
+///   w.EndObject();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Emits the key of the next value (inside an object).
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  /// Doubles print with enough digits to round-trip (max_digits10);
+  /// non-finite values (JSON has no literal for them) emit null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+  /// Splices a pre-rendered JSON document in value position (e.g. a
+  /// Registry::ToJson() blob nested inside a larger report). The caller
+  /// vouches that `json` is well-formed.
+  void RawValue(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// One entry per open container: whether a value has been emitted
+  /// (so the next one needs a comma separator).
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes). Exposed for the writer's tests.
+std::string EscapeJson(std::string_view s);
+
+/// Parsed JSON value (test-side of the round-trip contract).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Ordered map: lookups by key, deterministic iteration.
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one JSON document (object, array, or scalar). Trailing
+/// non-whitespace is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace vitri::json
+
+#endif  // VITRI_COMMON_JSON_H_

@@ -1,0 +1,254 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace vitri::metrics {
+
+// ---- histogram ----------------------------------------------------------
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  // Bucket upper bounds follow d * 10^k for d in 1..9, k in 0..11, in
+  // ascending order; the final bucket catches everything above 9e11.
+  if (value <= 1) return 0;
+  uint64_t power = 1;
+  size_t decade = 0;
+  while (decade + 1 < 12 && value > 9 * power) {
+    power *= 10;
+    ++decade;
+  }
+  if (value > 9 * power) return kNumBuckets - 1;
+  // Smallest d with value <= d * power.
+  const uint64_t d = (value + power - 1) / power;
+  return decade * 9 + static_cast<size_t>(d) - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i >= kNumBuckets - 1) i = kNumBuckets - 2;  // Last finite bound.
+  uint64_t power = 1;
+  for (size_t decade = 0; decade < i / 9; ++decade) power *= 10;
+  return (i % 9 + 1) * power;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  s.min = min == UINT64_MAX ? 0 : min;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double Histogram::Snapshot::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile within the recorded samples.
+  const double target = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within [lower, upper] by the sample's position in
+      // this bucket, then clamp to the observed extremes so a
+      // single-bucket distribution reports exact values.
+      const double upper = static_cast<double>(BucketUpperBound(i));
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(BucketUpperBound(i - 1));
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      double value = lower + (upper - lower) * into;
+      value = std::min(value, static_cast<double>(max));
+      value = std::max(value, static_cast<double>(min));
+      return value;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---- registry -----------------------------------------------------------
+
+Registry& Registry::Instance() {
+  static Registry* const registry = new Registry();  // Never destroyed.
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end()) {
+    Slot slot;
+    slot.kind = Entry::Kind::kCounter;
+    slot.counter = std::make_unique<Counter>();
+    it = map_.emplace(std::string(name), std::move(slot)).first;
+  }
+  VITRI_CHECK(it->second.kind == Entry::Kind::kCounter)
+      << "metric '" << it->first << "' is not a counter";
+  return it->second.counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end()) {
+    Slot slot;
+    slot.kind = Entry::Kind::kGauge;
+    slot.gauge = std::make_unique<Gauge>();
+    it = map_.emplace(std::string(name), std::move(slot)).first;
+  }
+  VITRI_CHECK(it->second.kind == Entry::Kind::kGauge)
+      << "metric '" << it->first << "' is not a gauge";
+  return it->second.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end()) {
+    Slot slot;
+    slot.kind = Entry::Kind::kHistogram;
+    slot.histogram = std::make_unique<Histogram>();
+    it = map_.emplace(std::string(name), std::move(slot)).first;
+  }
+  VITRI_CHECK(it->second.kind == Entry::Kind::kHistogram)
+      << "metric '" << it->first << "' is not a histogram";
+  return it->second.histogram.get();
+}
+
+std::vector<Registry::Entry> Registry::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(map_.size());
+  for (const auto& [name, slot] : map_) {
+    Entry e;
+    e.name = name;
+    e.kind = slot.kind;
+    e.counter = slot.counter.get();
+    e.gauge = slot.gauge.get();
+    e.histogram = slot.histogram.get();
+    out.push_back(e);
+  }
+  return out;  // std::map iteration is already name-sorted.
+}
+
+std::string Registry::ToText() const {
+  std::ostringstream os;
+  for (const Entry& e : Entries()) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        os << e.name << " " << e.counter->Value() << "\n";
+        break;
+      case Entry::Kind::kGauge:
+        os << e.name << " " << e.gauge->Value() << "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram::Snapshot s = e.histogram->TakeSnapshot();
+        os << e.name << " count=" << s.count << " mean=" << s.Mean()
+           << " min=" << s.min << " max=" << s.max
+           << " p50=" << s.Percentile(50) << " p95=" << s.Percentile(95)
+           << " p99=" << s.Percentile(99) << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string Registry::ToJson() const {
+  json::JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const Entry& e : Entries()) {
+    if (e.kind != Entry::Kind::kCounter) continue;
+    w.Key(e.name);
+    w.Uint(e.counter->Value());
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const Entry& e : Entries()) {
+    if (e.kind != Entry::Kind::kGauge) continue;
+    w.Key(e.name);
+    w.Int(e.gauge->Value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const Entry& e : Entries()) {
+    if (e.kind != Entry::Kind::kHistogram) continue;
+    const Histogram::Snapshot s = e.histogram->TakeSnapshot();
+    w.Key(e.name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(s.count);
+    w.Key("sum");
+    w.Uint(s.sum);
+    w.Key("mean");
+    w.Double(s.Mean());
+    w.Key("min");
+    w.Uint(s.min);
+    w.Key("max");
+    w.Uint(s.max);
+    w.Key("p50");
+    w.Double(s.Percentile(50));
+    w.Key("p95");
+    w.Double(s.Percentile(95));
+    w.Key("p99");
+    w.Double(s.Percentile(99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+void Registry::ResetAllForTest() {
+  for (const Entry& e : Entries()) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter: e.counter->Reset(); break;
+      case Entry::Kind::kGauge: e.gauge->Set(0); break;
+      case Entry::Kind::kHistogram: e.histogram->Reset(); break;
+    }
+  }
+}
+
+}  // namespace vitri::metrics

@@ -1,13 +1,16 @@
 #include "core/index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <span>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/similarity.h"
@@ -20,7 +23,7 @@ namespace vitri::core {
 
 using btree::BPlusTree;
 using storage::BufferPool;
-using storage::IoStats;
+using storage::IoSnapshot;
 using storage::MemPager;
 
 namespace {
@@ -131,6 +134,7 @@ Status ViTriIndex::Insert(uint32_t video_id, uint32_t num_frames,
     vitris_.push_back(v);
     positions_.push_back(v.position);
   }
+  VITRI_METRIC_COUNTER("index.inserts")->Increment(vitris.size());
   VITRI_DCHECK_OK(ValidateInvariants());
   return Status::OK();
 }
@@ -175,7 +179,8 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
                                const std::vector<RangeSpec>& ranges,
                                KnnMethod method,
                                std::vector<double>* shared,
-                               QueryCosts* costs) const {
+                               QueryCosts* costs,
+                               QueryTrace* trace) const {
   // Evaluates `record` against one query ViTri, accumulating shared
   // frame estimates.
   auto evaluate = [&](const ViTri& candidate, size_t query_index) {
@@ -187,19 +192,51 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
     }
   };
 
-  if (method == KnnMethod::kNaive) {
-    // One range search per query ViTri; candidates in overlapping
-    // ranges are re-read and re-evaluated (the paper's naive method).
+  if (trace == nullptr) {
+    if (method == KnnMethod::kNaive) {
+      // One range search per query ViTri; candidates in overlapping
+      // ranges are re-read and re-evaluated (the paper's naive method).
+      for (const RangeSpec& r : ranges) {
+        ++costs->range_searches;
+        auto scan_result = tree_->RangeScan(
+            r.lo, r.hi,
+            [&](double /*key*/, uint64_t /*rid*/,
+                std::span<const uint8_t> value) {
+              ++costs->candidates;
+              auto candidate =
+                  ViTri::Deserialize(value, options_.dimension);
+              if (candidate.ok()) evaluate(*candidate, r.query_index);
+              return true;
+            });
+        VITRI_RETURN_IF_ERROR(scan_result.status());
+      }
+      return Status::OK();
+    }
+
+    // Query composition: merge overlapping ranges, then evaluate each
+    // scanned record against every query ViTri whose range covers it.
+    std::vector<KeyRange> to_merge;
+    to_merge.reserve(ranges.size());
     for (const RangeSpec& r : ranges) {
+      to_merge.push_back(KeyRange{r.lo, r.hi});
+    }
+    const std::vector<KeyRange> merged =
+        ComposeKeyRanges(std::move(to_merge));
+    for (const KeyRange& m : merged) {
       ++costs->range_searches;
       auto scan_result = tree_->RangeScan(
-          r.lo, r.hi,
-          [&](double /*key*/, uint64_t /*rid*/,
+          m.lo, m.hi,
+          [&](double key, uint64_t /*rid*/,
               std::span<const uint8_t> value) {
             ++costs->candidates;
             auto candidate =
                 ViTri::Deserialize(value, options_.dimension);
-            if (candidate.ok()) evaluate(*candidate, r.query_index);
+            if (!candidate.ok()) return true;
+            for (const RangeSpec& r : ranges) {
+              if (key >= r.lo && key <= r.hi) {
+                evaluate(*candidate, r.query_index);
+              }
+            }
             return true;
           });
       VITRI_RETURN_IF_ERROR(scan_result.status());
@@ -207,33 +244,131 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
     return Status::OK();
   }
 
-  // Query composition: merge overlapping ranges, then evaluate each
-  // scanned record against every query ViTri whose range covers it.
-  std::vector<KeyRange> to_merge;
-  to_merge.reserve(ranges.size());
-  for (const RangeSpec& r : ranges) {
-    to_merge.push_back(KeyRange{r.lo, r.hi});
+  // Traced path: the SAME streaming loop as above — collecting
+  // candidates for a separate refine pass would copy every record and
+  // evict the pool's hot working set (measured ~80% slowdown), and
+  // clocking every candidate individually costs more than the
+  // refinement itself. Instead the whole loop runs under one "scan"
+  // span, a handful of candidates from the *first* range search are
+  // timed, and the per-candidate mean extrapolated to all candidates
+  // is carved off the end of the scan span as the "refine" span
+  // (QueryTrace::SplitLastSpan; DESIGN.md §12). After the first range
+  // the callback is byte-identical to the untraced one, so the traced
+  // hot loop carries no sampling branches. The evaluation order is
+  // untouched, so results stay bit-identical to the untraced path.
+  constexpr size_t kTraceMaxSamples = 8;
+  using TraceClock = std::chrono::steady_clock;
+  // A sampled callback costs tens of nanoseconds — the same order as
+  // the clock-read pair around it — so the calibrated clock cost
+  // (kTraceClockPairSeconds, measured at process start) is subtracted
+  // from every sample to keep the estimate unbiased.
+  const double clock_pair_seconds = kTraceClockPairSeconds;
+  const uint64_t candidates_before = costs->candidates;
+  size_t sampled = 0;
+  double sampled_seconds = 0.0;
+
+  if (method == KnnMethod::kNaive) {
+    auto process = [&](const RangeSpec& r,
+                       std::span<const uint8_t> value) {
+      ++costs->candidates;
+      auto candidate = ViTri::Deserialize(value, options_.dimension);
+      if (candidate.ok()) evaluate(*candidate, r.query_index);
+    };
+    TraceSpanScope scan_span(trace, "scan", &pool_->stats());
+    for (size_t ri = 0; ri < ranges.size(); ++ri) {
+      const RangeSpec& r = ranges[ri];
+      ++costs->range_searches;
+      Result<uint64_t> scan_result = ri == 0
+          ? tree_->RangeScan(
+                r.lo, r.hi,
+                [&](double /*key*/, uint64_t /*rid*/,
+                    std::span<const uint8_t> value) {
+                  const bool sample = sampled < kTraceMaxSamples;
+                  TraceClock::time_point t0;
+                  if (sample) t0 = TraceClock::now();
+                  process(r, value);
+                  if (sample) {
+                    sampled_seconds += std::max(
+                        0.0, std::chrono::duration<double>(
+                                 TraceClock::now() - t0)
+                                     .count() -
+                                 clock_pair_seconds);
+                    ++sampled;
+                  }
+                  return true;
+                })
+          : tree_->RangeScan(
+                r.lo, r.hi,
+                [&](double /*key*/, uint64_t /*rid*/,
+                    std::span<const uint8_t> value) {
+                  process(r, value);
+                  return true;
+                });
+      VITRI_RETURN_IF_ERROR(scan_result.status());
+    }
+  } else {
+    std::vector<KeyRange> to_merge;
+    to_merge.reserve(ranges.size());
+    for (const RangeSpec& r : ranges) {
+      to_merge.push_back(KeyRange{r.lo, r.hi});
+    }
+    std::vector<KeyRange> merged;
+    {
+      TraceSpanScope compose_span(trace, "compose", &pool_->stats());
+      merged = ComposeKeyRanges(std::move(to_merge));
+    }
+    auto process = [&](double key, std::span<const uint8_t> value) {
+      ++costs->candidates;
+      auto candidate = ViTri::Deserialize(value, options_.dimension);
+      if (!candidate.ok()) return;
+      for (const RangeSpec& r : ranges) {
+        if (key >= r.lo && key <= r.hi) {
+          evaluate(*candidate, r.query_index);
+        }
+      }
+    };
+    TraceSpanScope scan_span(trace, "scan", &pool_->stats());
+    for (size_t mi = 0; mi < merged.size(); ++mi) {
+      const KeyRange& m = merged[mi];
+      ++costs->range_searches;
+      Result<uint64_t> scan_result = mi == 0
+          ? tree_->RangeScan(
+                m.lo, m.hi,
+                [&](double key, uint64_t /*rid*/,
+                    std::span<const uint8_t> value) {
+                  const bool sample = sampled < kTraceMaxSamples;
+                  TraceClock::time_point t0;
+                  if (sample) t0 = TraceClock::now();
+                  process(key, value);
+                  if (sample) {
+                    sampled_seconds += std::max(
+                        0.0, std::chrono::duration<double>(
+                                 TraceClock::now() - t0)
+                                     .count() -
+                                 clock_pair_seconds);
+                    ++sampled;
+                  }
+                  return true;
+                })
+          : tree_->RangeScan(
+                m.lo, m.hi,
+                [&](double key, uint64_t /*rid*/,
+                    std::span<const uint8_t> value) {
+                  process(key, value);
+                  return true;
+                });
+      VITRI_RETURN_IF_ERROR(scan_result.status());
+    }
   }
-  const std::vector<KeyRange> merged = ComposeKeyRanges(std::move(to_merge));
-  for (const KeyRange& m : merged) {
-    ++costs->range_searches;
-    auto scan_result = tree_->RangeScan(
-        m.lo, m.hi,
-        [&](double key, uint64_t /*rid*/,
-            std::span<const uint8_t> value) {
-          ++costs->candidates;
-          auto candidate =
-              ViTri::Deserialize(value, options_.dimension);
-          if (!candidate.ok()) return true;
-          for (const RangeSpec& r : ranges) {
-            if (key >= r.lo && key <= r.hi) {
-              evaluate(*candidate, r.query_index);
-            }
-          }
-          return true;
-        });
-    VITRI_RETURN_IF_ERROR(scan_result.status());
+  // The scan span was just recorded (its scope closed above via the
+  // branch exits); carve the estimated refinement share off its end.
+  double refine_estimate = 0.0;
+  if (sampled > 0) {
+    refine_estimate =
+        sampled_seconds / static_cast<double>(sampled) *
+        static_cast<double>(costs->candidates - candidates_before);
   }
+  trace->SplitLastSpan("refine", refine_estimate);
   return Status::OK();
 }
 
@@ -260,70 +395,97 @@ void ViTriIndex::EvaluateInMemory(const std::vector<ViTri>& query,
 
 Result<std::vector<VideoMatch>> ViTriIndex::KnnCompute(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
-    KnnMethod method, QueryCosts* local) const {
+    KnnMethod method, QueryCosts* local, QueryTrace* trace) const {
   if (query.empty()) {
     return Status::InvalidArgument("query summary is empty");
   }
   // Per-query-ViTri keys and radii for candidate evaluation.
-  std::vector<RangeSpec> ranges = MakeRanges(query);
+  std::vector<RangeSpec> ranges;
+  {
+    TraceSpanScope transform_span(trace, "transform", &pool_->stats());
+    ranges = MakeRanges(query);
+  }
 
   std::vector<double> shared(frame_counts_.size(), 0.0);
-  const Status scan = KnnScanTree(query, ranges, method, &shared, local);
+  const Status scan =
+      KnnScanTree(query, ranges, method, &shared, local, trace);
   if (scan.IsCorruption()) {
     // The tree hit a quarantined page. Serve the query from the
     // in-memory copy: same answer (the key ranges only ever *prune*
     // zero-contribution candidates), no index acceleration.
     VITRI_LOG(kWarn) << "Knn degraded to in-memory evaluation: "
                         << scan.ToString();
+    VITRI_METRIC_COUNTER("query.degraded")->Increment();
     local->degraded = true;
     local->candidates = 0;
     local->similarity_evals = 0;
     std::fill(shared.begin(), shared.end(), 0.0);
+    TraceSpanScope refine_span(trace, "refine", &pool_->stats());
     EvaluateInMemory(query, &shared, local);
   } else if (!scan.ok()) {
     return scan;
   }
+  TraceSpanScope rank_span(trace, "rank", &pool_->stats());
   return RankResults(shared, query_frames, k);
 }
 
 Result<std::vector<VideoMatch>> ViTriIndex::Knn(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
-    KnnMethod method, QueryCosts* costs) {
+    KnnMethod method, QueryCosts* costs, QueryTrace* trace) {
   Stopwatch watch;
-  const IoStats before = pool_->stats();
+  if (trace != nullptr) trace->Begin();
+  const IoSnapshot before = pool_->stats().Snapshot();
   QueryCosts local;
-  auto result = KnnCompute(query, query_frames, k, method, &local);
+  auto result = KnnCompute(query, query_frames, k, method, &local, trace);
   if (!result.ok()) return result;
-  const IoStats delta = pool_->stats() - before;
+  const IoSnapshot delta = pool_->stats().Snapshot() - before;
   local.page_accesses = delta.logical_reads;
   local.physical_reads = delta.physical_reads;
   local.cpu_seconds = watch.ElapsedSeconds();
+  if (trace != nullptr) trace->End();
   if (costs != nullptr) *costs = local;
+  VITRI_METRIC_COUNTER("query.knn.count")->Increment();
+  VITRI_METRIC_HISTOGRAM("query.knn.latency_us")
+      ->Record(static_cast<uint64_t>(local.cpu_seconds * 1e6));
+  VITRI_METRIC_HISTOGRAM("query.knn.pages")->Record(local.page_accesses);
   return result;
 }
 
 Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
     const std::vector<BatchQuery>& queries, size_t k, KnnMethod method,
-    size_t num_threads, QueryCosts* costs) {
+    size_t num_threads, QueryCosts* costs,
+    std::vector<QueryTrace>* traces) {
   Stopwatch watch;
-  const IoStats before = pool_->stats();
+  const IoSnapshot before = pool_->stats().Snapshot();
   const size_t n = queries.size();
   std::vector<std::vector<VideoMatch>> results(n);
   std::vector<Status> statuses(n, Status::OK());
   std::vector<QueryCosts> locals(n);
+  if (traces != nullptr) {
+    traces->clear();
+    traces->resize(n);
+  }
 
   // Each worker reads shared index state (transform, tree, in-memory
-  // ViTris) and writes only its own slots, so the fan-out is race-free
-  // and the per-query computation — hence the result — is identical to
-  // the sequential path whatever the scheduling.
+  // ViTris) and writes only its own slots — including its own trace —
+  // so the fan-out is race-free and the per-query computation — hence
+  // the result — is identical to the sequential path whatever the
+  // scheduling. The worker latency histogram is lock-free (atomic
+  // buckets), so recording from every worker is tsan-clean.
   auto run_one = [&](size_t i) {
+    Stopwatch worker_watch;
+    QueryTrace* trace = traces == nullptr ? nullptr : &(*traces)[i];
+    if (trace != nullptr) trace->Begin();
     auto result = KnnCompute(queries[i].vitris, queries[i].num_frames, k,
-                             method, &locals[i]);
+                             method, &locals[i], trace);
+    if (trace != nullptr) trace->End();
     if (result.ok()) {
       results[i] = std::move(*result);
     } else {
       statuses[i] = result.status();
     }
+    VITRI_METRIC_HISTOGRAM("query.batch.worker_latency_us")
+        ->Record(static_cast<uint64_t>(worker_watch.ElapsedSeconds() * 1e6));
   };
 
   if (num_threads <= 1 || n <= 1) {
@@ -337,10 +499,12 @@ Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
     VITRI_RETURN_IF_ERROR(s);
   }
 
+  VITRI_METRIC_COUNTER("query.batch.count")->Increment();
+  VITRI_METRIC_COUNTER("query.knn.count")->Increment(n);
   if (costs != nullptr) {
     QueryCosts total;
     for (const QueryCosts& local : locals) total += local;
-    const IoStats delta = pool_->stats() - before;
+    const IoSnapshot delta = pool_->stats().Snapshot() - before;
     total.page_accesses = delta.logical_reads;
     total.physical_reads = delta.physical_reads;
     total.cpu_seconds = watch.ElapsedSeconds();
@@ -356,7 +520,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
     return Status::InvalidArgument("query summary is empty");
   }
   Stopwatch watch;
-  const IoStats before = pool_->stats();
+  const IoSnapshot before = pool_->stats().Snapshot();
   QueryCosts local;
   local.range_searches = 1;
 
@@ -396,7 +560,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
   }
 
   auto result = RankResults(shared, query_frames, k);
-  const IoStats delta = pool_->stats() - before;
+  const IoSnapshot delta = pool_->stats().Snapshot() - before;
   local.page_accesses = delta.logical_reads;
   local.physical_reads = delta.physical_reads;
   local.cpu_seconds = watch.ElapsedSeconds();
@@ -413,7 +577,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::FrameSearch(
     return Status::InvalidArgument("epsilon must be positive");
   }
   Stopwatch watch;
-  const IoStats before = pool_->stats();
+  const IoSnapshot before = pool_->stats().Snapshot();
   QueryCosts local;
   local.range_searches = 1;
 
@@ -473,7 +637,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::FrameSearch(
             });
   if (out.size() > k) out.resize(k);
 
-  const IoStats delta = pool_->stats() - before;
+  const IoSnapshot delta = pool_->stats().Snapshot() - before;
   local.page_accesses = delta.logical_reads;
   local.physical_reads = delta.physical_reads;
   local.cpu_seconds = watch.ElapsedSeconds();
@@ -490,10 +654,10 @@ Status IndexInvariantViolation(const std::string& what) {
 }  // namespace
 
 Status ViTriIndex::ValidateInvariants() {
-  const IoStats saved = pool_->stats();
-  const Status status = ValidateInvariantsImpl();
-  *pool_->mutable_stats() = saved;
-  return status;
+  // The audited save/restore helper: validation reads pages through the
+  // pool, but must never perturb the counters queries report.
+  storage::ScopedIoStatsRestore restore(pool_->mutable_stats());
+  return ValidateInvariantsImpl();
 }
 
 Status ViTriIndex::ValidateInvariantsImpl() {
@@ -589,6 +753,7 @@ Result<bool> ViTriIndex::NeedsRebuild() const {
 }
 
 Status ViTriIndex::Rebuild() {
+  VITRI_METRIC_COUNTER("index.rebuilds")->Increment();
   VITRI_ASSIGN_OR_RETURN(
       OneDimensionalTransform t,
       OneDimensionalTransform::Fit(positions_, options_.reference,

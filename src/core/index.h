@@ -10,6 +10,7 @@
 
 #include "btree/bplus_tree.h"
 #include "common/result.h"
+#include "core/query_trace.h"
 #include "core/transform.h"
 #include "core/vitri.h"
 #include "storage/buffer_pool.h"
@@ -121,11 +122,16 @@ class ViTriIndex {
 
   /// Top-k most similar videos to a query summary. `query_frames` is the
   /// query video's frame count (for similarity normalization). Costs are
-  /// optional.
+  /// optional. A non-null `trace` records per-stage timed spans
+  /// (transform → compose → scan → refine → rank) with I/O deltas; the
+  /// traced path evaluates candidates after collecting them but
+  /// accumulates in the same order, so results are bit-identical to the
+  /// untraced streaming path (see DESIGN.md §12).
   Result<std::vector<VideoMatch>> Knn(const std::vector<ViTri>& query,
                                       uint32_t query_frames, size_t k,
                                       KnnMethod method,
-                                      QueryCosts* costs = nullptr);
+                                      QueryCosts* costs = nullptr,
+                                      QueryTrace* trace = nullptr);
 
   /// Fans the batch's queries across `num_threads` worker threads, each
   /// running the same per-query KNN (with per-query query composition)
@@ -136,9 +142,13 @@ class ViTriIndex {
   /// `costs`, if given, aggregates the whole batch: page/physical counts
   /// are the pool delta across the batch, cpu_seconds is the batch wall
   /// time, the rest are summed per-query counters.
+  /// `traces`, if given, is resized to queries.size() and trace i is
+  /// filled by the worker running query i (each trace is written by
+  /// exactly one worker; span I/O deltas see the shared pool's traffic).
   Result<std::vector<std::vector<VideoMatch>>> BatchKnn(
       const std::vector<BatchQuery>& queries, size_t k, KnnMethod method,
-      size_t num_threads, QueryCosts* costs = nullptr);
+      size_t num_threads, QueryCosts* costs = nullptr,
+      std::vector<QueryTrace>* traces = nullptr);
 
   /// Baseline: evaluates the query against every stored ViTri by
   /// scanning the whole leaf level.
@@ -228,10 +238,13 @@ class ViTriIndex {
       size_t k) const;
 
   /// Tree-backed evaluation of a KNN query into `shared`. Read-only;
-  /// safe to run concurrently from BatchKnn workers.
+  /// safe to run concurrently from BatchKnn workers. With a trace, the
+  /// scan collects candidates and the refine span evaluates them in the
+  /// identical order; without one, evaluation streams during the scan.
   Status KnnScanTree(const std::vector<ViTri>& query,
                      const std::vector<RangeSpec>& ranges, KnnMethod method,
-                     std::vector<double>* shared, QueryCosts* costs) const;
+                     std::vector<double>* shared, QueryCosts* costs,
+                     QueryTrace* trace) const;
 
   /// The whole per-query KNN pipeline minus the IoStats delta / wall
   /// clock wrapper: ranges, tree scan (with the degraded in-memory
@@ -240,7 +253,8 @@ class ViTriIndex {
   Result<std::vector<VideoMatch>> KnnCompute(const std::vector<ViTri>& query,
                                              uint32_t query_frames, size_t k,
                                              KnnMethod method,
-                                             QueryCosts* local) const;
+                                             QueryCosts* local,
+                                             QueryTrace* trace) const;
 
   /// Degraded path: evaluates every in-memory ViTri against every query
   /// ViTri (exactly what a full sequential scan computes, minus the

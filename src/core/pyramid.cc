@@ -171,7 +171,7 @@ Result<std::vector<VideoMatch>> PyramidIndex::Knn(
     return Status::InvalidArgument("query summary is empty");
   }
   Stopwatch watch;
-  const storage::IoStats before = pool_->stats();
+  const storage::IoSnapshot before = pool_->stats().Snapshot();
   QueryCosts local;
 
   // Pyramid intervals for every query ViTri's bounding box, merged.
@@ -245,7 +245,7 @@ Result<std::vector<VideoMatch>> PyramidIndex::Knn(
             });
   if (matches.size() > k) matches.resize(k);
 
-  const storage::IoStats delta = pool_->stats() - before;
+  const storage::IoSnapshot delta = pool_->stats().Snapshot() - before;
   local.page_accesses = delta.logical_reads;
   local.physical_reads = delta.physical_reads;
   local.cpu_seconds = watch.ElapsedSeconds();

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "storage/page_footer.h"
 
 namespace vitri::storage {
@@ -42,9 +43,14 @@ BufferPool::~BufferPool() {
 Result<PageRef> BufferPool::Fetch(PageId id) {
   std::lock_guard<std::mutex> lock(latch_);
   ++stats_.logical_reads;
+  // Registry counters are cumulative process metrics, deliberately
+  // separate from stats_: validators save/restore stats_, and queries
+  // report stats_ deltas, while these only ever count up.
+  VITRI_METRIC_COUNTER("storage.pool.fetches")->Increment();
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.cache_hits;
+    VITRI_METRIC_COUNTER("storage.pool.hits")->Increment();
     Frame& frame = it->second;
     if (frame.in_lru) {
       lru_.erase(frame.lru_pos);
@@ -60,17 +66,21 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   frame.id = id;
   frame.data.resize(pager_->page_size());
   ++stats_.physical_reads;
+  VITRI_METRIC_COUNTER("storage.pool.misses")->Increment();
   VITRI_RETURN_IF_ERROR(pager_->Read(id, frame.data.data()));
   const Status integrity =
       VerifyPageFooter(frame.data.data(), pager_->page_size(), id);
   if (!integrity.ok()) {
     ++stats_.checksum_failures;
+    VITRI_METRIC_COUNTER("storage.pool.checksum_failures")->Increment();
     corrupt_pages_.insert(id);
     return integrity;
   }
   frame.pin_count = 1;
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   VITRI_DCHECK(inserted) << "page " << id << " already had a frame";
+  VITRI_METRIC_GAUGE("storage.pool.resident")
+      ->Set(static_cast<int64_t>(frames_.size()));
   VITRI_DCHECK_OK(ValidateInvariantsLocked());
   return PageRef(this, id, pos->second.data.data());
 }
@@ -79,6 +89,7 @@ Result<PageRef> BufferPool::New() {
   std::lock_guard<std::mutex> lock(latch_);
   VITRI_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
   ++stats_.allocations;
+  VITRI_METRIC_COUNTER("storage.pool.allocations")->Increment();
   VITRI_RETURN_IF_ERROR(EvictOneIfFullLocked());
 
   Frame frame;
@@ -89,6 +100,8 @@ Result<PageRef> BufferPool::New() {
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   VITRI_DCHECK(inserted) << "freshly allocated page " << id
                          << " already had a frame";
+  VITRI_METRIC_GAUGE("storage.pool.resident")
+      ->Set(static_cast<int64_t>(frames_.size()));
   VITRI_DCHECK_OK(ValidateInvariantsLocked());
   return PageRef(this, id, pos->second.data.data());
 }
@@ -144,6 +157,9 @@ Status BufferPool::EvictOneIfFullLocked() {
                                    << " has no resident frame";
   VITRI_RETURN_IF_ERROR(WriteBackLocked(it->second));
   frames_.erase(it);
+  VITRI_METRIC_COUNTER("storage.pool.evictions")->Increment();
+  VITRI_METRIC_GAUGE("storage.pool.resident")
+      ->Set(static_cast<int64_t>(frames_.size()));
   return Status::OK();
 }
 
@@ -241,6 +257,7 @@ Status BufferPool::ValidateInvariantsLocked() const {
 Status BufferPool::WriteBackLocked(Frame& frame) {
   if (!frame.dirty) return Status::OK();
   ++stats_.physical_writes;
+  VITRI_METRIC_COUNTER("storage.pool.writebacks")->Increment();
   StampPageFooter(frame.data.data(), pager_->page_size(), frame.id);
   VITRI_RETURN_IF_ERROR(pager_->Write(frame.id, frame.data.data()));
   frame.dirty = false;

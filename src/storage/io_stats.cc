@@ -4,19 +4,66 @@
 
 namespace vitri::storage {
 
-std::string IoStats::ToString() const {
+IoSnapshot IoStats::Snapshot() const {
+  IoSnapshot s;
+  s.logical_reads = logical_reads.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.physical_reads = physical_reads.load(std::memory_order_relaxed);
+  s.physical_writes = physical_writes.load(std::memory_order_relaxed);
+  s.allocations = allocations.load(std::memory_order_relaxed);
+  s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
+  s.retries = retries.load(std::memory_order_relaxed);
+  return s;
+}
+
+IoStats IoStats::operator-(const IoStats& rhs) const {
+  // Delta arithmetic happens on plain snapshots; only the result is
+  // rematerialized as atomics (for callers that still expect IoStats).
+  const IoSnapshot delta = Snapshot() - rhs.Snapshot();
+  IoStats out;
+  RestoreIoStats(&out, delta);
+  return out;
+}
+
+void RestoreIoStats(IoStats* stats, const IoSnapshot& saved) {
+  stats->logical_reads.store(saved.logical_reads,
+                             std::memory_order_relaxed);
+  stats->cache_hits.store(saved.cache_hits, std::memory_order_relaxed);
+  stats->physical_reads.store(saved.physical_reads,
+                              std::memory_order_relaxed);
+  stats->physical_writes.store(saved.physical_writes,
+                               std::memory_order_relaxed);
+  stats->allocations.store(saved.allocations, std::memory_order_relaxed);
+  stats->checksum_failures.store(saved.checksum_failures,
+                                 std::memory_order_relaxed);
+  stats->retries.store(saved.retries, std::memory_order_relaxed);
+}
+
+ScopedIoStatsRestore::ScopedIoStatsRestore(IoStats* stats)
+    : stats_(stats), saved_(stats->Snapshot()) {}
+
+ScopedIoStatsRestore::~ScopedIoStatsRestore() {
+  RestoreIoStats(stats_, saved_);
+}
+
+namespace {
+
+std::string CountersToString(const IoSnapshot& s) {
   std::ostringstream os;
-  os << "logical_reads=" << logical_reads.load(std::memory_order_relaxed)
-     << " cache_hits=" << cache_hits.load(std::memory_order_relaxed)
-     << " physical_reads="
-     << physical_reads.load(std::memory_order_relaxed)
-     << " physical_writes="
-     << physical_writes.load(std::memory_order_relaxed)
-     << " allocations=" << allocations.load(std::memory_order_relaxed)
-     << " checksum_failures="
-     << checksum_failures.load(std::memory_order_relaxed)
-     << " retries=" << retries.load(std::memory_order_relaxed);
+  os << "logical_reads=" << s.logical_reads
+     << " cache_hits=" << s.cache_hits
+     << " physical_reads=" << s.physical_reads
+     << " physical_writes=" << s.physical_writes
+     << " allocations=" << s.allocations
+     << " checksum_failures=" << s.checksum_failures
+     << " retries=" << s.retries;
   return os.str();
 }
+
+}  // namespace
+
+std::string IoStats::ToString() const { return CountersToString(Snapshot()); }
+
+std::string IoSnapshot::ToString() const { return CountersToString(*this); }
 
 }  // namespace vitri::storage

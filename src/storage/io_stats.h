@@ -55,28 +55,71 @@ struct IoStats {
 
   void Reset() { *this = IoStats{}; }
 
-  IoStats operator-(const IoStats& rhs) const {
-    IoStats out;
-    out.logical_reads = logical_reads.load(std::memory_order_relaxed) -
-                        rhs.logical_reads.load(std::memory_order_relaxed);
-    out.cache_hits = cache_hits.load(std::memory_order_relaxed) -
-                     rhs.cache_hits.load(std::memory_order_relaxed);
-    out.physical_reads = physical_reads.load(std::memory_order_relaxed) -
-                         rhs.physical_reads.load(std::memory_order_relaxed);
-    out.physical_writes =
-        physical_writes.load(std::memory_order_relaxed) -
-        rhs.physical_writes.load(std::memory_order_relaxed);
-    out.allocations = allocations.load(std::memory_order_relaxed) -
-                      rhs.allocations.load(std::memory_order_relaxed);
-    out.checksum_failures =
-        checksum_failures.load(std::memory_order_relaxed) -
-        rhs.checksum_failures.load(std::memory_order_relaxed);
-    out.retries = retries.load(std::memory_order_relaxed) -
-                  rhs.retries.load(std::memory_order_relaxed);
-    return out;
-  }
+  /// Per-field relaxed snapshot as plain integers (see IoSnapshot).
+  /// All delta arithmetic and save/restore goes through snapshots, so
+  /// there is exactly one audited load site for every counter.
+  struct IoSnapshot Snapshot() const;
+
+  IoStats operator-(const IoStats& rhs) const;
 
   std::string ToString() const;
+};
+
+/// Plain-integer copy of an IoStats: the value type for deltas, query
+/// traces, and the validators' save/restore. Field-wise arithmetic on
+/// snapshots cannot race (no atomics), which is why every derived
+/// quantity is computed here rather than on live counters.
+struct IoSnapshot {
+  uint64_t logical_reads = 0;
+  uint64_t cache_hits = 0;
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t allocations = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t retries = 0;
+
+  IoSnapshot operator-(const IoSnapshot& rhs) const {
+    IoSnapshot out;
+    out.logical_reads = logical_reads - rhs.logical_reads;
+    out.cache_hits = cache_hits - rhs.cache_hits;
+    out.physical_reads = physical_reads - rhs.physical_reads;
+    out.physical_writes = physical_writes - rhs.physical_writes;
+    out.allocations = allocations - rhs.allocations;
+    out.checksum_failures = checksum_failures - rhs.checksum_failures;
+    out.retries = retries - rhs.retries;
+    return out;
+  }
+  bool operator==(const IoSnapshot&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Writes a snapshot's values back into live counters. Like IoStats
+/// assignment, this silently drops increments from concurrently running
+/// threads — callers require exclusive access to the pool.
+void RestoreIoStats(IoStats* stats, const IoSnapshot& saved);
+
+/// The audited save/restore helper: captures `stats` on construction
+/// and restores it on destruction, making the enclosed scope invisible
+/// to I/O cost accounting. This is the ONLY sanctioned way to run
+/// bookkeeping reads (invariant validation, tracing probes) without
+/// skewing the page-access counts the experiments report. Requires
+/// exclusive access to the pool for the scope's lifetime (see the
+/// IoStats restore caveat above).
+class ScopedIoStatsRestore {
+ public:
+  explicit ScopedIoStatsRestore(IoStats* stats);
+  ~ScopedIoStatsRestore();
+
+  ScopedIoStatsRestore(const ScopedIoStatsRestore&) = delete;
+  ScopedIoStatsRestore& operator=(const ScopedIoStatsRestore&) = delete;
+
+  /// The counter values at construction time.
+  const IoSnapshot& saved() const { return saved_; }
+
+ private:
+  IoStats* stats_;
+  IoSnapshot saved_;
 };
 
 }  // namespace vitri::storage

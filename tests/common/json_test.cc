@@ -1,0 +1,131 @@
+// JsonWriter/ParseJson round-trip contract: everything the
+// observability layer emits (metrics snapshots, traces, stats output,
+// BENCH_*.json artifacts) must parse back to the values written.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace vitri::json {
+namespace {
+
+TEST(JsonWriterTest, ScalarsAndNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("knn");
+  w.Key("count");
+  w.Uint(42);
+  w.Key("delta");
+  w.Int(-7);
+  w.Key("ratio");
+  w.Double(0.25);
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("missing");
+  w.Null();
+  w.Key("rows");
+  w.BeginArray();
+  w.Uint(1);
+  w.Uint(2);
+  w.BeginObject();
+  w.Key("nested");
+  w.Bool(false);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"knn\",\"count\":42,\"delta\":-7,\"ratio\":0.25,"
+            "\"ok\":true,\"missing\":null,\"rows\":[1,2,"
+            "{\"nested\":false}]}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(EscapeJson("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesEmitNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonParserTest, ParsesWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("pi");
+  w.Double(3.14159);
+  w.Key("big");
+  w.Uint(1234567890123ull);
+  w.Key("text");
+  w.String("line\nbreak \"quoted\"");
+  w.Key("list");
+  w.BeginArray();
+  w.Int(-1);
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_DOUBLE_EQ(parsed->Find("pi")->number, 3.14159);
+  EXPECT_DOUBLE_EQ(parsed->Find("big")->number, 1234567890123.0);
+  EXPECT_EQ(parsed->Find("text")->string_value, "line\nbreak \"quoted\"");
+  const JsonValue* list = parsed->Find("list");
+  ASSERT_TRUE(list != nullptr && list->is_array());
+  ASSERT_EQ(list->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(list->array[0].number, -1.0);
+  EXPECT_TRUE(list->array[1].bool_value);
+  EXPECT_EQ(list->array[2].kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParserTest, DoubleRoundTripIsExact) {
+  // max_digits10 formatting must reproduce the exact bits.
+  const double values[] = {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-308,
+                           123456.789012345678};
+  for (const double v : values) {
+    JsonWriter w;
+    w.Double(v);
+    auto parsed = ParseJson(w.str());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->number, v) << w.str();
+  }
+}
+
+TEST(JsonParserTest, WhitespaceAndNesting) {
+  auto parsed = ParseJson("  { \"a\" : [ 1 , { \"b\" : null } ] }  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("a")->array.size(), 2u);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("[1 2]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("12 34").ok());
+  EXPECT_FALSE(ParseJson("nulll").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":0x10}").ok());
+}
+
+TEST(JsonParserTest, UnicodeEscapeLatin1) {
+  auto parsed = ParseJson("\"\\u0041\\u000a\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value, "A\n");
+  EXPECT_FALSE(ParseJson("\"\\u1234\"").ok());
+}
+
+}  // namespace
+}  // namespace vitri::json

@@ -1,0 +1,220 @@
+// Metrics registry semantics: counter/gauge/histogram recording,
+// percentile extraction on known distributions, JSON snapshot
+// round-trip, and multi-threaded recording (runs under the tsan
+// preset — histogram recording must be race-free).
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace vitri::metrics {
+namespace {
+
+TEST(MetricsCounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(MetricsGaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST(MetricsHistogramTest, BucketBoundaries) {
+  // 1..9 land in the first nine buckets; the 1-2-...-9 progression
+  // repeats each decade.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(9), 8u);
+  EXPECT_EQ(Histogram::BucketIndex(10), 9u);
+  EXPECT_EQ(Histogram::BucketIndex(11), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(20), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(21), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(90), 17u);
+  EXPECT_EQ(Histogram::BucketIndex(99), 18u);
+  EXPECT_EQ(Histogram::BucketIndex(100), 18u);
+  // Every value sits at or below its bucket's upper bound, above the
+  // previous bucket's.
+  for (uint64_t v : {1ull, 7ull, 10ull, 55ull, 999ull, 123456ull,
+                     987654321ull}) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << v;
+    }
+  }
+  // Values beyond the finite range land in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(MetricsHistogramTest, PercentilesOnUniformDistribution) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 1000u);
+  const Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 500.5);
+  // Decade-bucket interpolation recovers uniform percentiles to ~11%.
+  EXPECT_NEAR(s.Percentile(50), 500.0, 55.0);
+  EXPECT_NEAR(s.Percentile(95), 950.0, 105.0);
+  EXPECT_NEAR(s.Percentile(99), 990.0, 110.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 1000.0);
+  EXPECT_LE(s.Percentile(0), 1.0 + 1e-9);
+}
+
+TEST(MetricsHistogramTest, ConstantDistributionIsExact) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(37);
+  // All mass in one bucket: clamping to observed min/max makes every
+  // percentile exact.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 37.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 37.0);
+}
+
+TEST(MetricsHistogramTest, TwoPointDistribution) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  // p50 lies in the low spike, p99 in the high one.
+  EXPECT_NEAR(h.Percentile(50), 10.0, 2.0);
+  EXPECT_NEAR(h.Percentile(99), 1000.0, 110.0);
+  const auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 90u * 10u + 10u * 1000u);
+}
+
+TEST(MetricsHistogramTest, ResetClearsState) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  const auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  Registry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3u);
+  Histogram* h = registry.GetHistogram("test.histogram");
+  EXPECT_EQ(h, registry.GetHistogram("test.histogram"));
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(-9);
+
+  const auto entries = registry.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Sorted by name.
+  EXPECT_EQ(entries[0].name, "test.counter");
+  EXPECT_EQ(entries[1].name, "test.gauge");
+  EXPECT_EQ(entries[2].name, "test.histogram");
+}
+
+TEST(MetricsRegistryTest, TextDumpListsEveryMetric) {
+  Registry registry;
+  registry.GetCounter("a.count")->Increment(7);
+  registry.GetHistogram("b.latency")->Record(12);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("a.count 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("b.latency count=1"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotRoundTrips) {
+  Registry registry;
+  registry.GetCounter("query.knn.count")->Increment(11);
+  registry.GetGauge("pool.resident")->Set(-2);
+  Histogram* h = registry.GetHistogram("query.knn.latency_us");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+
+  auto parsed = json::ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::JsonValue* counters = parsed->Find("counters");
+  ASSERT_TRUE(counters != nullptr && counters->is_object());
+  EXPECT_DOUBLE_EQ(counters->Find("query.knn.count")->number, 11.0);
+  const json::JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_TRUE(gauges != nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("pool.resident")->number, -2.0);
+  const json::JsonValue* hist =
+      parsed->Find("histograms")->Find("query.knn.latency_us");
+  ASSERT_TRUE(hist != nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number, 100.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->number, 5050.0);
+  EXPECT_DOUBLE_EQ(hist->Find("min")->number, 1.0);
+  EXPECT_DOUBLE_EQ(hist->Find("max")->number, 100.0);
+  EXPECT_NEAR(hist->Find("p50")->number, 50.0, 6.0);
+  EXPECT_NEAR(hist->Find("p95")->number, 95.0, 11.0);
+}
+
+TEST(MetricsRegistryTest, ProcessWideInstanceIsSingleton) {
+  Counter* c =
+      Registry::Instance().GetCounter("metrics_test.singleton.counter");
+  c->Increment();
+  EXPECT_EQ(
+      Registry::Instance().GetCounter("metrics_test.singleton.counter"),
+      c);
+  EXPECT_GE(c->Value(), 1u);
+}
+
+// Concurrency: many threads hammer one counter and one histogram (and
+// race first-use registration). Total counts must be exact; runs under
+// the tsan preset and the CI tsan-stress leg.
+TEST(MetricsConcurrencyTest, ParallelRecordingLosesNothing) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Every thread resolves the metrics by name itself, so
+      // registration races are exercised too.
+      Counter* c = registry.GetCounter("mt.counter");
+      Histogram* h = registry.GetHistogram("mt.histogram");
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(t * kPerThread + i) % 1000 + 1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(registry.GetCounter("mt.counter")->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const Histogram::Snapshot s =
+      registry.GetHistogram("mt.histogram")->TakeSnapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+}
+
+}  // namespace
+}  // namespace vitri::metrics

@@ -1,0 +1,77 @@
+// End-to-end contract of `vitri stats --json`: the real binary's output
+// must parse with json::ParseJson and carry the documented shape
+// (snapshot block, metrics registry with counters/gauges/histograms).
+// The binary path is baked in by CMake (VITRI_CLI_PATH).
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace vitri {
+namespace {
+
+std::string RunAndCapture(const std::string& command) {
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  const int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0) << command << "\n" << out;
+  return out;
+}
+
+TEST(CliStatsTest, JsonOutputRoundTripsThroughTheParser) {
+  const std::string out =
+      RunAndCapture(std::string(VITRI_CLI_PATH) + " stats --exercise --json");
+  auto parsed = json::ParseJson(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << out;
+  ASSERT_TRUE(parsed->is_object());
+
+  // No snapshot was passed, so the snapshot block is null.
+  const json::JsonValue* snapshot = parsed->Find("snapshot");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->kind, json::JsonValue::Kind::kNull);
+
+  const json::JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  const json::JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  // The exercise workload ran queries through the pool and the index,
+  // so the core counters exist and counted.
+  for (const char* name :
+       {"storage.pool.fetches", "btree.range_scans", "query.knn.count"}) {
+    const json::JsonValue* c = counters->Find(name);
+    ASSERT_NE(c, nullptr) << name << "\n" << out;
+    EXPECT_TRUE(c->is_number()) << name;
+    EXPECT_GT(c->number, 0.0) << name;
+  }
+  const json::JsonValue* histograms = metrics->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::JsonValue* latency = histograms->Find("query.knn.latency_us");
+  ASSERT_NE(latency, nullptr) << out;
+  const json::JsonValue* count = latency->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GT(count->number, 0.0);
+  for (const char* field : {"sum", "mean", "min", "max", "p50", "p95",
+                            "p99"}) {
+    EXPECT_NE(latency->Find(field), nullptr) << field;
+  }
+}
+
+TEST(CliStatsTest, TextOutputListsTheRegistry) {
+  const std::string out =
+      RunAndCapture(std::string(VITRI_CLI_PATH) + " stats --exercise");
+  EXPECT_NE(out.find("storage.pool.fetches"), std::string::npos) << out;
+  EXPECT_NE(out.find("query.knn.latency_us"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace vitri

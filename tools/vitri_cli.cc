@@ -3,10 +3,10 @@
 //   vitri generate  --out db.vvdb [--scale 0.01] [--dim 64] [--seed N]
 //   vitri summarize --db db.vvdb --out summary.vsnp [--epsilon 0.15]
 //                   [--threads N]
-//   vitri stats     --summary summary.vsnp
+//   vitri stats     [--summary summary.vsnp] [--exercise] [--json]
 //   vitri query     --db db.vvdb --summary summary.vsnp --video ID
 //                   [--k 10] [--epsilon 0.15] [--method composed|naive]
-//                   [--threads N]
+//                   [--threads N] [--trace] [--json]
 //   vitri verify    [--summary summary.vsnp] [--pages tree.vpag
 //                   [--page-size 4096]]
 //   vitri check     [--summary summary.vsnp [--epsilon E] [--deep]
@@ -14,11 +14,14 @@
 //                   [--page-size 4096]]
 //
 // `generate` writes a synthetic TV-ad database; `summarize` builds the
-// ViTri snapshot; `query` indexes the snapshot and searches with a
-// near-duplicate of the named database video; `verify` checks snapshot
-// and page-file checksums offline; `check` runs the deep invariant
-// validators (core/validate.h and the structural self-checks) on a
-// snapshot and/or a B+-tree page file.
+// ViTri snapshot; `stats` reports snapshot statistics plus the
+// process-wide metrics registry (DESIGN.md §12) — `--exercise` runs a
+// small built-in workload first so the registry has data to show;
+// `query` indexes the snapshot and searches with a near-duplicate of
+// the named database video (`--trace` prints the per-stage spans);
+// `verify` checks snapshot and page-file checksums offline; `check`
+// runs the deep invariant validators (core/validate.h and the
+// structural self-checks) on a snapshot and/or a B+-tree page file.
 
 #include <algorithm>
 #include <cstdio>
@@ -28,7 +31,10 @@
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "common/json.h"
+#include "common/metrics.h"
 #include "core/ground_truth.h"
+#include "core/query_trace.h"
 #include "linalg/kernels.h"
 #include "core/index.h"
 #include "core/snapshot.h"
@@ -120,29 +126,112 @@ int CmdSummarize(const Args& args) {
   return 0;
 }
 
+// Populates the metrics registry with a small end-to-end workload
+// (synthetic database → summaries → index build → single and batched
+// KNN), so `vitri stats --exercise` has live counters to report.
+int ExerciseMetrics() {
+  video::SynthesizerOptions so;
+  so.seed = 2005;
+  video::VideoSynthesizer synth(so);
+  const video::VideoDatabase db = synth.GenerateDatabase(0.004);
+  core::ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  if (!set.ok()) return Fail(set.status());
+  core::ViTriIndexOptions io;
+  io.dimension = db.dimension;
+  auto index = core::ViTriIndex::Build(*set, io);
+  if (!index.ok()) return Fail(index.status());
+  std::vector<core::BatchQuery> batch;
+  const size_t num_queries = std::min<size_t>(4, db.num_videos());
+  for (size_t q = 0; q < num_queries; ++q) {
+    const video::VideoSequence dup = synth.MakeNearDuplicate(
+        db.videos[q], static_cast<uint32_t>(db.num_videos() + q));
+    auto summary = builder.Build(dup);
+    if (!summary.ok()) return Fail(summary.status());
+    auto result =
+        index->Knn(*summary, static_cast<uint32_t>(dup.num_frames()), 10,
+                   core::KnnMethod::kComposed);
+    if (!result.ok()) return Fail(result.status());
+    batch.push_back(core::BatchQuery{
+        std::move(*summary), static_cast<uint32_t>(dup.num_frames())});
+  }
+  auto batched = index->BatchKnn(batch, 10, core::KnnMethod::kComposed, 2);
+  if (!batched.ok()) return Fail(batched.status());
+  return 0;
+}
+
 int CmdStats(const Args& args) {
   const char* snapshot = args.Get("--summary", nullptr);
-  if (snapshot == nullptr) {
-    std::fprintf(stderr, "stats: --summary is required\n");
+  const bool as_json = args.Has("--json");
+  const bool exercise = args.Has("--exercise");
+  if (snapshot == nullptr && !exercise) {
+    std::fprintf(stderr,
+                 "stats: --summary and/or --exercise is required\n");
     return 2;
   }
-  auto set = core::LoadViTriSet(snapshot);
-  if (!set.ok()) return Fail(set.status());
+  if (exercise) {
+    const int rc = ExerciseMetrics();
+    if (rc != 0) return rc;
+  }
+
+  bool have_set = false;
+  core::ViTriSet set;
   double total_frames = 0.0;
   double total_radius = 0.0;
   uint32_t max_size = 0;
-  for (const core::ViTri& v : set->vitris) {
-    total_frames += v.cluster_size;
-    total_radius += v.radius;
-    max_size = std::max(max_size, v.cluster_size);
+  if (snapshot != nullptr) {
+    auto loaded = core::LoadViTriSet(snapshot);
+    if (!loaded.ok()) return Fail(loaded.status());
+    set = std::move(*loaded);
+    have_set = true;
+    for (const core::ViTri& v : set.vitris) {
+      total_frames += v.cluster_size;
+      total_radius += v.radius;
+      max_size = std::max(max_size, v.cluster_size);
+    }
   }
-  std::printf("snapshot: %zu ViTris over %zu videos, dim %d\n",
-              set->size(), set->frame_counts.size(), set->dimension);
-  std::printf("frames summarized: %.0f (avg cluster %.1f, largest %u)\n",
-              total_frames,
-              total_frames / static_cast<double>(set->size()), max_size);
-  std::printf("average radius: %.4f\n",
-              total_radius / static_cast<double>(set->size()));
+
+  if (as_json) {
+    json::JsonWriter w;
+    w.BeginObject();
+    w.Key("snapshot");
+    if (have_set) {
+      w.BeginObject();
+      w.Key("num_vitris");
+      w.Uint(set.size());
+      w.Key("num_videos");
+      w.Uint(set.frame_counts.size());
+      w.Key("dimension");
+      w.Int(set.dimension);
+      w.Key("frames_summarized");
+      w.Double(total_frames);
+      w.Key("average_cluster_size");
+      w.Double(total_frames / static_cast<double>(set.size()));
+      w.Key("largest_cluster");
+      w.Uint(max_size);
+      w.Key("average_radius");
+      w.Double(total_radius / static_cast<double>(set.size()));
+      w.EndObject();
+    } else {
+      w.Null();
+    }
+    w.Key("metrics");
+    w.RawValue(metrics::Registry::Instance().ToJson());
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  if (have_set) {
+    std::printf("snapshot: %zu ViTris over %zu videos, dim %d\n",
+                set.size(), set.frame_counts.size(), set.dimension);
+    std::printf("frames summarized: %.0f (avg cluster %.1f, largest %u)\n",
+                total_frames,
+                total_frames / static_cast<double>(set.size()), max_size);
+    std::printf("average radius: %.4f\n",
+                total_radius / static_cast<double>(set.size()));
+  }
+  std::printf("%s", metrics::Registry::Instance().ToText().c_str());
   return 0;
 }
 
@@ -192,7 +281,10 @@ int CmdQuery(const Args& args) {
   std::vector<core::BatchQuery> batch(1);
   batch[0].vitris = std::move(*summary);
   batch[0].num_frames = static_cast<uint32_t>(query.num_frames());
-  auto batch_results = index->BatchKnn(batch, k, method, threads, &costs);
+  const bool traced = args.Has("--trace");
+  std::vector<core::QueryTrace> traces;
+  auto batch_results = index->BatchKnn(batch, k, method, threads, &costs,
+                                       traced ? &traces : nullptr);
   if (!batch_results.ok()) return Fail(batch_results.status());
   const std::vector<core::VideoMatch>& results = (*batch_results)[0];
 
@@ -209,6 +301,13 @@ int CmdQuery(const Args& args) {
               static_cast<unsigned long long>(costs.candidates),
               static_cast<unsigned long long>(costs.similarity_evals),
               costs.cpu_seconds * 1e3);
+  if (traced && !traces.empty()) {
+    if (args.Has("--json")) {
+      std::printf("%s\n", traces[0].ToJson().c_str());
+    } else {
+      std::printf("%s", traces[0].ToString().c_str());
+    }
+  }
   return 0;
 }
 
@@ -336,10 +435,10 @@ void Usage() {
                "  generate  --out db.vvdb [--scale S] [--dim N] [--seed X]\n"
                "  summarize --db db.vvdb --out s.vsnp [--epsilon E] "
                "[--threads N]\n"
-               "  stats     --summary s.vsnp\n"
+               "  stats     [--summary s.vsnp] [--exercise] [--json]\n"
                "  query     --db db.vvdb --summary s.vsnp --video ID\n"
                "            [--k K] [--epsilon E] [--method composed|naive]\n"
-               "            [--threads N]\n"
+               "            [--threads N] [--trace] [--json]\n"
                "  verify    [--summary s.vsnp] [--pages tree.vpag "
                "[--page-size N]]\n"
                "  check     [--summary s.vsnp [--epsilon E] [--deep] "
