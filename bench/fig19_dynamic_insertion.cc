@@ -5,13 +5,20 @@
 // compared against an index rebuilt from scratch (one-off construction)
 // and against sequential scan.
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "core/index.h"
 #include "core/vitri_builder.h"
 #include "harness/bench_common.h"
 #include "harness/bench_report.h"
+#include "storage/wal.h"
 
 int main() {
   using namespace vitri;
@@ -137,6 +144,131 @@ int main() {
   std::printf("\n# expected shape (paper): indexed costs grow sub-linearly "
               "vs seq-scan's linear growth; dynamic slightly above "
               "one-off rebuild, degrading as PC drift accumulates\n");
+
+  // --- Durable online ingest: the same batch-1..3 insert stream, now
+  // WAL-logged (group commit) while a reader loops 50NN batches against
+  // the index. Measures ingest throughput with durability on plus the
+  // WAL's append/fsync latency distributions, then proves the loop:
+  // checkpoint, reopen from disk, same contents.
+  char dir_template[] = "/tmp/vitri_fig19_wal_XXXXXX";
+  const char* wal_dir = ::mkdtemp(dir_template);
+  if (wal_dir == nullptr) return 1;
+
+  auto durable_index = ViTriIndex::Build(first, io_opts);
+  if (!durable_index.ok()) return 1;
+  DurabilityOptions dur;
+  dur.wal.sync_mode = storage::WalSyncMode::kGrouped;
+  if (!durable_index->EnableDurability(std::string(wal_dir) + "/index", dur)
+           .ok()) {
+    return 1;
+  }
+
+  std::vector<BatchQuery> batch_queries(summaries.size());
+  for (size_t q = 0; q < summaries.size(); ++q) {
+    batch_queries[q].vitris = summaries[q];
+    batch_queries[q].num_frames = frames[q];
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> inserted_videos{0};
+  vitri::Stopwatch ingest_clock;
+  std::thread writer([&] {
+    for (size_t vid = std::min(batch_videos, num_videos); vid < num_videos;
+         ++vid) {
+      if (per_video[vid].empty()) continue;
+      if (!durable_index
+               ->Insert(static_cast<uint32_t>(vid),
+                        w.set.frame_counts[vid], per_video[vid])
+               .ok()) {
+        break;
+      }
+      inserted_videos.fetch_add(1, std::memory_order_relaxed);
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  uint64_t query_rounds = 0;
+  while (!writer_done.load(std::memory_order_acquire)) {
+    if (!durable_index->BatchKnn(batch_queries, 50, KnnMethod::kComposed, 4)
+             .ok()) {
+      break;
+    }
+    ++query_rounds;
+  }
+  writer.join();
+  const double ingest_seconds = ingest_clock.ElapsedMicros() * 1e-6;
+  if (!durable_index->SyncWal().ok()) return 1;
+  const uint64_t acked = durable_index->wal_commits();
+  const uint64_t durable = durable_index->wal_durable_commits();
+
+  const auto append_hist =
+      VITRI_METRIC_HISTOGRAM("wal.append_latency_us")->TakeSnapshot();
+  const auto fsync_hist =
+      VITRI_METRIC_HISTOGRAM("wal.fsync_latency_us")->TakeSnapshot();
+  const uint64_t wal_bytes =
+      VITRI_METRIC_COUNTER("wal.append_bytes")->Value();
+  const uint64_t wal_syncs = VITRI_METRIC_COUNTER("wal.syncs")->Value();
+
+  std::printf("\ndurable ingest (group commit): %llu videos in %.2fs "
+              "(%.0f videos/s), %llu WAL commits (%llu synced durable), "
+              "%llu syncs, %.1f MB logged, %llu concurrent 50NN rounds\n",
+              static_cast<unsigned long long>(inserted_videos.load()),
+              ingest_seconds,
+              static_cast<double>(inserted_videos.load()) / ingest_seconds,
+              static_cast<unsigned long long>(acked),
+              static_cast<unsigned long long>(durable),
+              static_cast<unsigned long long>(wal_syncs),
+              static_cast<double>(wal_bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(query_rounds));
+  std::printf("WAL append us: p50 %.1f p90 %.1f p99 %.1f mean %.1f "
+              "(n=%llu)\n",
+              append_hist.Percentile(50), append_hist.Percentile(90),
+              append_hist.Percentile(99), append_hist.Mean(),
+              static_cast<unsigned long long>(append_hist.count));
+  std::printf("WAL fsync  us: p50 %.1f p90 %.1f p99 %.1f mean %.1f "
+              "(n=%llu)\n",
+              fsync_hist.Percentile(50), fsync_hist.Percentile(90),
+              fsync_hist.Percentile(99), fsync_hist.Mean(),
+              static_cast<unsigned long long>(fsync_hist.count));
+
+  // Close the loop: checkpoint, reopen from disk, same contents.
+  const size_t live_vitris = durable_index->num_vitris();
+  if (!durable_index->Checkpoint().ok()) return 1;
+  RecoveryStats rstats;
+  auto reopened = ViTriIndex::Open(std::string(wal_dir) + "/index", io_opts,
+                                   {}, &rstats);
+  if (!reopened.ok() || reopened->num_vitris() != live_vitris) {
+    std::fprintf(stderr, "fig19: durable reopen mismatch\n");
+    return 1;
+  }
+  std::printf("reopen after checkpoint: generation %llu, %zu ViTris "
+              "(match)\n",
+              static_cast<unsigned long long>(rstats.generation),
+              reopened->num_vitris());
+
+  report.AddRow()
+      .Set("phase", "durable_ingest")
+      .Set("inserted_videos", inserted_videos.load())
+      .Set("ingest_seconds", ingest_seconds)
+      .Set("wal_commits", acked)
+      .Set("wal_durable_commits", durable)
+      .Set("wal_syncs", wal_syncs)
+      .Set("wal_append_bytes", wal_bytes)
+      .Set("concurrent_query_rounds", query_rounds)
+      .Set("wal_append_us_p50", append_hist.Percentile(50))
+      .Set("wal_append_us_p90", append_hist.Percentile(90))
+      .Set("wal_append_us_p95", append_hist.Percentile(95))
+      .Set("wal_append_us_p99", append_hist.Percentile(99))
+      .Set("wal_append_us_mean", append_hist.Mean())
+      .Set("wal_append_count", append_hist.count)
+      .Set("wal_fsync_us_p50", fsync_hist.Percentile(50))
+      .Set("wal_fsync_us_p90", fsync_hist.Percentile(90))
+      .Set("wal_fsync_us_p95", fsync_hist.Percentile(95))
+      .Set("wal_fsync_us_p99", fsync_hist.Percentile(99))
+      .Set("wal_fsync_us_mean", fsync_hist.Mean())
+      .Set("wal_fsync_count", fsync_hist.count)
+      .Set("reopen_generation", rstats.generation)
+      .Set("reopen_vitris", reopened->num_vitris());
+
   if (!report.WriteArtifact()) return 1;
   return 0;
 }

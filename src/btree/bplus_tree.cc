@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/check.h"
@@ -340,6 +342,7 @@ Status BPlusTree::FreeNode(PageId id) {
 
 Status BPlusTree::Insert(double key, uint64_t rid,
                          std::span<const uint8_t> value) {
+  std::unique_lock<std::shared_mutex> lock(*latch_);
   if (value.size() != value_size_) {
     return Status::InvalidArgument("value size mismatch");
   }
@@ -359,7 +362,7 @@ Status BPlusTree::Insert(double key, uint64_t rid,
   ++num_entries_;
   VITRI_METRIC_COUNTER("btree.inserts")->Increment();
   VITRI_RETURN_IF_ERROR(StoreMeta());
-  VITRI_DCHECK_OK(ValidateInvariants());
+  VITRI_DCHECK_OK(ValidateInvariantsLocked({}));
   return Status::OK();
 }
 
@@ -511,6 +514,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(
 
 Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
                                std::vector<uint8_t>* value) const {
+  std::shared_lock<std::shared_mutex> lock(*latch_);
   VITRI_METRIC_COUNTER("btree.lookups")->Increment();
   PageId node_id = root_;
   for (uint32_t level = 0; level + 1 < height_; ++level) {
@@ -533,6 +537,7 @@ Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
 
 Result<uint64_t> BPlusTree::RangeScan(double lo, double hi,
                                       const ScanCallback& callback) const {
+  std::shared_lock<std::shared_mutex> lock(*latch_);
   VITRI_METRIC_COUNTER("btree.range_scans")->Increment();
   if (lo > hi) return static_cast<uint64_t>(0);
   // Descend toward the leftmost composite >= (lo, 0).
@@ -569,6 +574,7 @@ Result<uint64_t> BPlusTree::RangeScan(double lo, double hi,
 // ---- delete -------------------------------------------------------------
 
 Result<bool> BPlusTree::Delete(double key, uint64_t rid) {
+  std::unique_lock<std::shared_mutex> lock(*latch_);
   VITRI_ASSIGN_OR_RETURN(DeleteResult result, DeleteRec(root_, key, rid));
   if (!result.found) return false;
   --num_entries_;
@@ -585,7 +591,7 @@ Result<bool> BPlusTree::Delete(double key, uint64_t rid) {
     --height_;
   }
   VITRI_RETURN_IF_ERROR(StoreMeta());
-  VITRI_DCHECK_OK(ValidateInvariants());
+  VITRI_DCHECK_OK(ValidateInvariantsLocked({}));
   return true;
 }
 
@@ -744,6 +750,7 @@ Status BPlusTree::RebalanceChild(PageRef& parent_ref, uint32_t child_pos,
 
 Status BPlusTree::BulkLoad(const std::vector<Entry>& entries,
                            double fill_factor) {
+  std::unique_lock<std::shared_mutex> lock(*latch_);
   if (num_entries_ != 0) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
@@ -847,13 +854,19 @@ Status BPlusTree::BulkLoad(const std::vector<Entry>& entries,
   // floor, so the post-bulk-load self-check scales its bound down.
   TreeCheckOptions check;
   check.min_fill = std::min(check.min_fill, fill_factor / 4.0);
-  VITRI_DCHECK_OK(ValidateInvariants(check));
+  VITRI_DCHECK_OK(ValidateInvariantsLocked(check));
   return Status::OK();
 }
 
 // ---- validation ---------------------------------------------------------
 
 Status BPlusTree::ValidateInvariants(const TreeCheckOptions& options) const {
+  std::unique_lock<std::shared_mutex> lock(*latch_);
+  return ValidateInvariantsLocked(options);
+}
+
+Status BPlusTree::ValidateInvariantsLocked(
+    const TreeCheckOptions& options) const {
   // The validator is observation-free: the audited save/restore scope
   // rolls the pool's I/O counters back so debug-build self-checks never
   // skew the page-access costs the experiments report.

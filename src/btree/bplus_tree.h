@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -47,15 +49,18 @@ struct TreeCheckOptions {
 /// Disk-paged B+-tree over composite keys (double, uint64) with
 /// fixed-size values, built on a BufferPool.
 ///
-/// Thread-safety: the read-only operations — Lookup() and RangeScan() —
-/// are safe to run concurrently with each other from any number of
-/// threads (the BufferPool latches all shared page state, and readers
-/// touch no tree header fields mutably). Mutating operations (Insert,
-/// Delete, BulkLoad) and ValidateInvariants() — whose IoStats
-/// save/restore assumes a quiescent pool — require exclusive access to
-/// the tree; the caller provides that exclusion (ViTriIndex, for
-/// example, only fans out read-only batches). See DESIGN.md "Threading
-/// model".
+/// Thread-safety: the tree carries a reader-writer latch. Lookup() and
+/// RangeScan() take it shared and may run concurrently from any number
+/// of threads; Insert(), Delete(), BulkLoad(), and ValidateInvariants()
+/// — whose IoStats save/restore assumes a quiescent pool — take it
+/// exclusive, so one writer proceeds alone while readers drain. This is
+/// a deliberately coarse scheme: per-node latch crabbing buys nothing
+/// while every page access funnels through the BufferPool's single
+/// latch, so it is deferred until that latch is sharded (ROADMAP item
+/// 4). Two caveats: a RangeScan callback runs under the shared latch
+/// and must not call back into a mutating operation (self-deadlock),
+/// and the header accessors (num_entries() etc.) are unlatched — don't
+/// read them while a writer is active. See DESIGN.md §13.
 ///
 /// Page 0 of the pager is the tree's meta page; interior pages hold
 /// (separator, child) arrays, leaves hold (key, rid, value) records and
@@ -157,6 +162,9 @@ class BPlusTree {
                                  uint64_t rid);
   Status RebalanceChild(storage::PageRef& parent, uint32_t child_pos,
                         bool* parent_underflow);
+  // ValidateInvariants minus the latch, for self-checks already inside
+  // a writer's critical section.
+  Status ValidateInvariantsLocked(const TreeCheckOptions& options) const;
   Status ValidateInvariantsImpl(const TreeCheckOptions& options) const;
   Status ValidateNode(const TreeCheckOptions& options,
                       storage::PageId node_id, uint32_t depth, bool has_lo,
@@ -166,6 +174,10 @@ class BPlusTree {
                       std::vector<storage::PageId>* leaves_in_order) const;
 
   storage::BufferPool* pool_ = nullptr;
+  /// Reader-writer latch (see the class comment). Heap-allocated so the
+  /// tree stays movable; never null after construction.
+  mutable std::unique_ptr<std::shared_mutex> latch_ =
+      std::make_unique<std::shared_mutex>();
   uint32_t value_size_ = 0;
   storage::PageId root_ = storage::kInvalidPageId;
   storage::PageId first_leaf_ = storage::kInvalidPageId;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -13,6 +15,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/recovery.h"
 #include "core/similarity.h"
 #include "linalg/frame_matrix.h"
 #include "linalg/kernels.h"
@@ -85,7 +88,8 @@ Status ViTriIndex::LoadTree() {
     pager_ = std::make_unique<MemPager>(options_.page_size);
   }
   pool_ = std::make_unique<BufferPool>(pager_.get(),
-                                       options_.buffer_pool_pages);
+                                       options_.buffer_pool_pages,
+                                       options_.buffer_pool_options);
   // Mirror transient-error retries into the pool's IoStats so query
   // cost reporting surfaces them.
   if (auto* retrying = dynamic_cast<storage::RetryingPager*>(pager_.get())) {
@@ -112,12 +116,32 @@ Status ViTriIndex::LoadTree() {
               return a.key < b.key || (a.key == b.key && a.rid < b.rid);
             });
   VITRI_RETURN_IF_ERROR(tree_->BulkLoad(entries));
-  VITRI_DCHECK_OK(ValidateInvariants());
+  VITRI_DCHECK_OK(ValidateInvariantsLocked());
   return Status::OK();
 }
 
 Status ViTriIndex::Insert(uint32_t video_id, uint32_t num_frames,
                           const std::vector<ViTri>& vitris) {
+  std::unique_lock<std::shared_mutex> lock(*latch_);
+  for (const ViTri& v : vitris) {
+    if (v.dimension() != options_.dimension) {
+      return Status::InvalidArgument("ViTri dimension mismatch");
+    }
+  }
+  if (wal_ != nullptr) {
+    // Log-then-apply: the insert must be recoverable before any of it
+    // becomes visible. Replay re-applies committed records in order, so
+    // rids reproduce deterministically.
+    std::vector<uint8_t> payload;
+    EncodeInsertWalRecord(video_id, num_frames, vitris, &payload);
+    VITRI_RETURN_IF_ERROR(WalLogInsert(payload));
+    VITRI_RETURN_IF_ERROR(MaybeCrash("insert.apply"));
+  }
+  return ApplyInsert(video_id, num_frames, vitris);
+}
+
+Status ViTriIndex::ApplyInsert(uint32_t video_id, uint32_t num_frames,
+                               const std::vector<ViTri>& vitris) {
   if (video_id >= frame_counts_.size()) {
     frame_counts_.resize(video_id + 1, 0);
   }
@@ -135,7 +159,7 @@ Status ViTriIndex::Insert(uint32_t video_id, uint32_t num_frames,
     positions_.push_back(v.position);
   }
   VITRI_METRIC_COUNTER("index.inserts")->Increment(vitris.size());
-  VITRI_DCHECK_OK(ValidateInvariants());
+  VITRI_DCHECK_OK(ValidateInvariantsLocked());
   return Status::OK();
 }
 
@@ -432,6 +456,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::KnnCompute(
 Result<std::vector<VideoMatch>> ViTriIndex::Knn(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
     KnnMethod method, QueryCosts* costs, QueryTrace* trace) {
+  std::shared_lock<std::shared_mutex> lock(*latch_);
   Stopwatch watch;
   if (trace != nullptr) trace->Begin();
   const IoSnapshot before = pool_->stats().Snapshot();
@@ -455,6 +480,11 @@ Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
     const std::vector<BatchQuery>& queries, size_t k, KnnMethod method,
     size_t num_threads, QueryCosts* costs,
     std::vector<QueryTrace>* traces) {
+  // One shared acquisition spans the whole batch; the workers below
+  // must NOT take the latch themselves — a writer arriving mid-batch
+  // could otherwise wedge between the orchestrator's hold and a
+  // worker's acquisition on writer-priority shared_mutex builds.
+  std::shared_lock<std::shared_mutex> lock(*latch_);
   Stopwatch watch;
   const IoSnapshot before = pool_->stats().Snapshot();
   const size_t n = queries.size();
@@ -516,6 +546,7 @@ Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
 Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
     QueryCosts* costs) {
+  std::shared_lock<std::shared_mutex> lock(*latch_);
   if (query.empty()) {
     return Status::InvalidArgument("query summary is empty");
   }
@@ -570,6 +601,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
 
 Result<std::vector<VideoMatch>> ViTriIndex::FrameSearch(
     linalg::VecView frame, double epsilon, size_t k, QueryCosts* costs) {
+  std::shared_lock<std::shared_mutex> lock(*latch_);
   if (frame.size() != static_cast<size_t>(options_.dimension)) {
     return Status::InvalidArgument("frame dimension mismatch");
   }
@@ -654,6 +686,11 @@ Status IndexInvariantViolation(const std::string& what) {
 }  // namespace
 
 Status ViTriIndex::ValidateInvariants() {
+  std::unique_lock<std::shared_mutex> lock(*latch_);
+  return ValidateInvariantsLocked();
+}
+
+Status ViTriIndex::ValidateInvariantsLocked() {
   // The audited save/restore helper: validation reads pages through the
   // pool, but must never perturb the counters queries report.
   storage::ScopedIoStatsRestore restore(pool_->mutable_stats());
@@ -680,7 +717,7 @@ Status ViTriIndex::ValidateInvariantsImpl() {
 
   ViTriCheckOptions check;
   check.epsilon = options_.epsilon;
-  const ViTriSet snapshot = Snapshot();
+  const ViTriSet snapshot = SnapshotLocked();
   VITRI_RETURN_IF_ERROR(ValidateViTriSet(snapshot, check));
   VITRI_RETURN_IF_ERROR(ValidateSnapshotRoundTrip(snapshot));
 
@@ -740,19 +777,23 @@ Status ViTriIndex::ValidateInvariantsImpl() {
 }
 
 Result<double> ViTriIndex::DriftAngle() const {
+  std::shared_lock<std::shared_mutex> lock(*latch_);
   return transform_->DriftAngle(positions_);
 }
 
 Result<bool> ViTriIndex::NeedsRebuild() const {
   // Quarantined pages mean part of the tree is unreachable: queries
   // still answer (degraded), but only a rebuild restores indexed
-  // serving.
+  // serving. (DriftAngle is inlined rather than called: shared_mutex
+  // acquisitions don't nest safely on one thread.)
   if (!pool_->corrupt_pages().empty()) return true;
-  VITRI_ASSIGN_OR_RETURN(double angle, DriftAngle());
+  std::shared_lock<std::shared_mutex> lock(*latch_);
+  VITRI_ASSIGN_OR_RETURN(double angle, transform_->DriftAngle(positions_));
   return angle > options_.rebuild_angle_threshold;
 }
 
 Status ViTriIndex::Rebuild() {
+  std::unique_lock<std::shared_mutex> lock(*latch_);
   VITRI_METRIC_COUNTER("index.rebuilds")->Increment();
   VITRI_ASSIGN_OR_RETURN(
       OneDimensionalTransform t,

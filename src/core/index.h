@@ -6,6 +6,9 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "btree/bplus_tree.h"
@@ -15,6 +18,7 @@
 #include "core/vitri.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 
 namespace vitri::core {
 
@@ -42,6 +46,49 @@ struct ViTriIndexOptions {
   /// fault-tolerance testing. Must return a fresh, empty pager.
   std::function<std::unique_ptr<storage::Pager>(size_t page_size)>
       pager_factory;
+  /// Durability knobs of the tree's buffer pool (sync_on_flush etc.).
+  storage::BufferPoolOptions buffer_pool_options;
+};
+
+/// Configuration of the durable-ingest subsystem (EnableDurability /
+/// Open). A durable index directory holds, per DESIGN.md §13:
+///   CURRENT             the active generation number (atomic pointer)
+///   snapshot-<G>.vsnp   checkpoint of generation G's contents
+///   wal-<G>.vlog        log of inserts committed since that checkpoint
+struct DurabilityOptions {
+  /// WAL framing/sync policy (group commit etc.).
+  storage::WalOptions wal;
+  /// Opens the append-only file backing a generation's WAL. Defaults to
+  /// PosixWalFile::Open with wal.file_sync; tests interpose
+  /// FaultInjectingWalFile here to simulate power cuts.
+  std::function<Result<std::unique_ptr<storage::WalFile>>(
+      const std::string& path)>
+      wal_file_factory;
+  /// Crash-point hook for the recovery harness: called with a named
+  /// point on the insert/checkpoint paths ("insert.wal.commit",
+  /// "checkpoint.current", ...); returning true simulates power loss
+  /// there — the operation fails with IoError and on-disk state is
+  /// whatever preceded the point. Production leaves this empty.
+  std::function<bool(std::string_view point)> crash_hook;
+};
+
+/// What ViTriIndex::Open found while recovering.
+struct RecoveryStats {
+  uint64_t generation = 0;
+  /// Contents of the checkpoint snapshot.
+  size_t snapshot_vitris = 0;
+  size_t snapshot_videos = 0;
+  /// WAL replay: committed batches applied on top of the snapshot.
+  uint64_t wal_commits_replayed = 0;
+  uint64_t wal_records_applied = 0;
+  /// Intact but uncommitted records discarded, and torn/uncommitted
+  /// bytes truncated off the tail.
+  uint64_t wal_records_discarded = 0;
+  uint64_t wal_bytes_discarded = 0;
+  bool wal_torn_tail = false;
+  /// Post-replay totals.
+  size_t recovered_vitris = 0;
+  size_t recovered_videos = 0;
 };
 
 /// KNN evaluation strategy (Section 5.2).
@@ -99,11 +146,21 @@ struct BatchQuery {
 /// a thread pool), a sequential-scan baseline, and the PCA-drift rebuild
 /// policy.
 ///
-/// Thread-safety: queries (Knn, SequentialScan, FrameSearch, and the
-/// per-query workers inside BatchKnn) are read-only and safe to run
-/// concurrently; BatchKnn does exactly that. Mutations (Insert, Rebuild)
-/// and ValidateInvariants() require exclusive access — callers serialize
-/// them against queries. See DESIGN.md "Threading model".
+/// Thread-safety: the index carries a reader-writer latch, so online
+/// Insert() is safe while queries run. Queries (Knn, BatchKnn,
+/// SequentialScan, FrameSearch, Snapshot) take it shared — BatchKnn
+/// holds ONE shared acquisition for the whole batch and its workers
+/// take no locks of their own — while Insert, Rebuild, Checkpoint,
+/// DropCaches, and ValidateInvariants take it exclusive. Writers are
+/// thereby serialized with each other and with queries at the index
+/// granularity; see DESIGN.md §13 for why finer-grained latching is
+/// deferred.
+///
+/// Durability: EnableDurability() attaches a write-ahead log so every
+/// subsequent Insert() is logged-then-applied and survives a crash;
+/// Open() recovers an index from such a directory (checkpoint snapshot
+/// + WAL replay, truncating any torn tail). Checkpoint() folds the WAL
+/// into a fresh snapshot generation.
 class ViTriIndex {
  public:
   ViTriIndex(ViTriIndex&&) noexcept = default;
@@ -115,8 +172,51 @@ class ViTriIndex {
   static Result<ViTriIndex> Build(const ViTriSet& set,
                                   const ViTriIndexOptions& options);
 
+  /// Recovers a durable index from `dir` (previously populated by
+  /// EnableDurability/Checkpoint): loads the CURRENT generation's
+  /// snapshot, rebuilds the tree, replays every committed WAL insert on
+  /// top, repairs the log's torn tail if the last run crashed mid-write,
+  /// and garbage-collects stale generations. `options.dimension` is
+  /// overridden by the snapshot's dimension (the snapshot is
+  /// authoritative). The recovered index is durable: inserts continue
+  /// appending to the repaired WAL.
+  static Result<ViTriIndex> Open(const std::string& dir,
+                                 ViTriIndexOptions options,
+                                 DurabilityOptions durability = {},
+                                 RecoveryStats* stats = nullptr);
+
+  /// Makes this index durable in `dir` (created if missing): writes a
+  /// generation-1 checkpoint of the current contents and opens a WAL for
+  /// subsequent inserts. Fails if the index is already durable.
+  Status EnableDurability(const std::string& dir,
+                          DurabilityOptions durability = {});
+
+  /// Folds the WAL into a new checkpoint generation: snapshots the
+  /// current contents (crash-atomically), starts an empty WAL, flips
+  /// CURRENT, and removes the previous generation's files. On return
+  /// every insert so far is durable in the snapshot regardless of WAL
+  /// sync policy.
+  Status Checkpoint();
+
+  /// Drains group commit: forces every acked insert durable now.
+  Status SyncWal();
+
+  /// True once EnableDurability/Open attached a WAL.
+  bool durable() const { return wal_ != nullptr; }
+  /// Current checkpoint generation (0 when not durable).
+  uint64_t generation() const { return generation_; }
+  /// WAL commit counters for the current generation (0 when not
+  /// durable): acked inserts, and the prefix of them a crash is
+  /// guaranteed not to lose.
+  uint64_t wal_commits() const;
+  uint64_t wal_durable_commits() const;
+
   /// Inserts one new video's summary (standard B+-tree insertions with
-  /// the original reference point, as in Section 6.3.3).
+  /// the original reference point, as in Section 6.3.3). On a durable
+  /// index the insert is WAL-logged and committed before it is applied;
+  /// when Insert returns OK the insert is recoverable (immediately
+  /// under WalSyncMode::kEveryCommit, after the next sync under group
+  /// commit). Safe to call while queries run (exclusive latch).
   Status Insert(uint32_t video_id, uint32_t num_frames,
                 const std::vector<ViTri>& vitris);
 
@@ -178,9 +278,20 @@ class ViTriIndex {
 
   const ViTriIndexOptions& options() const { return options_; }
   const OneDimensionalTransform& transform() const { return *transform_; }
-  size_t num_vitris() const { return vitris_.size(); }
-  size_t num_videos() const { return frame_counts_.size(); }
-  uint32_t tree_height() const { return tree_->height(); }
+  /// Content counters; latched shared so they are safe to poll while a
+  /// writer is active.
+  size_t num_vitris() const {
+    std::shared_lock<std::shared_mutex> lock(*latch_);
+    return vitris_.size();
+  }
+  size_t num_videos() const {
+    std::shared_lock<std::shared_mutex> lock(*latch_);
+    return frame_counts_.size();
+  }
+  uint32_t tree_height() const {
+    std::shared_lock<std::shared_mutex> lock(*latch_);
+    return tree_->height();
+  }
   const storage::IoStats& io_stats() const { return pool_->stats(); }
 
   /// Tree pages whose checksum verification failed. While non-empty,
@@ -192,8 +303,12 @@ class ViTriIndex {
     return pool_->corrupt_pages();
   }
 
-  /// Drops all cached pages (cold-cache experiments).
-  Status DropCaches() { return pool_->EvictAll(); }
+  /// Drops all cached pages (cold-cache experiments). Exclusive: the
+  /// flush inside must not race a writer mutating pinned pages.
+  Status DropCaches() {
+    std::unique_lock<std::shared_mutex> lock(*latch_);
+    return pool_->EvictAll();
+  }
 
   /// Deep self-check of the whole index: the in-memory summary obeys
   /// every ViTri invariant (core/validate.h, with this index's epsilon)
@@ -209,6 +324,14 @@ class ViTriIndex {
   /// A copy of the current contents as a ViTriSet (the input of
   /// snapshot persistence; see core/snapshot.h).
   ViTriSet Snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(*latch_);
+    return SnapshotLocked();
+  }
+
+ private:
+  ViTriIndex() = default;
+
+  ViTriSet SnapshotLocked() const {
     ViTriSet set;
     set.dimension = options_.dimension;
     set.vitris = vitris_;
@@ -216,13 +339,28 @@ class ViTriIndex {
     return set;
   }
 
- private:
-  ViTriIndex() = default;
-
   /// (Re)creates pager/pool/tree and bulk-loads all current ViTris using
   /// the current transform.
   Status LoadTree();
 
+  /// Applies one insert to the tree and in-memory mirrors. Assumes the
+  /// exclusive latch is held (or the index is still private to one
+  /// thread, as during Build/Open) and dimensions are already checked.
+  /// Does NOT touch the WAL — it is both the tail of a logged Insert()
+  /// and the replay apply path.
+  Status ApplyInsert(uint32_t video_id, uint32_t num_frames,
+                     const std::vector<ViTri>& vitris);
+
+  // --- durable-ingest internals (recovery.cc) ---
+  /// Fails with IoError when the configured crash hook fires at `point`.
+  Status MaybeCrash(std::string_view point);
+  /// Writes the next checkpoint generation (snapshot + empty WAL +
+  /// CURRENT flip + GC) and swaps the writer. Exclusive latch held.
+  Status RotateGenerationLocked();
+  /// Logs one encoded insert to the WAL and commits it.
+  Status WalLogInsert(const std::vector<uint8_t>& payload);
+
+  Status ValidateInvariantsLocked();
   Status ValidateInvariantsImpl();
 
   /// Accumulates per-video estimated shared frames for a scanned record.
@@ -264,6 +402,10 @@ class ViTriIndex {
                         QueryCosts* costs) const;
 
   ViTriIndexOptions options_;
+  /// Index-level reader-writer latch (see the class comment).
+  /// Heap-allocated so the index stays movable; never null.
+  mutable std::unique_ptr<std::shared_mutex> latch_ =
+      std::make_unique<std::shared_mutex>();
   std::optional<OneDimensionalTransform> transform_;
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
@@ -273,6 +415,12 @@ class ViTriIndex {
   std::vector<ViTri> vitris_;
   std::vector<linalg::Vec> positions_;
   std::vector<uint32_t> frame_counts_;
+
+  /// Durable-ingest state; empty/null while not durable.
+  std::string dur_dir_;
+  DurabilityOptions dur_;
+  uint64_t generation_ = 0;
+  std::unique_ptr<storage::WalWriter> wal_;
 };
 
 }  // namespace vitri::core

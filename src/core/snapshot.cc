@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "storage/posix_io.h"
 
 namespace vitri::core {
 namespace {
@@ -89,10 +90,9 @@ struct CrcFile {
   }
 };
 
-}  // namespace
-
-Status SaveViTriSet(const ViTriSet& set, const std::string& path) {
-  const std::string tmp = path + ".tmp";
+// Writes the serialized set to `tmp` and makes its *bytes* durable
+// (fsync before close); the caller publishes the name.
+Status WriteViTriSetFile(const ViTriSet& set, const std::string& tmp) {
   FilePtr file(std::fopen(tmp.c_str(), "wb"));
   if (file == nullptr) {
     return Status::IoError("cannot open " + tmp + " for writing");
@@ -118,11 +118,29 @@ Status SaveViTriSet(const ViTriSet& set, const std::string& path) {
   if (std::fflush(file.get()) != 0) {
     return Status::IoError("flush failed");
   }
-  file.reset();
+  VITRI_RETURN_IF_ERROR(
+      storage::SyncFd(::fileno(file.get()), storage::FileSyncMode::kFsync));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveViTriSet(const ViTriSet& set, const std::string& path) {
+  // Crash-atomic: write + fsync a temp file, rename() it into place,
+  // then fsync the directory so the new name itself is durable. A crash
+  // at any point leaves either the old snapshot or the new one — never
+  // a torn file under the target name.
+  const std::string tmp = path + ".tmp";
+  const Status written = WriteViTriSetFile(set, tmp);
+  if (!written.ok()) {
+    std::remove(tmp.c_str());
+    return written;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     return Status::IoError("rename to " + path + " failed");
   }
-  return Status::OK();
+  return storage::SyncDir(storage::ParentDir(path));
 }
 
 Result<ViTriSet> LoadViTriSet(const std::string& path) {

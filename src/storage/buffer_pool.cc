@@ -27,7 +27,13 @@ void PageRef::Release() {
 }
 
 BufferPool::BufferPool(Pager* pager, size_t capacity)
-    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {
+    : BufferPool(pager, capacity, BufferPoolOptions{}) {}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity,
+                       const BufferPoolOptions& options)
+    : pager_(pager),
+      capacity_(capacity == 0 ? 1 : capacity),
+      options_(options) {
   VITRI_CHECK(pager->page_size() > kPageFooterSize)
       << "page size must leave room for the integrity footer";
 }
@@ -111,6 +117,8 @@ Status BufferPool::FlushAll() {
   for (auto& [id, frame] : frames_) {
     VITRI_RETURN_IF_ERROR(WriteBackLocked(frame));
   }
+  if (!options_.sync_on_flush) return Status::OK();
+  VITRI_METRIC_COUNTER("storage.pool.syncs")->Increment();
   return pager_->Sync();
 }
 

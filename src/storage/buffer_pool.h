@@ -93,11 +93,22 @@ class PageRef {
 /// readers of a page are fine, but a writer needs exclusive ownership of
 /// that page. FlushAll()/EvictAll() write back pinned dirty frames too,
 /// so they must not run concurrently with writers mutating pinned pages.
+/// Durability knobs for a BufferPool.
+struct BufferPoolOptions {
+  /// Finish FlushAll() (and therefore destruction) with Pager::Sync(),
+  /// making the flush a durability point rather than just a write-back
+  /// into the OS page cache. How strong that point is depends on the
+  /// pager's own sync mode (FilePager::Open's FileSyncMode). Disable
+  /// for throwaway benchmark pools where the file is never reopened.
+  bool sync_on_flush = true;
+};
+
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames (>= 1). The pool does
   /// not own the pager.
   BufferPool(Pager* pager, size_t capacity);
+  BufferPool(Pager* pager, size_t capacity, const BufferPoolOptions& options);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -137,6 +148,7 @@ class BufferPool {
   }
 
   size_t capacity() const { return capacity_; }
+  const BufferPoolOptions& options() const { return options_; }
   size_t resident() const {
     std::lock_guard<std::mutex> lock(latch_);
     return frames_.size();
@@ -176,6 +188,7 @@ class BufferPool {
 
   Pager* pager_;
   size_t capacity_;
+  BufferPoolOptions options_;
   /// Guards frames_, lru_, corrupt_pages_, and all pager_ access. The
   /// IoStats counters are atomic and may be read without it.
   mutable std::mutex latch_;

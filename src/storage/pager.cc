@@ -8,50 +8,9 @@
 #include <cstring>
 
 #include "storage/page_footer.h"
+#include "storage/posix_io.h"
 
 namespace vitri::storage {
-namespace {
-
-// pread/pwrite may transfer fewer bytes than asked (signals, quotas,
-// disk-full for writes) or fail with EINTR without transferring
-// anything. Neither is corruption or a hard fault: loop until the full
-// page moved, retrying EINTR, advancing past short transfers.
-
-Status ReadFullyAt(int fd, uint8_t* buf, size_t n, off_t offset) {
-  while (n > 0) {
-    const ssize_t r = ::pread(fd, buf, n, offset);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("pread: ") + std::strerror(errno));
-    }
-    if (r == 0) {
-      return Status::IoError("pread: unexpected end of file");
-    }
-    buf += r;
-    offset += r;
-    n -= static_cast<size_t>(r);
-  }
-  return Status::OK();
-}
-
-Status WriteFullyAt(int fd, const uint8_t* buf, size_t n, off_t offset) {
-  while (n > 0) {
-    const ssize_t r = ::pwrite(fd, buf, n, offset);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
-    }
-    if (r == 0) {
-      return Status::IoError("pwrite: wrote no bytes");
-    }
-    buf += r;
-    offset += r;
-    n -= static_cast<size_t>(r);
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 // --- MemPager ---------------------------------------------------------
 
@@ -112,15 +71,20 @@ Result<PageVerifyReport> VerifyAllPages(Pager* pager) {
 
 // --- FilePager --------------------------------------------------------
 
-FilePager::FilePager(int fd, size_t page_size, PageId num_pages)
-    : Pager(page_size), fd_(fd), num_pages_(num_pages) {}
+FilePager::FilePager(int fd, size_t page_size, PageId num_pages,
+                     FileSyncMode sync_mode)
+    : Pager(page_size),
+      fd_(fd),
+      num_pages_(num_pages),
+      sync_mode_(sync_mode) {}
 
 FilePager::~FilePager() {
   if (fd_ >= 0) ::close(fd_);
 }
 
 Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
-                                                   size_t page_size) {
+                                                   size_t page_size,
+                                                   FileSyncMode sync_mode) {
   if (page_size == 0) {
     return Status::InvalidArgument("page size must be positive");
   }
@@ -140,7 +104,8 @@ Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
   }
   const PageId pages =
       static_cast<PageId>(static_cast<size_t>(st.st_size) / page_size);
-  return std::unique_ptr<FilePager>(new FilePager(fd, page_size, pages));
+  return std::unique_ptr<FilePager>(
+      new FilePager(fd, page_size, pages, sync_mode));
 }
 
 PageId FilePager::num_pages() const { return num_pages_; }
@@ -175,11 +140,6 @@ Status FilePager::Write(PageId id, const uint8_t* src) {
   return WriteFullyAt(fd_, src, page_size(), offset);
 }
 
-Status FilePager::Sync() {
-  if (::fsync(fd_) != 0) {
-    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
-  }
-  return Status::OK();
-}
+Status FilePager::Sync() { return SyncFd(fd_, sync_mode_); }
 
 }  // namespace vitri::storage

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/page.h"
+#include "storage/posix_io.h"
 
 namespace vitri::storage {
 
@@ -81,9 +82,12 @@ Result<PageVerifyReport> VerifyAllPages(Pager* pager);
 class FilePager final : public Pager {
  public:
   /// Opens (creating if necessary) `path`. The existing file length must
-  /// be a multiple of page_size.
+  /// be a multiple of page_size. `sync_mode` selects what Sync() does:
+  /// fsync (default), fdatasync (skips metadata recovery never reads),
+  /// or none (benchmarks; durability left to OS writeback).
   static Result<std::unique_ptr<FilePager>> Open(
-      const std::string& path, size_t page_size = kDefaultPageSize);
+      const std::string& path, size_t page_size = kDefaultPageSize,
+      FileSyncMode sync_mode = FileSyncMode::kFsync);
 
   ~FilePager() override;
 
@@ -93,11 +97,15 @@ class FilePager final : public Pager {
   Status Write(PageId id, const uint8_t* src) override;
   Status Sync() override;
 
+  FileSyncMode sync_mode() const { return sync_mode_; }
+
  private:
-  FilePager(int fd, size_t page_size, PageId num_pages);
+  FilePager(int fd, size_t page_size, PageId num_pages,
+            FileSyncMode sync_mode);
 
   int fd_;
   PageId num_pages_;
+  FileSyncMode sync_mode_;
 };
 
 }  // namespace vitri::storage

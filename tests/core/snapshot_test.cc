@@ -226,5 +226,44 @@ TEST(SnapshotTest, SnapshotIncludesDynamicInserts) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotTest, SaveIsCrashAtomicAndLeavesNoTempFile) {
+  video::VideoSynthesizer synth;
+  video::VideoDatabase db = synth.GenerateDatabase(0.002);
+  ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+
+  const std::string path = TempPath("snapshot_atomic.vsnp");
+  ASSERT_TRUE(SaveViTriSet(*set, path).ok());
+  // The .tmp intermediate was renamed away, never left behind.
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+
+  // Overwriting an existing snapshot goes through the same tmp+rename
+  // and never leaves a torn file under the final name.
+  ASSERT_TRUE(SaveViTriSet(*set, path).ok());
+  auto loaded = LoadViTriSet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vitris.size(), set->vitris.size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FailedSaveCleansUpItsTempFile) {
+  video::VideoSynthesizer synth;
+  video::VideoDatabase db = synth.GenerateDatabase(0.002);
+  ViTriBuilder builder;
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+
+  // A target inside a nonexistent directory cannot even open its tmp.
+  const std::string path =
+      TempPath("no_such_dir") + "/nested/snapshot.vsnp";
+  EXPECT_FALSE(SaveViTriSet(*set, path).ok());
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
 }  // namespace
 }  // namespace vitri::core

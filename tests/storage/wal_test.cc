@@ -1,0 +1,337 @@
+// WAL framing, group commit, replay, and power-cut semantics — the
+// satellite torn-tail suite truncates a log at every byte boundary of
+// its final record and proves recovery always lands on the previous
+// commit.
+
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+
+namespace vitri::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<uint8_t> Bytes(const char* s) {
+  const auto* p = reinterpret_cast<const uint8_t*>(s);
+  return std::vector<uint8_t>(p, p + std::strlen(s));
+}
+
+/// Frames one committed batch (one data record + its commit marker)
+/// exactly as WalWriter does.
+void AppendCommittedBatch(uint64_t seqno, const std::vector<uint8_t>& payload,
+                          std::vector<uint8_t>* out) {
+  AppendWalRecord(kWalDataRecord, payload, out);
+  uint8_t seq[8];
+  EncodeU64(seq, seqno);
+  AppendWalRecord(kWalCommitRecord, std::span<const uint8_t>(seq, 8), out);
+}
+
+/// Writes `bytes` to a fresh file and opens it as a WAL.
+std::unique_ptr<WalFile> FileWith(const std::string& path,
+                                  const std::vector<uint8_t>& bytes) {
+  std::remove(path.c_str());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  auto opened = PosixWalFile::Open(path);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(*opened);
+}
+
+struct Replayed {
+  std::vector<uint64_t> seqnos;
+  std::vector<std::vector<uint8_t>> payloads;
+};
+
+Result<WalReplayResult> Replay(WalFile* file, Replayed* out, bool repair) {
+  return ReplayWal(
+      file,
+      [out](uint64_t seqno, std::span<const uint8_t> payload) {
+        out->seqnos.push_back(seqno);
+        out->payloads.emplace_back(payload.begin(), payload.end());
+        return Status::OK();
+      },
+      repair);
+}
+
+TEST(WalTest, WriterRoundTripsThroughReplay) {
+  const std::string path = TempPath("wal_roundtrip.vlog");
+  std::remove(path.c_str());
+  {
+    auto file = PosixWalFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    WalWriter writer(std::move(*file), WalOptions{}, 0);
+    ASSERT_TRUE(writer.Append(Bytes("alpha")).ok());
+    ASSERT_TRUE(writer.Commit().ok());
+    // A multi-record batch commits atomically under one marker.
+    ASSERT_TRUE(writer.Append(Bytes("beta")).ok());
+    ASSERT_TRUE(writer.Append(Bytes("gamma")).ok());
+    ASSERT_TRUE(writer.Commit().ok());
+    EXPECT_EQ(writer.committed(), 2u);
+    EXPECT_EQ(writer.durable(), 2u);  // kEveryCommit default.
+  }
+  auto file = PosixWalFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  Replayed got;
+  auto replay = Replay(file->get(), &got, /*repair=*/false);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->commits, 2u);
+  EXPECT_EQ(replay->records_applied, 3u);
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(got.payloads.size(), 3u);
+  EXPECT_EQ(got.payloads[0], Bytes("alpha"));
+  EXPECT_EQ(got.payloads[1], Bytes("beta"));
+  EXPECT_EQ(got.payloads[2], Bytes("gamma"));
+  EXPECT_EQ(got.seqnos, (std::vector<uint64_t>{1, 2, 2}));
+}
+
+TEST(WalTest, GroupCommitSyncsOnCommitThreshold) {
+  const std::string path = TempPath("wal_group.vlog");
+  std::remove(path.c_str());
+  auto file = PosixWalFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  WalOptions options;
+  options.sync_mode = WalSyncMode::kGrouped;
+  options.group_commits = 3;
+  options.group_bytes = 1 << 30;  // Only the commit threshold matters.
+  WalWriter writer(std::move(*file), options, 0);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(writer.Append(Bytes("x")).ok());
+    ASSERT_TRUE(writer.Commit().ok());
+  }
+  EXPECT_EQ(writer.committed(), 2u);
+  EXPECT_EQ(writer.durable(), 0u);  // Acked but not yet synced.
+  ASSERT_TRUE(writer.Append(Bytes("x")).ok());
+  ASSERT_TRUE(writer.Commit().ok());  // Third commit crosses the group.
+  EXPECT_EQ(writer.durable(), 3u);
+  // An explicit drain is a no-op when nothing is pending...
+  ASSERT_TRUE(writer.Sync().ok());
+  EXPECT_EQ(writer.durable(), 3u);
+  // ...and catches a fresh straggler up.
+  ASSERT_TRUE(writer.Append(Bytes("y")).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_EQ(writer.durable(), 3u);
+  ASSERT_TRUE(writer.Sync().ok());
+  EXPECT_EQ(writer.durable(), 4u);
+  EXPECT_EQ(writer.durable_commits(), 4u);
+}
+
+TEST(WalTest, GroupCommitSyncsOnByteThreshold) {
+  const std::string path = TempPath("wal_group_bytes.vlog");
+  std::remove(path.c_str());
+  auto file = PosixWalFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  WalOptions options;
+  options.sync_mode = WalSyncMode::kGrouped;
+  options.group_commits = 1 << 20;
+  options.group_bytes = 64;  // A single sizeable batch crosses this.
+  WalWriter writer(std::move(*file), options, 0);
+  ASSERT_TRUE(writer.Append(Bytes("tiny")).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_EQ(writer.durable(), 0u);
+  ASSERT_TRUE(
+      writer.Append(std::vector<uint8_t>(128, uint8_t{0xab})).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_EQ(writer.durable(), 2u);
+}
+
+// The satellite requirement: truncate the log at EVERY byte boundary of
+// the final committed batch; replay must recover exactly the first two
+// commits every time, and repair must leave the file at their boundary.
+TEST(WalTest, TruncationAtEveryByteOfFinalRecordRecoversPriorCommit) {
+  std::vector<uint8_t> log;
+  AppendCommittedBatch(1, Bytes("first-payload"), &log);
+  AppendCommittedBatch(2, Bytes("second-payload"), &log);
+  const size_t boundary = log.size();  // End of commit 2.
+  AppendCommittedBatch(3, Bytes("final-record-gets-torn"), &log);
+  // The one interior frame boundary inside the final batch: the end of
+  // its data record, where a cut leaves an intact-but-uncommitted
+  // record (clean EOF) rather than a torn frame.
+  std::vector<uint8_t> data_frame;
+  AppendWalRecord(kWalDataRecord, Bytes("final-record-gets-torn"),
+                  &data_frame);
+  const size_t data_end = boundary + data_frame.size();
+
+  const std::string path = TempPath("wal_torn.vlog");
+  for (size_t cut = boundary; cut <= log.size(); ++cut) {
+    auto file = FileWith(
+        path, std::vector<uint8_t>(log.begin(), log.begin() + cut));
+    Replayed got;
+    auto replay = Replay(file.get(), &got, /*repair=*/true);
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut << ": "
+                             << replay.status().ToString();
+    if (cut == log.size()) {
+      // The whole final batch survived: a clean log, three commits.
+      EXPECT_EQ(replay->commits, 3u);
+      EXPECT_FALSE(replay->torn_tail);
+      EXPECT_EQ(file->size(), log.size());
+      continue;
+    }
+    EXPECT_EQ(replay->commits, 2u) << "cut at " << cut;
+    EXPECT_EQ(replay->records_applied, 2u) << "cut at " << cut;
+    EXPECT_EQ(replay->committed_end, boundary) << "cut at " << cut;
+    EXPECT_EQ(replay->bytes_discarded, cut - boundary) << "cut at " << cut;
+    // A cut on a frame boundary is a clean EOF (at data_end the data
+    // record is intact, just uncommitted); anywhere else tears a frame.
+    EXPECT_EQ(replay->torn_tail, cut != boundary && cut != data_end)
+        << "cut at " << cut;
+    // Once the data record is fully framed it sits in the pending
+    // buffer and gets discarded, whether the commit frame after it is
+    // absent (clean EOF) or torn.
+    EXPECT_EQ(replay->records_discarded, cut >= data_end ? 1u : 0u)
+        << "cut at " << cut;
+    ASSERT_EQ(got.payloads.size(), 2u);
+    EXPECT_EQ(got.payloads[1], Bytes("second-payload"));
+    // Repair truncated the tail: the file ends at the commit boundary
+    // and a writer can continue from seqno 2.
+    EXPECT_EQ(file->size(), boundary) << "cut at " << cut;
+  }
+}
+
+TEST(WalTest, IntactButUncommittedRecordsAreDiscarded) {
+  std::vector<uint8_t> log;
+  AppendCommittedBatch(1, Bytes("committed"), &log);
+  AppendWalRecord(kWalDataRecord, Bytes("never-committed"), &log);
+  AppendWalRecord(kWalDataRecord, Bytes("me-neither"), &log);
+
+  auto file = FileWith(TempPath("wal_uncommitted.vlog"), log);
+  Replayed got;
+  auto replay = Replay(file.get(), &got, /*repair=*/true);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->commits, 1u);
+  EXPECT_EQ(replay->records_applied, 1u);
+  EXPECT_EQ(replay->records_discarded, 2u);
+  EXPECT_FALSE(replay->torn_tail);  // Clean EOF, just no marker.
+  ASSERT_EQ(got.payloads.size(), 1u);
+  EXPECT_EQ(got.payloads[0], Bytes("committed"));
+}
+
+TEST(WalTest, CorruptCrcStopsReplayAtLastCommit) {
+  std::vector<uint8_t> log;
+  AppendCommittedBatch(1, Bytes("good"), &log);
+  const size_t boundary = log.size();
+  AppendCommittedBatch(2, Bytes("about-to-be-scrambled"), &log);
+  log[boundary + kWalFrameHeaderSize + 3] ^= 0xff;  // Flip a payload byte.
+
+  auto file = FileWith(TempPath("wal_crc.vlog"), log);
+  Replayed got;
+  auto replay = Replay(file.get(), &got, /*repair=*/true);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->commits, 1u);
+  EXPECT_TRUE(replay->torn_tail);
+  EXPECT_EQ(file->size(), boundary);
+}
+
+TEST(WalTest, ImplausibleLengthIsATornFrame) {
+  std::vector<uint8_t> log;
+  AppendCommittedBatch(1, Bytes("good"), &log);
+  std::vector<uint8_t> frame(kWalFrameHeaderSize + 1, 0);
+  EncodeU32(frame.data(), kWalMaxRecordLength + 1);
+  log.insert(log.end(), frame.begin(), frame.end());
+
+  auto file = FileWith(TempPath("wal_huge_len.vlog"), log);
+  Replayed got;
+  auto replay = Replay(file.get(), &got, /*repair=*/false);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->commits, 1u);
+  EXPECT_TRUE(replay->torn_tail);
+}
+
+TEST(WalTest, SequenceGapIsCorruptionNotTornTail) {
+  std::vector<uint8_t> log;
+  AppendCommittedBatch(1, Bytes("one"), &log);
+  AppendCommittedBatch(3, Bytes("three?"), &log);  // Seqno 2 missing.
+
+  auto file = FileWith(TempPath("wal_seq_gap.vlog"), log);
+  Replayed got;
+  auto replay = Replay(file.get(), &got, /*repair=*/false);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_TRUE(replay.status().IsCorruption())
+      << replay.status().ToString();
+}
+
+TEST(WalTest, WriterContinuesAfterRepairAtBaseSeqno) {
+  const std::string path = TempPath("wal_continue.vlog");
+  std::vector<uint8_t> log;
+  AppendCommittedBatch(1, Bytes("old"), &log);
+  AppendWalRecord(kWalDataRecord, Bytes("torn-off"), &log);
+  {
+    auto file = FileWith(path, log);
+    Replayed got;
+    auto replay = Replay(file.get(), &got, /*repair=*/true);
+    ASSERT_TRUE(replay.ok());
+    WalWriter writer(std::move(file), WalOptions{}, replay->commits);
+    ASSERT_TRUE(writer.Append(Bytes("new")).ok());
+    ASSERT_TRUE(writer.Commit().ok());
+    EXPECT_EQ(writer.committed(), 2u);
+    EXPECT_EQ(writer.commits(), 1u);
+  }
+  auto reopened = PosixWalFile::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  Replayed got;
+  auto replay = Replay(reopened->get(), &got, /*repair=*/false);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->commits, 2u);
+  ASSERT_EQ(got.payloads.size(), 2u);
+  EXPECT_EQ(got.payloads[1], Bytes("new"));
+}
+
+TEST(WalCrashScheduleTest, FaultInjectionTearsExactlyOnce) {
+  // Crash on the third durability op; the doomed append lands torn and
+  // every later operation reports the outage.
+  const std::string path = TempPath("wal_fault.vlog");
+  std::remove(path.c_str());
+  auto base = PosixWalFile::Open(path);
+  ASSERT_TRUE(base.ok());
+  auto schedule = std::make_shared<CrashSchedule>(/*seed=*/7, /*at_op=*/2);
+  FaultInjectingWalFile file(std::move(*base), schedule);
+
+  const std::vector<uint8_t> chunk(32, uint8_t{0x5a});
+  ASSERT_TRUE(file.Append(chunk.data(), chunk.size()).ok());
+  ASSERT_TRUE(file.Sync().ok());
+  const uint64_t synced = file.size();
+  const Status cut = file.Append(chunk.data(), chunk.size());
+  EXPECT_FALSE(cut.ok());
+  EXPECT_TRUE(schedule->dead);
+  // The torn file keeps everything synced plus at most the doomed write.
+  EXPECT_GE(file.size(), synced);
+  EXPECT_LE(file.size(), synced + chunk.size());
+  // Power stays out.
+  EXPECT_FALSE(file.Append(chunk.data(), chunk.size()).ok());
+  EXPECT_FALSE(file.Sync().ok());
+  EXPECT_FALSE(file.Truncate(0).ok());
+  // Every op ticked, including the three after the outage.
+  EXPECT_EQ(schedule->ticks, 6u);
+}
+
+TEST(WalCrashScheduleTest, DryRunCountsOps) {
+  const std::string path = TempPath("wal_dryrun.vlog");
+  std::remove(path.c_str());
+  auto base = PosixWalFile::Open(path);
+  ASSERT_TRUE(base.ok());
+  auto schedule =
+      std::make_shared<CrashSchedule>(/*seed=*/1, /*at_op=*/1u << 30);
+  FaultInjectingWalFile file(std::move(*base), schedule);
+  const std::vector<uint8_t> chunk(8, uint8_t{1});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(file.Append(chunk.data(), chunk.size()).ok());
+    ASSERT_TRUE(file.Sync().ok());
+  }
+  EXPECT_EQ(schedule->ticks, 6u);
+  EXPECT_FALSE(schedule->dead);
+}
+
+}  // namespace
+}  // namespace vitri::storage

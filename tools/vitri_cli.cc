@@ -12,6 +12,7 @@
 //   vitri check     [--summary summary.vsnp [--epsilon E] [--deep]
 //                   [--strict-frames 0|1]] [--pages tree.vpag
 //                   [--page-size 4096]]
+//   vitri recover   --dir index_dir [--epsilon E] [--checkpoint] [--json]
 //
 // `generate` writes a synthetic TV-ad database; `summarize` builds the
 // ViTri snapshot; `stats` reports snapshot statistics plus the
@@ -21,7 +22,10 @@
 // the named database video (`--trace` prints the per-stage spans);
 // `verify` checks snapshot and page-file checksums offline; `check`
 // runs the deep invariant validators (core/validate.h and the
-// structural self-checks) on a snapshot and/or a B+-tree page file.
+// structural self-checks) on a snapshot and/or a B+-tree page file;
+// `recover` opens a durable index directory (DESIGN.md §13), replays
+// its WAL, repairs any torn tail, validates invariants, and with
+// `--checkpoint` folds the log into a fresh snapshot generation.
 
 #include <algorithm>
 #include <cstdio>
@@ -428,9 +432,77 @@ int CmdCheck(const Args& args) {
   return rc;
 }
 
+int CmdRecover(const Args& args) {
+  const char* dir = args.Get("--dir", nullptr);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "recover: --dir is required\n");
+    return 2;
+  }
+  core::ViTriIndexOptions io;
+  io.epsilon = args.GetDouble("--epsilon", io.epsilon);
+  core::RecoveryStats stats;
+  auto index = core::ViTriIndex::Open(dir, io, {}, &stats);
+  if (!index.ok()) return Fail(index.status());
+  const Status valid = index->ValidateInvariants();
+  if (!valid.ok()) return Fail(valid);
+  bool checkpointed = false;
+  if (args.Has("--checkpoint")) {
+    const Status s = index->Checkpoint();
+    if (!s.ok()) return Fail(s);
+    checkpointed = true;
+  }
+  if (args.Has("--json")) {
+    json::JsonWriter w;
+    w.BeginObject();
+    w.Key("dir");
+    w.String(dir);
+    w.Key("generation");
+    w.Uint(index->generation());
+    w.Key("snapshot_vitris");
+    w.Uint(stats.snapshot_vitris);
+    w.Key("snapshot_videos");
+    w.Uint(stats.snapshot_videos);
+    w.Key("wal_commits_replayed");
+    w.Uint(stats.wal_commits_replayed);
+    w.Key("wal_records_applied");
+    w.Uint(stats.wal_records_applied);
+    w.Key("wal_records_discarded");
+    w.Uint(stats.wal_records_discarded);
+    w.Key("wal_bytes_discarded");
+    w.Uint(stats.wal_bytes_discarded);
+    w.Key("wal_torn_tail");
+    w.Bool(stats.wal_torn_tail);
+    w.Key("recovered_vitris");
+    w.Uint(stats.recovered_vitris);
+    w.Key("recovered_videos");
+    w.Uint(stats.recovered_videos);
+    w.Key("checkpointed");
+    w.Bool(checkpointed);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("recovered %s: generation %llu, snapshot %zu ViTris / %zu "
+              "videos\n",
+              dir, static_cast<unsigned long long>(stats.generation),
+              stats.snapshot_vitris, stats.snapshot_videos);
+  std::printf("WAL: %llu commits replayed (%llu records), %llu records / "
+              "%llu bytes discarded%s\n",
+              static_cast<unsigned long long>(stats.wal_commits_replayed),
+              static_cast<unsigned long long>(stats.wal_records_applied),
+              static_cast<unsigned long long>(stats.wal_records_discarded),
+              static_cast<unsigned long long>(stats.wal_bytes_discarded),
+              stats.wal_torn_tail ? " (torn tail repaired)" : "");
+  std::printf("now: %zu ViTris over %zu videos, invariants OK%s\n",
+              stats.recovered_vitris, stats.recovered_videos,
+              checkpointed ? ", checkpointed" : "");
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: vitri <generate|summarize|stats|query|verify|check> "
+               "usage: vitri "
+               "<generate|summarize|stats|query|verify|check|recover> "
                "[flags]\n"
                "  generate  --out db.vvdb [--scale S] [--dim N] [--seed X]\n"
                "  summarize --db db.vvdb --out s.vsnp [--epsilon E] "
@@ -444,6 +516,8 @@ void Usage() {
                "  check     [--summary s.vsnp [--epsilon E] [--deep] "
                "[--strict-frames 0|1]]\n"
                "            [--pages tree.vpag [--page-size N]]\n"
+               "  recover   --dir index_dir [--epsilon E] [--checkpoint] "
+               "[--json]\n"
                "global flags:\n"
                "  --no-simd  pin the scalar distance-kernel backend "
                "(reproduces pre-SIMD\n"
@@ -470,6 +544,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(args);
   if (command == "verify") return CmdVerify(args);
   if (command == "check") return CmdCheck(args);
+  if (command == "recover") return CmdRecover(args);
   Usage();
   return 2;
 }
