@@ -3,15 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/os.h"
+
 namespace vitri::bench {
 
 double EnvDouble(const char* name, double fallback) {
-  const char* value = std::getenv(name);
+  const char* value = GetEnv(name);
   return value != nullptr ? std::atof(value) : fallback;
 }
 
 int EnvInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
+  const char* value = GetEnv(name);
   return value != nullptr ? std::atoi(value) : fallback;
 }
 

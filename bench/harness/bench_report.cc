@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/json.h"
+#include "common/os.h"
 #include "common/thread_pool.h"
 #include "linalg/kernels.h"
 
@@ -106,7 +107,7 @@ std::string BenchReport::ToJson() const {
 }
 
 bool BenchReport::WriteArtifact() const {
-  const char* dir = std::getenv("VITRI_BENCH_DIR");
+  const char* dir = GetEnv("VITRI_BENCH_DIR");
   std::string path = (dir != nullptr && dir[0] != '\0')
                          ? std::string(dir) + "/"
                          : std::string();

@@ -1,0 +1,190 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/. Each seed
+// is a small, structurally interesting input: valid artifacts produced
+// by the repo's own serializers plus hand-torn and hand-corrupted
+// variants, so coverage starts past the parsers' outer rejects.
+//
+//   make_seeds <repo-root>/fuzz/corpus
+//
+// Build with -DVITRI_FUZZ=ON (target fuzz_make_seeds); corpora are
+// committed, so this only needs re-running when a format changes.
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "core/snapshot.h"
+#include "core/vitri.h"
+#include "storage/wal.h"
+
+namespace {
+
+using vitri::core::ViTri;
+using vitri::core::ViTriSet;
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+std::vector<uint8_t> ReadBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+// --- wal_replay -------------------------------------------------------
+
+std::vector<uint8_t> CommitMarker(uint64_t seqno) {
+  std::vector<uint8_t> payload(sizeof(uint64_t));
+  vitri::EncodeU64(payload.data(), seqno);
+  return payload;
+}
+
+void MakeWalSeeds(const std::string& dir) {
+  using vitri::storage::AppendWalRecord;
+  using vitri::storage::kWalCommitRecord;
+  using vitri::storage::kWalDataRecord;
+
+  // Two committed batches, clean tail.
+  std::vector<uint8_t> log;
+  const std::vector<uint8_t> rec1 = {0xde, 0xad, 0xbe, 0xef};
+  const std::vector<uint8_t> rec2 = {0x01};
+  AppendWalRecord(kWalDataRecord, rec1, &log);
+  AppendWalRecord(kWalDataRecord, rec2, &log);
+  AppendWalRecord(kWalCommitRecord, CommitMarker(1), &log);
+  AppendWalRecord(kWalDataRecord, rec2, &log);
+  AppendWalRecord(kWalCommitRecord, CommitMarker(2), &log);
+  WriteBytes(dir + "/two_commits.bin", log);
+
+  // Same log with a torn tail: an uncommitted record then half a frame.
+  std::vector<uint8_t> torn = log;
+  AppendWalRecord(kWalDataRecord, rec1, &torn);
+  std::vector<uint8_t> half;
+  AppendWalRecord(kWalDataRecord, rec1, &half);
+  torn.insert(torn.end(), half.begin(), half.begin() + half.size() / 2);
+  WriteBytes(dir + "/torn_tail.bin", torn);
+
+  // Commit frame whose CRC byte is flipped.
+  std::vector<uint8_t> corrupt = log;
+  corrupt[corrupt.size() - 1] ^= 0xff;
+  WriteBytes(dir + "/bad_crc.bin", corrupt);
+
+  // Empty log and a lone commit with no data records.
+  WriteBytes(dir + "/empty.bin", {});
+  std::vector<uint8_t> lone;
+  AppendWalRecord(kWalCommitRecord, CommitMarker(1), &lone);
+  WriteBytes(dir + "/lone_commit.bin", lone);
+}
+
+// --- snapshot_load ----------------------------------------------------
+
+void MakeSnapshotSeeds(const std::string& dir) {
+  ViTriSet set;
+  set.dimension = 3;
+  set.frame_counts = {4, 2};
+  for (int i = 0; i < 3; ++i) {
+    ViTri v;
+    v.video_id = static_cast<uint32_t>(i / 2);
+    v.cluster_size = 2;
+    v.position = vitri::linalg::Vec{0.1 * (i + 1), 0.2, 0.3};
+    v.radius = 0.05 * (i + 1);
+    set.vitris.push_back(std::move(v));
+  }
+  const std::string valid = dir + "/valid.bin";
+  if (!vitri::core::SaveViTriSet(set, valid).ok()) {
+    std::fprintf(stderr, "SaveViTriSet failed\n");
+    std::exit(1);
+  }
+  std::vector<uint8_t> bytes = ReadBytes(valid);
+
+  // Truncated in the middle of the ViTri table.
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + bytes.size() * 2 / 3);
+  WriteBytes(dir + "/truncated.bin", truncated);
+
+  // Header intact, one payload byte flipped: checksum must catch it.
+  std::vector<uint8_t> flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x40;
+  WriteBytes(dir + "/bit_flip.bin", flipped);
+
+  // The historical OOM shape: valid magic/version/dimension, then a
+  // huge element count the file cannot possibly back.
+  std::vector<uint8_t> huge(bytes.begin(), bytes.begin() + 12);
+  huge.resize(20);
+  vitri::EncodeU64(huge.data() + 12, 0x7fffffffffffffffull);
+  WriteBytes(dir + "/huge_count.bin", huge);
+}
+
+// --- query_compose ----------------------------------------------------
+
+void AppendDouble(std::vector<uint8_t>* out, double v) {
+  uint8_t buf[sizeof(double)];
+  std::memcpy(buf, &v, sizeof(double));
+  out->insert(out->end(), buf, buf + sizeof(double));
+}
+
+void MakeComposeSeeds(const std::string& dir) {
+  // Overlapping, touching, nested, and disjoint ranges.
+  std::vector<uint8_t> plain;
+  for (double v : {0.0, 2.0, 1.0, 3.0, 3.0, 4.0, 10.0, 11.0, 10.5, 10.6}) {
+    AppendDouble(&plain, v);
+  }
+  WriteBytes(dir + "/overlaps.bin", plain);
+
+  // The historical sort-UB shape: NaN endpoints mixed with real ranges.
+  std::vector<uint8_t> nan_mix;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double v : {1.0, 2.0, nan, 5.0, 3.0, nan, 0.5, 1.5}) {
+    AppendDouble(&nan_mix, v);
+  }
+  WriteBytes(dir + "/nan_endpoints.bin", nan_mix);
+
+  // Infinities, signed zeros, inverted and degenerate ranges.
+  std::vector<uint8_t> edge;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double v : {-inf, inf, 7.0, 7.0, 9.0, 8.0, -0.0, 0.0}) {
+    AppendDouble(&edge, v);
+  }
+  WriteBytes(dir + "/edge_values.bin", edge);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+  for (const char* sub : {"", "/wal_replay", "/snapshot_load",
+                          "/query_compose"}) {
+    ::mkdir((root + sub).c_str(), 0755);
+  }
+  MakeWalSeeds(root + "/wal_replay");
+  MakeSnapshotSeeds(root + "/snapshot_load");
+  MakeComposeSeeds(root + "/query_compose");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Driver that makes the fuzz harnesses runnable without libFuzzer, so
+// the checked-in corpora double as regression tests under gcc (which has
+// no -fsanitize=fuzzer). Every non-flag argument is a corpus file or a
+// directory of corpus files; each one is fed to LLVMFuzzerTestOneInput
+// exactly once. Flags (arguments starting with '-') are ignored so the
+// same ctest command line works for both this driver and a real
+// libFuzzer binary (`target -runs=0 corpus_dir`).
+
+#include <dirent.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  std::fprintf(stderr, "running %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return true;
+}
+
+bool RunPath(const std::string& path) {
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) return RunFile(path);
+  bool ok = true;
+  // Single-threaded driver; this DIR* is never shared.
+  while (struct dirent* entry = ::readdir(d)) {  // NOLINT(concurrency-mt-unsafe)
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ok = RunFile(path + "/" + name) && ok;
+  }
+  ::closedir(d);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ran = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // libFuzzer-style flag: ignore.
+    ok = RunPath(argv[i]) && ok;
+    ++ran;
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "usage: %s [corpus file or dir]...\n", argv[0]);
+    return 2;
+  }
+  std::fprintf(stderr, "done, no crashes\n");
+  return ok ? 0 : 1;
+}

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "common/check.h"
@@ -238,7 +236,12 @@ Result<BPlusTree> BPlusTree::Create(BufferPool* pool, uint32_t value_size) {
   tree.value_size_ = value_size;
   tree.leaf_capacity_ = static_cast<uint32_t>(leaf_cap);
   tree.internal_capacity_ = static_cast<uint32_t>(internal_cap);
-  VITRI_RETURN_IF_ERROR(tree.InitEmpty());
+  {
+    // The tree is still private to this thread; taking its latch here
+    // is uncontended and lets InitEmpty keep its REQUIRES contract.
+    WriterLock lock(*tree.latch_);
+    VITRI_RETURN_IF_ERROR(tree.InitEmpty());
+  }
   return tree;
 }
 
@@ -247,7 +250,10 @@ Result<BPlusTree> BPlusTree::Open(BufferPool* pool) {
     return Status::InvalidArgument("Open requires an initialized pager");
   }
   BPlusTree tree(pool);
-  VITRI_RETURN_IF_ERROR(tree.LoadMeta());
+  {
+    WriterLock lock(*tree.latch_);
+    VITRI_RETURN_IF_ERROR(tree.LoadMeta());
+  }
   return tree;
 }
 
@@ -342,7 +348,7 @@ Status BPlusTree::FreeNode(PageId id) {
 
 Status BPlusTree::Insert(double key, uint64_t rid,
                          std::span<const uint8_t> value) {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   if (value.size() != value_size_) {
     return Status::InvalidArgument("value size mismatch");
   }
@@ -514,7 +520,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(
 
 Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
                                std::vector<uint8_t>* value) const {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   VITRI_METRIC_COUNTER("btree.lookups")->Increment();
   PageId node_id = root_;
   for (uint32_t level = 0; level + 1 < height_; ++level) {
@@ -537,7 +543,7 @@ Result<bool> BPlusTree::Lookup(double key, uint64_t rid,
 
 Result<uint64_t> BPlusTree::RangeScan(double lo, double hi,
                                       const ScanCallback& callback) const {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   VITRI_METRIC_COUNTER("btree.range_scans")->Increment();
   if (lo > hi) return static_cast<uint64_t>(0);
   // Descend toward the leftmost composite >= (lo, 0).
@@ -574,7 +580,7 @@ Result<uint64_t> BPlusTree::RangeScan(double lo, double hi,
 // ---- delete -------------------------------------------------------------
 
 Result<bool> BPlusTree::Delete(double key, uint64_t rid) {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   VITRI_ASSIGN_OR_RETURN(DeleteResult result, DeleteRec(root_, key, rid));
   if (!result.found) return false;
   --num_entries_;
@@ -750,7 +756,7 @@ Status BPlusTree::RebalanceChild(PageRef& parent_ref, uint32_t child_pos,
 
 Status BPlusTree::BulkLoad(const std::vector<Entry>& entries,
                            double fill_factor) {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   if (num_entries_ != 0) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
@@ -861,7 +867,7 @@ Status BPlusTree::BulkLoad(const std::vector<Entry>& entries,
 // ---- validation ---------------------------------------------------------
 
 Status BPlusTree::ValidateInvariants(const TreeCheckOptions& options) const {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   return ValidateInvariantsLocked(options);
 }
 

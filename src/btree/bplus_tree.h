@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
@@ -57,10 +57,11 @@ struct TreeCheckOptions {
 /// a deliberately coarse scheme: per-node latch crabbing buys nothing
 /// while every page access funnels through the BufferPool's single
 /// latch, so it is deferred until that latch is sharded (ROADMAP item
-/// 4). Two caveats: a RangeScan callback runs under the shared latch
-/// and must not call back into a mutating operation (self-deadlock),
-/// and the header accessors (num_entries() etc.) are unlatched — don't
-/// read them while a writer is active. See DESIGN.md §13.
+/// 4). One caveat: a RangeScan callback runs under the shared latch
+/// and must not call back into the tree at all — a mutating operation
+/// self-deadlocks, and even num_entries()/height() would re-enter the
+/// shared latch, which std::shared_mutex does not permit recursively.
+/// See DESIGN.md §13 and the lock catalog in §14.
 ///
 /// Page 0 of the pager is the tree's meta page; interior pages hold
 /// (separator, child) arrays, leaves hold (key, rid, value) records and
@@ -109,11 +110,20 @@ class BPlusTree {
   Status BulkLoad(const std::vector<Entry>& entries,
                   double fill_factor = 0.9);
 
-  /// Number of records in the tree.
-  uint64_t num_entries() const { return num_entries_; }
+  /// Number of records in the tree. Takes the latch shared, so it is
+  /// safe to read concurrently with a writer (PR 6 left these unlatched
+  /// with a "don't read while writing" caveat; the annotation pass
+  /// closed that hole).
+  uint64_t num_entries() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
+    return num_entries_;
+  }
   /// Levels, counting the root: an empty tree (single leaf root) has
-  /// height 1.
-  uint32_t height() const { return height_; }
+  /// height 1. Latched shared, like num_entries().
+  uint32_t height() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
+    return height_;
+  }
   /// Records per full leaf.
   uint32_t leaf_capacity() const { return leaf_capacity_; }
   /// Separators per full interior node.
@@ -150,40 +160,53 @@ class BPlusTree {
   struct SplitResult;
   struct DeleteResult;
 
-  Status InitEmpty();
-  Status LoadMeta();
-  Status StoreMeta();
-  Result<storage::PageRef> AllocNode();
-  Status FreeNode(storage::PageId id);
+  // Every internal helper below runs inside a writer's (or, for the
+  // const walkers, at least a reader's) critical section; REQUIRES makes
+  // that a compile-time contract instead of a comment.
+  Status InitEmpty() VITRI_REQUIRES(*latch_);
+  Status LoadMeta() VITRI_REQUIRES(*latch_);
+  Status StoreMeta() VITRI_REQUIRES(*latch_);
+  Result<storage::PageRef> AllocNode() VITRI_REQUIRES(*latch_);
+  Status FreeNode(storage::PageId id) VITRI_REQUIRES(*latch_);
   Result<SplitResult> InsertRec(storage::PageId node_id, double key,
                                 uint64_t rid,
-                                std::span<const uint8_t> value);
+                                std::span<const uint8_t> value)
+      VITRI_REQUIRES(*latch_);
   Result<DeleteResult> DeleteRec(storage::PageId node_id, double key,
-                                 uint64_t rid);
+                                 uint64_t rid) VITRI_REQUIRES(*latch_);
   Status RebalanceChild(storage::PageRef& parent, uint32_t child_pos,
-                        bool* parent_underflow);
+                        bool* parent_underflow) VITRI_REQUIRES(*latch_);
   // ValidateInvariants minus the latch, for self-checks already inside
   // a writer's critical section.
-  Status ValidateInvariantsLocked(const TreeCheckOptions& options) const;
-  Status ValidateInvariantsImpl(const TreeCheckOptions& options) const;
+  Status ValidateInvariantsLocked(const TreeCheckOptions& options) const
+      VITRI_REQUIRES(*latch_);
+  Status ValidateInvariantsImpl(const TreeCheckOptions& options) const
+      VITRI_REQUIRES(*latch_);
   Status ValidateNode(const TreeCheckOptions& options,
                       storage::PageId node_id, uint32_t depth, bool has_lo,
                       double lo_key, uint64_t lo_rid, bool has_hi,
                       double hi_key, uint64_t hi_rid, uint64_t* entry_count,
                       uint64_t* node_count,
-                      std::vector<storage::PageId>* leaves_in_order) const;
+                      std::vector<storage::PageId>* leaves_in_order) const
+      VITRI_REQUIRES(*latch_);
 
   storage::BufferPool* pool_ = nullptr;
   /// Reader-writer latch (see the class comment). Heap-allocated so the
-  /// tree stays movable; never null after construction.
-  mutable std::unique_ptr<std::shared_mutex> latch_ =
-      std::make_unique<std::shared_mutex>();
+  /// tree stays movable; never null after construction. Acquired after
+  /// the ViTriIndex latch and before any BufferPool latch (DESIGN.md
+  /// §14 acquisition order).
+  mutable std::unique_ptr<SharedMutex> latch_ = std::make_unique<SharedMutex>();
+  /// value_size_/leaf_capacity_/internal_capacity_ are fixed by
+  /// Create/Open before the tree is visible to other threads and never
+  /// change, so they are deliberately unguarded.
   uint32_t value_size_ = 0;
-  storage::PageId root_ = storage::kInvalidPageId;
-  storage::PageId first_leaf_ = storage::kInvalidPageId;
-  storage::PageId free_head_ = storage::kInvalidPageId;
-  uint32_t height_ = 0;
-  uint64_t num_entries_ = 0;
+  storage::PageId root_ VITRI_GUARDED_BY(*latch_) = storage::kInvalidPageId;
+  storage::PageId first_leaf_ VITRI_GUARDED_BY(*latch_) =
+      storage::kInvalidPageId;
+  storage::PageId free_head_ VITRI_GUARDED_BY(*latch_) =
+      storage::kInvalidPageId;
+  uint32_t height_ VITRI_GUARDED_BY(*latch_) = 0;
+  uint64_t num_entries_ VITRI_GUARDED_BY(*latch_) = 0;
   uint32_t leaf_capacity_ = 0;
   uint32_t internal_capacity_ = 0;
 };

@@ -112,7 +112,7 @@ Registry& Registry::Instance() {
 }
 
 Counter* Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(name);
   if (it == map_.end()) {
     Slot slot;
@@ -126,7 +126,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(name);
   if (it == map_.end()) {
     Slot slot;
@@ -140,7 +140,7 @@ Gauge* Registry::GetGauge(std::string_view name) {
 }
 
 Histogram* Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(name);
   if (it == map_.end()) {
     Slot slot;
@@ -154,7 +154,7 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 }
 
 std::vector<Registry::Entry> Registry::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Entry> out;
   out.reserve(map_.size());
   for (const auto& [name, slot] : map_) {

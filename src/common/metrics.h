@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotated_lock.h"
 
 namespace vitri::metrics {
 
@@ -120,9 +121,9 @@ class Registry {
 
   /// Finds or creates. A name can hold only one metric kind; requesting
   /// it as another kind aborts (programming error).
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) VITRI_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) VITRI_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) VITRI_EXCLUDES(mu_);
 
   struct Entry {
     std::string name;
@@ -132,7 +133,7 @@ class Registry {
     Histogram* histogram = nullptr;
   };
   /// All registered metrics, sorted by name.
-  std::vector<Entry> Entries() const;
+  std::vector<Entry> Entries() const VITRI_EXCLUDES(mu_);
 
   /// Human-readable dump, one metric per line, sorted by name.
   std::string ToText() const;
@@ -157,8 +158,10 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;  // Guards map_ (not the metric values).
-  std::map<std::string, Slot, std::less<>> map_;
+  /// Guards map_ only — never the metric values, which are atomics
+  /// recorded lock-free.
+  mutable Mutex mu_;
+  std::map<std::string, Slot, std::less<>> map_ VITRI_GUARDED_BY(mu_);
 };
 
 /// Cached-lookup helpers for instrumentation sites:

@@ -1,0 +1,28 @@
+#include "common/os.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vitri {
+
+std::string ErrnoString(int errno_value) {
+  char buf[256] = {};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r returns a pointer that may or may not be buf.
+  return std::string(strerror_r(errno_value, buf, sizeof(buf)));
+#else
+  // XSI strerror_r fills buf and returns 0 on success.
+  if (strerror_r(errno_value, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", errno_value);
+  }
+  return std::string(buf);
+#endif
+}
+
+const char* GetEnv(const char* name) {
+  // Safe per the contract in the header: no setenv/putenv after startup.
+  return std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+}
+
+}  // namespace vitri

@@ -1,0 +1,22 @@
+#ifndef VITRI_COMMON_OS_H_
+#define VITRI_COMMON_OS_H_
+
+#include <string>
+
+namespace vitri {
+
+/// Formats `errno_value` like strerror(3) but through strerror_r, so
+/// error paths stay thread-safe (strerror shares one static buffer and
+/// is flagged by clang-tidy's concurrency-mt-unsafe check).
+std::string ErrnoString(int errno_value);
+
+/// getenv(3) behind a single audited funnel. getenv itself is only
+/// hazardous concurrently with setenv/putenv, which this codebase never
+/// calls after startup; routing every lookup through here keeps that
+/// justification in one place instead of a NOLINT per call site.
+/// Returns nullptr when the variable is unset, like getenv.
+const char* GetEnv(const char* name);
+
+}  // namespace vitri
+
+#endif  // VITRI_COMMON_OS_H_

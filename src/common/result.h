@@ -33,21 +33,25 @@ class [[nodiscard]] Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // The NOLINTs below: bugprone-unchecked-optional-access cannot see
+  // the class invariant that value_ is engaged iff status_ is OK (the
+  // constructors enforce it), so every guarded deref would be flagged.
   const T& value() const& {
     assert(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T& value() & {
     assert(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T&& value() && {
     assert(ok());
-    return std::move(*value_);
+    return std::move(*value_);  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   /// Returns the value, or `fallback` if this Result holds an error.
   T value_or(T fallback) const& {
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
     return ok() ? *value_ : std::move(fallback);
   }
 

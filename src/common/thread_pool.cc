@@ -16,21 +16,21 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   VITRI_CHECK(task != nullptr) << "Submit of an empty task";
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     VITRI_CHECK(!stop_) << "Submit on a shutting-down ThreadPool";
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -41,13 +41,16 @@ void ThreadPool::ParallelFor(size_t n,
   // tasks capture stay valid for exactly as long as they are used.
   struct ForState {
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining = 0;
+    Mutex mu;
+    CondVar done;
+    size_t remaining VITRI_GUARDED_BY(mu) = 0;
   };
   ForState state;
   const size_t tasks = std::min(workers_.size(), n);
-  state.remaining = tasks;
+  {
+    MutexLock lock(state.mu);
+    state.remaining = tasks;
+  }
   for (size_t t = 0; t < tasks; ++t) {
     Submit([&state, &body, n] {
       for (size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
@@ -55,12 +58,15 @@ void ThreadPool::ParallelFor(size_t n,
            i = state.next.fetch_add(1, std::memory_order_relaxed)) {
         body(i);
       }
-      std::lock_guard<std::mutex> lock(state.mu);
-      if (--state.remaining == 0) state.done.notify_one();
+      MutexLock lock(state.mu);
+      if (--state.remaining == 0) state.done.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  MutexLock lock(state.mu);
+  // Explicit wait loop (not the predicate overload): the thread-safety
+  // analysis checks lambda bodies without the caller's lock set, so a
+  // predicate reading `remaining` would flag a false positive.
+  while (state.remaining != 0) state.done.Wait(lock);
 }
 
 size_t ThreadPool::HardwareThreads() {
@@ -72,8 +78,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain.
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -1,13 +1,13 @@
 #ifndef VITRI_COMMON_THREAD_POOL_H_
 #define VITRI_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_lock.h"
 
 namespace vitri {
 
@@ -20,7 +20,8 @@ namespace vitri {
 /// thread, including concurrently. Tasks must not throw (the library is
 /// Status-based; an escaping exception terminates the process) and must
 /// not Submit() work they then wait on from inside the pool — that can
-/// deadlock a fully busy pool.
+/// deadlock a fully busy pool. `mu_` guards the task queue and the stop
+/// flag; workers hold no other lock while draining.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (0 is clamped to 1).
@@ -35,26 +36,27 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues one task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) VITRI_EXCLUDES(mu_);
 
   /// Runs body(i) for every i in [0, n), spread across the workers, and
   /// blocks until all n calls returned. The calling thread only waits;
   /// indices are claimed dynamically, so per-index cost imbalance is
   /// tolerated. Safe to call repeatedly; each call is independent.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body)
+      VITRI_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to report 0).
   static size_t HardwareThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() VITRI_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ VITRI_GUARDED_BY(mu_);
+  bool stop_ VITRI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vitri

@@ -4,8 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <mutex>
-#include <shared_mutex>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -52,21 +51,26 @@ Result<ViTriIndex> ViTriIndex::Build(const ViTriSet& set,
   }
   ViTriIndex index;
   index.options_ = options;
-  index.vitris_ = set.vitris;
-  index.frame_counts_ = set.frame_counts;
-  index.positions_.reserve(set.vitris.size());
-  for (const ViTri& v : set.vitris) {
-    if (v.dimension() != options.dimension) {
-      return Status::InvalidArgument("ViTri dimension mismatch");
+  {
+    // The index is still private to this thread; holding its latch here
+    // is uncontended and satisfies the guarded-member contracts.
+    WriterLock lock(*index.latch_);
+    index.vitris_ = set.vitris;
+    index.frame_counts_ = set.frame_counts;
+    index.positions_.reserve(set.vitris.size());
+    for (const ViTri& v : set.vitris) {
+      if (v.dimension() != options.dimension) {
+        return Status::InvalidArgument("ViTri dimension mismatch");
+      }
+      index.positions_.push_back(v.position);
     }
-    index.positions_.push_back(v.position);
+    VITRI_ASSIGN_OR_RETURN(
+        OneDimensionalTransform t,
+        OneDimensionalTransform::Fit(index.positions_, options.reference,
+                                     options.margin_factor));
+    index.transform_ = std::make_unique<OneDimensionalTransform>(std::move(t));
+    VITRI_RETURN_IF_ERROR(index.LoadTree());
   }
-  VITRI_ASSIGN_OR_RETURN(
-      OneDimensionalTransform t,
-      OneDimensionalTransform::Fit(index.positions_, options.reference,
-                                   options.margin_factor));
-  index.transform_ = std::move(t);
-  VITRI_RETURN_IF_ERROR(index.LoadTree());
   return index;
 }
 
@@ -100,7 +104,7 @@ Status ViTriIndex::LoadTree() {
       BPlusTree::Create(pool_.get(),
                         static_cast<uint32_t>(
                             ViTri::SerializedSize(options_.dimension))));
-  tree_ = std::move(tree);
+  tree_ = std::make_unique<BPlusTree>(std::move(tree));
 
   std::vector<btree::Entry> entries;
   entries.reserve(vitris_.size());
@@ -122,7 +126,7 @@ Status ViTriIndex::LoadTree() {
 
 Status ViTriIndex::Insert(uint32_t video_id, uint32_t num_frames,
                           const std::vector<ViTri>& vitris) {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   for (const ViTri& v : vitris) {
     if (v.dimension() != options_.dimension) {
       return Status::InvalidArgument("ViTri dimension mismatch");
@@ -456,7 +460,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::KnnCompute(
 Result<std::vector<VideoMatch>> ViTriIndex::Knn(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
     KnnMethod method, QueryCosts* costs, QueryTrace* trace) {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   Stopwatch watch;
   if (trace != nullptr) trace->Begin();
   const IoSnapshot before = pool_->stats().Snapshot();
@@ -484,7 +488,7 @@ Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
   // must NOT take the latch themselves — a writer arriving mid-batch
   // could otherwise wedge between the orchestrator's hold and a
   // worker's acquisition on writer-priority shared_mutex builds.
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   Stopwatch watch;
   const IoSnapshot before = pool_->stats().Snapshot();
   const size_t n = queries.size();
@@ -503,6 +507,11 @@ Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
   // scheduling. The worker latency histogram is lock-free (atomic
   // buckets), so recording from every worker is tsan-clean.
   auto run_one = [&](size_t i) {
+    // The orchestrator's single ReaderLock above covers every worker for
+    // the batch's whole lifetime (ParallelFor joins before it unlocks);
+    // assert that hold to the analysis instead of re-acquiring, which
+    // the fan-out contract above forbids.
+    latch_->AssertHeldShared();
     Stopwatch worker_watch;
     QueryTrace* trace = traces == nullptr ? nullptr : &(*traces)[i];
     if (trace != nullptr) trace->Begin();
@@ -546,7 +555,7 @@ Result<std::vector<std::vector<VideoMatch>>> ViTriIndex::BatchKnn(
 Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
     const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
     QueryCosts* costs) {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   if (query.empty()) {
     return Status::InvalidArgument("query summary is empty");
   }
@@ -601,7 +610,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::SequentialScan(
 
 Result<std::vector<VideoMatch>> ViTriIndex::FrameSearch(
     linalg::VecView frame, double epsilon, size_t k, QueryCosts* costs) {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   if (frame.size() != static_cast<size_t>(options_.dimension)) {
     return Status::InvalidArgument("frame dimension mismatch");
   }
@@ -686,7 +695,7 @@ Status IndexInvariantViolation(const std::string& what) {
 }  // namespace
 
 Status ViTriIndex::ValidateInvariants() {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   return ValidateInvariantsLocked();
 }
 
@@ -698,7 +707,7 @@ Status ViTriIndex::ValidateInvariantsLocked() {
 }
 
 Status ViTriIndex::ValidateInvariantsImpl() {
-  if (!transform_.has_value() || !tree_.has_value() || pool_ == nullptr ||
+  if (transform_ == nullptr || tree_ == nullptr || pool_ == nullptr ||
       pager_ == nullptr) {
     return IndexInvariantViolation("index is not fully constructed");
   }
@@ -777,29 +786,33 @@ Status ViTriIndex::ValidateInvariantsImpl() {
 }
 
 Result<double> ViTriIndex::DriftAngle() const {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   return transform_->DriftAngle(positions_);
 }
 
 Result<bool> ViTriIndex::NeedsRebuild() const {
+  // One shared hold covers both checks. (The annotation audit caught
+  // the old code reading pool_->corrupt_pages() before taking the
+  // latch, racing Rebuild()'s pool replacement — a use-after-free
+  // window, not just staleness.)
+  ReaderLock lock(*latch_);
   // Quarantined pages mean part of the tree is unreachable: queries
   // still answer (degraded), but only a rebuild restores indexed
   // serving. (DriftAngle is inlined rather than called: shared_mutex
   // acquisitions don't nest safely on one thread.)
   if (!pool_->corrupt_pages().empty()) return true;
-  std::shared_lock<std::shared_mutex> lock(*latch_);
   VITRI_ASSIGN_OR_RETURN(double angle, transform_->DriftAngle(positions_));
   return angle > options_.rebuild_angle_threshold;
 }
 
 Status ViTriIndex::Rebuild() {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   VITRI_METRIC_COUNTER("index.rebuilds")->Increment();
   VITRI_ASSIGN_OR_RETURN(
       OneDimensionalTransform t,
       OneDimensionalTransform::Fit(positions_, options_.reference,
                                    options_.margin_factor));
-  transform_ = std::move(t);
+  transform_ = std::make_unique<OneDimensionalTransform>(std::move(t));
   return LoadTree();
 }
 

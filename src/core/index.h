@@ -4,14 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "common/annotated_lock.h"
 #include "common/result.h"
 #include "core/query_trace.h"
 #include "core/transform.h"
@@ -189,27 +188,34 @@ class ViTriIndex {
   /// generation-1 checkpoint of the current contents and opens a WAL for
   /// subsequent inserts. Fails if the index is already durable.
   Status EnableDurability(const std::string& dir,
-                          DurabilityOptions durability = {});
+                          DurabilityOptions durability = {})
+      VITRI_EXCLUDES(*latch_);
 
   /// Folds the WAL into a new checkpoint generation: snapshots the
   /// current contents (crash-atomically), starts an empty WAL, flips
   /// CURRENT, and removes the previous generation's files. On return
   /// every insert so far is durable in the snapshot regardless of WAL
   /// sync policy.
-  Status Checkpoint();
+  Status Checkpoint() VITRI_EXCLUDES(*latch_);
 
   /// Drains group commit: forces every acked insert durable now.
-  Status SyncWal();
+  Status SyncWal() VITRI_EXCLUDES(*latch_);
 
   /// True once EnableDurability/Open attached a WAL.
-  bool durable() const { return wal_ != nullptr; }
+  bool durable() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
+    return wal_ != nullptr;
+  }
   /// Current checkpoint generation (0 when not durable).
-  uint64_t generation() const { return generation_; }
+  uint64_t generation() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
+    return generation_;
+  }
   /// WAL commit counters for the current generation (0 when not
   /// durable): acked inserts, and the prefix of them a crash is
   /// guaranteed not to lose.
-  uint64_t wal_commits() const;
-  uint64_t wal_durable_commits() const;
+  uint64_t wal_commits() const VITRI_EXCLUDES(*latch_);
+  uint64_t wal_durable_commits() const VITRI_EXCLUDES(*latch_);
 
   /// Inserts one new video's summary (standard B+-tree insertions with
   /// the original reference point, as in Section 6.3.3). On a durable
@@ -218,7 +224,7 @@ class ViTriIndex {
   /// under WalSyncMode::kEveryCommit, after the next sync under group
   /// commit). Safe to call while queries run (exclusive latch).
   Status Insert(uint32_t video_id, uint32_t num_frames,
-                const std::vector<ViTri>& vitris);
+                const std::vector<ViTri>& vitris) VITRI_EXCLUDES(*latch_);
 
   /// Top-k most similar videos to a query summary. `query_frames` is the
   /// query video's frame count (for similarity normalization). Costs are
@@ -231,7 +237,8 @@ class ViTriIndex {
                                       uint32_t query_frames, size_t k,
                                       KnnMethod method,
                                       QueryCosts* costs = nullptr,
-                                      QueryTrace* trace = nullptr);
+                                      QueryTrace* trace = nullptr)
+      VITRI_EXCLUDES(*latch_);
 
   /// Fans the batch's queries across `num_threads` worker threads, each
   /// running the same per-query KNN (with per-query query composition)
@@ -248,13 +255,13 @@ class ViTriIndex {
   Result<std::vector<std::vector<VideoMatch>>> BatchKnn(
       const std::vector<BatchQuery>& queries, size_t k, KnnMethod method,
       size_t num_threads, QueryCosts* costs = nullptr,
-      std::vector<QueryTrace>* traces = nullptr);
+      std::vector<QueryTrace>* traces = nullptr) VITRI_EXCLUDES(*latch_);
 
   /// Baseline: evaluates the query against every stored ViTri by
   /// scanning the whole leaf level.
   Result<std::vector<VideoMatch>> SequentialScan(
       const std::vector<ViTri>& query, uint32_t query_frames, size_t k,
-      QueryCosts* costs = nullptr);
+      QueryCosts* costs = nullptr) VITRI_EXCLUDES(*latch_);
 
   /// Frame point query: the top-k videos ranked by the estimated number
   /// of their frames within `epsilon` of the single frame `frame`
@@ -262,51 +269,67 @@ class ViTriIndex {
   /// One composed range search of radius epsilon + options.epsilon/2.
   Result<std::vector<VideoMatch>> FrameSearch(linalg::VecView frame,
                                               double epsilon, size_t k,
-                                              QueryCosts* costs = nullptr);
+                                              QueryCosts* costs = nullptr)
+      VITRI_EXCLUDES(*latch_);
 
   /// Angle between the build-time first principal component and the
   /// current data's (0 for non-optimal reference kinds).
-  Result<double> DriftAngle() const;
+  Result<double> DriftAngle() const VITRI_EXCLUDES(*latch_);
 
   /// True when DriftAngle() exceeds the configured threshold, or when
   /// corrupted pages are quarantined (Rebuild() heals both).
-  Result<bool> NeedsRebuild() const;
+  Result<bool> NeedsRebuild() const VITRI_EXCLUDES(*latch_);
 
   /// Re-fits the transform on the current contents and rebuilds the
   /// tree by bulk load (the Section 6.3.3 "one-off construction").
-  Status Rebuild();
+  Status Rebuild() VITRI_EXCLUDES(*latch_);
 
   const ViTriIndexOptions& options() const { return options_; }
-  const OneDimensionalTransform& transform() const { return *transform_; }
+  /// A copy of the active transform, taken under the shared latch so a
+  /// concurrent Rebuild() cannot swap it mid-read.
+  OneDimensionalTransform transform() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
+    return *transform_;
+  }
   /// Content counters; latched shared so they are safe to poll while a
   /// writer is active.
-  size_t num_vitris() const {
-    std::shared_lock<std::shared_mutex> lock(*latch_);
+  size_t num_vitris() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
     return vitris_.size();
   }
-  size_t num_videos() const {
-    std::shared_lock<std::shared_mutex> lock(*latch_);
+  size_t num_videos() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
     return frame_counts_.size();
   }
-  uint32_t tree_height() const {
-    std::shared_lock<std::shared_mutex> lock(*latch_);
+  uint32_t tree_height() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
     return tree_->height();
   }
-  const storage::IoStats& io_stats() const { return pool_->stats(); }
+  /// Point-in-time copy of the pool's I/O counters. Latched shared: the
+  /// annotation audit found the old by-reference accessor dereferenced
+  /// pool_ unlatched, racing Rebuild()'s pool replacement (a
+  /// use-after-free window, not just a stale read).
+  storage::IoStats io_stats() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
+    return pool_->stats();
+  }
 
   /// Tree pages whose checksum verification failed. While non-empty,
   /// queries touching them are served degraded and NeedsRebuild() is
   /// true; Rebuild() reloads the tree from the in-memory copy and
   /// clears the quarantine. Returns a copy (snapshot) — safe to call
-  /// while queries run.
-  std::set<storage::PageId> quarantined_pages() const {
+  /// while queries run. Latched shared for the same pool_-replacement
+  /// race io_stats() had.
+  std::set<storage::PageId> quarantined_pages() const
+      VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
     return pool_->corrupt_pages();
   }
 
   /// Drops all cached pages (cold-cache experiments). Exclusive: the
   /// flush inside must not race a writer mutating pinned pages.
-  Status DropCaches() {
-    std::unique_lock<std::shared_mutex> lock(*latch_);
+  Status DropCaches() VITRI_EXCLUDES(*latch_) {
+    WriterLock lock(*latch_);
     return pool_->EvictAll();
   }
 
@@ -319,19 +342,19 @@ class ViTriIndex {
   /// pool's IoStats are restored afterwards, so validation never skews
   /// reported query costs. Runs after every mutating operation in debug
   /// builds (VITRI_DCHECK) and via `vitri check`.
-  Status ValidateInvariants();
+  Status ValidateInvariants() VITRI_EXCLUDES(*latch_);
 
   /// A copy of the current contents as a ViTriSet (the input of
   /// snapshot persistence; see core/snapshot.h).
-  ViTriSet Snapshot() const {
-    std::shared_lock<std::shared_mutex> lock(*latch_);
+  ViTriSet Snapshot() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
     return SnapshotLocked();
   }
 
  private:
   ViTriIndex() = default;
 
-  ViTriSet SnapshotLocked() const {
+  ViTriSet SnapshotLocked() const VITRI_REQUIRES_SHARED(*latch_) {
     ViTriSet set;
     set.dimension = options_.dimension;
     set.vitris = vitris_;
@@ -341,27 +364,31 @@ class ViTriIndex {
 
   /// (Re)creates pager/pool/tree and bulk-loads all current ViTris using
   /// the current transform.
-  Status LoadTree();
+  Status LoadTree() VITRI_REQUIRES(*latch_);
 
-  /// Applies one insert to the tree and in-memory mirrors. Assumes the
-  /// exclusive latch is held (or the index is still private to one
-  /// thread, as during Build/Open) and dimensions are already checked.
-  /// Does NOT touch the WAL — it is both the tail of a logged Insert()
-  /// and the replay apply path.
+  /// Applies one insert to the tree and in-memory mirrors. The REQUIRES
+  /// covers both real callers: a logged Insert() under the exclusive
+  /// latch, and Open()'s replay loop, which takes the (uncontended)
+  /// latch per record while the index is still private to one thread.
+  /// Does NOT touch the WAL.
   Status ApplyInsert(uint32_t video_id, uint32_t num_frames,
-                     const std::vector<ViTri>& vitris);
+                     const std::vector<ViTri>& vitris)
+      VITRI_REQUIRES(*latch_);
 
   // --- durable-ingest internals (recovery.cc) ---
   /// Fails with IoError when the configured crash hook fires at `point`.
-  Status MaybeCrash(std::string_view point);
+  /// Reads dur_ only, so a shared hold suffices (writers hold exclusive,
+  /// which subsumes it).
+  Status MaybeCrash(std::string_view point) VITRI_REQUIRES_SHARED(*latch_);
   /// Writes the next checkpoint generation (snapshot + empty WAL +
   /// CURRENT flip + GC) and swaps the writer. Exclusive latch held.
-  Status RotateGenerationLocked();
+  Status RotateGenerationLocked() VITRI_REQUIRES(*latch_);
   /// Logs one encoded insert to the WAL and commits it.
-  Status WalLogInsert(const std::vector<uint8_t>& payload);
+  Status WalLogInsert(const std::vector<uint8_t>& payload)
+      VITRI_REQUIRES(*latch_);
 
-  Status ValidateInvariantsLocked();
-  Status ValidateInvariantsImpl();
+  Status ValidateInvariantsLocked() VITRI_REQUIRES(*latch_);
+  Status ValidateInvariantsImpl() VITRI_REQUIRES(*latch_);
 
   /// Accumulates per-video estimated shared frames for a scanned record.
   struct RangeSpec {
@@ -369,11 +396,12 @@ class ViTriIndex {
     double hi = 0.0;
     size_t query_index = 0;  // Meaningful for naive ranges only.
   };
-  std::vector<RangeSpec> MakeRanges(const std::vector<ViTri>& query) const;
+  std::vector<RangeSpec> MakeRanges(const std::vector<ViTri>& query) const
+      VITRI_REQUIRES_SHARED(*latch_);
 
   Result<std::vector<VideoMatch>> RankResults(
       const std::vector<double>& shared_by_video, uint32_t query_frames,
-      size_t k) const;
+      size_t k) const VITRI_REQUIRES_SHARED(*latch_);
 
   /// Tree-backed evaluation of a KNN query into `shared`. Read-only;
   /// safe to run concurrently from BatchKnn workers. With a trace, the
@@ -382,7 +410,7 @@ class ViTriIndex {
   Status KnnScanTree(const std::vector<ViTri>& query,
                      const std::vector<RangeSpec>& ranges, KnnMethod method,
                      std::vector<double>* shared, QueryCosts* costs,
-                     QueryTrace* trace) const;
+                     QueryTrace* trace) const VITRI_REQUIRES_SHARED(*latch_);
 
   /// The whole per-query KNN pipeline minus the IoStats delta / wall
   /// clock wrapper: ranges, tree scan (with the degraded in-memory
@@ -392,35 +420,43 @@ class ViTriIndex {
                                              uint32_t query_frames, size_t k,
                                              KnnMethod method,
                                              QueryCosts* local,
-                                             QueryTrace* trace) const;
+                                             QueryTrace* trace) const
+      VITRI_REQUIRES_SHARED(*latch_);
 
   /// Degraded path: evaluates every in-memory ViTri against every query
   /// ViTri (exactly what a full sequential scan computes, minus the
   /// broken pages).
   void EvaluateInMemory(const std::vector<ViTri>& query,
                         std::vector<double>* shared,
-                        QueryCosts* costs) const;
+                        QueryCosts* costs) const
+      VITRI_REQUIRES_SHARED(*latch_);
 
   ViTriIndexOptions options_;
   /// Index-level reader-writer latch (see the class comment).
-  /// Heap-allocated so the index stays movable; never null.
-  mutable std::unique_ptr<std::shared_mutex> latch_ =
-      std::make_unique<std::shared_mutex>();
-  std::optional<OneDimensionalTransform> transform_;
-  std::unique_ptr<storage::Pager> pager_;
-  std::unique_ptr<storage::BufferPool> pool_;
-  std::optional<btree::BPlusTree> tree_;
+  /// Heap-allocated so the index stays movable; never null. First in
+  /// the system-wide acquisition order: ViTriIndex → BPlusTree →
+  /// BufferPool → Wal (DESIGN.md §14).
+  mutable std::unique_ptr<SharedMutex> latch_ = std::make_unique<SharedMutex>();
+  /// Heap-allocated (not std::optional) for two reasons: delayed
+  /// construction without unchecked-optional-access hazards, and a
+  /// stable address while Rebuild() swaps the object under the
+  /// exclusive latch.
+  std::unique_ptr<OneDimensionalTransform> transform_
+      VITRI_GUARDED_BY(*latch_);
+  std::unique_ptr<storage::Pager> pager_ VITRI_GUARDED_BY(*latch_);
+  std::unique_ptr<storage::BufferPool> pool_ VITRI_GUARDED_BY(*latch_);
+  std::unique_ptr<btree::BPlusTree> tree_ VITRI_GUARDED_BY(*latch_);
   /// In-memory copies used for rebuild and drift monitoring. Queries
   /// never touch these; they go through the tree.
-  std::vector<ViTri> vitris_;
-  std::vector<linalg::Vec> positions_;
-  std::vector<uint32_t> frame_counts_;
+  std::vector<ViTri> vitris_ VITRI_GUARDED_BY(*latch_);
+  std::vector<linalg::Vec> positions_ VITRI_GUARDED_BY(*latch_);
+  std::vector<uint32_t> frame_counts_ VITRI_GUARDED_BY(*latch_);
 
   /// Durable-ingest state; empty/null while not durable.
-  std::string dur_dir_;
-  DurabilityOptions dur_;
-  uint64_t generation_ = 0;
-  std::unique_ptr<storage::WalWriter> wal_;
+  std::string dur_dir_ VITRI_GUARDED_BY(*latch_);
+  DurabilityOptions dur_ VITRI_GUARDED_BY(*latch_);
+  uint64_t generation_ VITRI_GUARDED_BY(*latch_) = 0;
+  std::unique_ptr<storage::WalWriter> wal_ VITRI_GUARDED_BY(*latch_);
 };
 
 }  // namespace vitri::core

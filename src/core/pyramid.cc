@@ -135,7 +135,7 @@ Result<PyramidIndex> PyramidIndex::Build(const ViTriSet& set,
   for (const ViTri& v : set.vitris) positions.push_back(v.position);
   VITRI_ASSIGN_OR_RETURN(PyramidTransform t,
                          PyramidTransform::Fit(positions));
-  index.transform_ = std::move(t);
+  index.transform_ = std::make_unique<PyramidTransform>(std::move(t));
 
   index.pager_ = std::make_unique<storage::MemPager>(options.page_size);
   index.pool_ = std::make_unique<storage::BufferPool>(
@@ -145,7 +145,7 @@ Result<PyramidIndex> PyramidIndex::Build(const ViTriSet& set,
       btree::BPlusTree::Create(
           index.pool_.get(),
           static_cast<uint32_t>(ViTri::SerializedSize(options.dimension))));
-  index.tree_ = std::move(tree);
+  index.tree_ = std::make_unique<btree::BPlusTree>(std::move(tree));
 
   std::vector<btree::Entry> entries;
   entries.reserve(set.vitris.size());

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "btree/bplus_tree.h"
@@ -91,10 +90,14 @@ class PyramidIndex {
   PyramidIndex() = default;
 
   ViTriIndexOptions options_;
-  std::optional<PyramidTransform> transform_;
+  // Heap-allocated for delayed construction (Build fills them in after
+  // the object exists) without optional-engagement hazards — same
+  // pattern as ViTriIndex, and what lets clang-tidy's
+  // bugprone-unchecked-optional-access stay enabled repo-wide.
+  std::unique_ptr<PyramidTransform> transform_;
   std::unique_ptr<storage::MemPager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
-  std::optional<btree::BPlusTree> tree_;
+  std::unique_ptr<btree::BPlusTree> tree_;
   std::vector<uint32_t> frame_counts_;
   size_t num_vitris_ = 0;
 };

@@ -9,9 +9,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <utility>
+
+#include "common/annotated_lock.h"
+#include "common/os.h"
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -106,12 +107,13 @@ Status WriteCurrentFile(const std::string& dir, uint64_t generation) {
 Status RemoveStaleDurableFiles(const std::string& dir, uint64_t keep) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) {
-    return Status::IoError("cannot list " + dir + ": " +
-                           std::strerror(errno));
+    return Status::IoError("cannot list " + dir + ": " + ErrnoString(errno));
   }
   const std::string keep_snapshot = SnapshotFileName(keep);
   const std::string keep_wal = WalFileName(keep);
-  while (struct dirent* entry = ::readdir(d)) {
+  // readdir is safe here: POSIX only forbids sharing one DIR* across
+  // threads, and this stream is local to the call.
+  while (struct dirent* entry = ::readdir(d)) {  // NOLINT(concurrency-mt-unsafe)
     const std::string name = entry->d_name;
     if (name == "." || name == ".." || name == kCurrentFileName ||
         name == keep_snapshot || name == keep_wal) {
@@ -126,7 +128,7 @@ Status RemoveStaleDurableFiles(const std::string& dir, uint64_t keep) {
     // Best-effort: a stale file that survives is re-collected next time.
     if (::unlink((dir + "/" + name).c_str()) != 0 && errno != ENOENT) {
       VITRI_LOG(kWarn) << "could not remove stale durable file " << dir
-                       << "/" << name << ": " << std::strerror(errno);
+                       << "/" << name << ": " << ErrnoString(errno);
     }
   }
   ::closedir(d);
@@ -234,12 +236,12 @@ Status ViTriIndex::RotateGenerationLocked() {
 
 Status ViTriIndex::EnableDurability(const std::string& dir,
                                     DurabilityOptions durability) {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   if (wal_ != nullptr) {
     return Status::InvalidArgument("index is already durable");
   }
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IoError("mkdir(" + dir + "): " + std::strerror(errno));
+    return Status::IoError("mkdir(" + dir + "): " + ErrnoString(errno));
   }
   dur_dir_ = dir;
   dur_ = std::move(durability);
@@ -248,7 +250,7 @@ Status ViTriIndex::EnableDurability(const std::string& dir,
 }
 
 Status ViTriIndex::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   if (wal_ == nullptr) {
     return Status::InvalidArgument("index is not durable");
   }
@@ -257,18 +259,18 @@ Status ViTriIndex::Checkpoint() {
 }
 
 Status ViTriIndex::SyncWal() {
-  std::unique_lock<std::shared_mutex> lock(*latch_);
+  WriterLock lock(*latch_);
   if (wal_ == nullptr) return Status::OK();
   return wal_->Sync();
 }
 
 uint64_t ViTriIndex::wal_commits() const {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   return wal_ == nullptr ? 0 : wal_->commits();
 }
 
 uint64_t ViTriIndex::wal_durable_commits() const {
-  std::shared_lock<std::shared_mutex> lock(*latch_);
+  ReaderLock lock(*latch_);
   return wal_ == nullptr ? 0 : wal_->durable_commits();
 }
 
@@ -288,36 +290,49 @@ Result<ViTriIndex> ViTriIndex::Open(const std::string& dir,
   recovered.snapshot_vitris = set.vitris.size();
   recovered.snapshot_videos = set.frame_counts.size();
 
-  index.dur_dir_ = dir;
-  index.dur_ = std::move(durability);
-  index.generation_ = generation;
-
-  VITRI_ASSIGN_OR_RETURN(std::unique_ptr<storage::WalFile> file,
-                         OpenWalFileFor(index.dur_, dir, generation));
+  // The index is private to this thread until Open returns, so every
+  // latch acquisition below is uncontended; the blocks exist to honor
+  // the guarded-member contracts, not for mutual exclusion. The latch
+  // is NOT held across ReplayWal — the apply lambda re-acquires it per
+  // record, and shared_mutex does not nest on one thread.
+  std::unique_ptr<storage::WalFile> file;
+  {
+    WriterLock lock(*index.latch_);
+    index.dur_dir_ = dir;
+    index.dur_ = std::move(durability);
+    index.generation_ = generation;
+    VITRI_ASSIGN_OR_RETURN(std::unique_ptr<storage::WalFile> opened,
+                           OpenWalFileFor(index.dur_, dir, generation));
+    file = std::move(opened);
+  }
   const int dimension = index.options_.dimension;
   const auto apply = [&index, dimension](
                          uint64_t, std::span<const uint8_t> payload) {
     VITRI_ASSIGN_OR_RETURN(InsertWalRecord record,
                            DecodeInsertWalRecord(payload, dimension));
+    WriterLock lock(*index.latch_);
     return index.ApplyInsert(record.video_id, record.num_frames,
                              record.vitris);
   };
   VITRI_ASSIGN_OR_RETURN(
       storage::WalReplayResult replay,
       storage::ReplayWal(file.get(), apply, /*repair=*/true));
-  index.wal_ = std::make_unique<storage::WalWriter>(
-      std::move(file), index.dur_.wal, /*base_seqno=*/replay.commits);
-
-  // Orphans of checkpoints the crashed run never completed.
-  VITRI_RETURN_IF_ERROR(RemoveStaleDurableFiles(dir, generation));
 
   recovered.wal_commits_replayed = replay.commits;
   recovered.wal_records_applied = replay.records_applied;
   recovered.wal_records_discarded = replay.records_discarded;
   recovered.wal_bytes_discarded = replay.bytes_discarded;
   recovered.wal_torn_tail = replay.torn_tail;
-  recovered.recovered_vitris = index.vitris_.size();
-  recovered.recovered_videos = index.frame_counts_.size();
+  {
+    WriterLock lock(*index.latch_);
+    index.wal_ = std::make_unique<storage::WalWriter>(
+        std::move(file), index.dur_.wal, /*base_seqno=*/replay.commits);
+    recovered.recovered_vitris = index.vitris_.size();
+    recovered.recovered_videos = index.frame_counts_.size();
+  }
+
+  // Orphans of checkpoints the crashed run never completed.
+  VITRI_RETURN_IF_ERROR(RemoveStaleDurableFiles(dir, generation));
   if (stats != nullptr) *stats = recovered;
   VITRI_METRIC_COUNTER("index.recoveries")->Increment();
   VITRI_LOG(kInfo) << "recovered durable index at " << dir

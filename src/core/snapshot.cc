@@ -143,12 +143,21 @@ Status SaveViTriSet(const ViTriSet& set, const std::string& path) {
   return storage::SyncDir(storage::ParentDir(path));
 }
 
-Result<ViTriSet> LoadViTriSet(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::NotFound("cannot open " + path);
-  }
-  CrcFile in{file.get()};
+Result<ViTriSet> LoadViTriSetFromStream(std::FILE* f) {
+  // How many bytes the stream still holds past the current position.
+  // Works on regular files and fmemopen streams alike (both seekable);
+  // header counts are checked against it before any allocation, so a
+  // corrupt or adversarial count is rejected instead of driving a
+  // multi-gigabyte resize. (Found by the snapshot_load fuzz target.)
+  const auto remaining_bytes = [f]() -> uint64_t {
+    const long cur = std::ftell(f);
+    if (cur < 0 || std::fseek(f, 0, SEEK_END) != 0) return 0;
+    const long end = std::ftell(f);
+    std::fseek(f, cur, SEEK_SET);
+    return end > cur ? static_cast<uint64_t>(end - cur) : 0;
+  };
+
+  CrcFile in{f};
   VITRI_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
   if (magic != kMagic) {
     return Status::Corruption("bad snapshot magic");
@@ -164,12 +173,18 @@ Result<ViTriSet> LoadViTriSet(const std::string& path) {
   }
   set.dimension = static_cast<int>(dimension);
   VITRI_ASSIGN_OR_RETURN(uint64_t num_videos, in.ReadU64());
+  if (num_videos > remaining_bytes() / sizeof(uint32_t)) {
+    return Status::Corruption("frame-count table larger than snapshot");
+  }
   set.frame_counts.resize(num_videos);
   for (uint64_t i = 0; i < num_videos; ++i) {
     VITRI_ASSIGN_OR_RETURN(set.frame_counts[i], in.ReadU32());
   }
   VITRI_ASSIGN_OR_RETURN(uint64_t num_vitris, in.ReadU64());
   const size_t record = ViTri::SerializedSize(set.dimension);
+  if (num_vitris > remaining_bytes() / record) {
+    return Status::Corruption("ViTri table larger than snapshot");
+  }
   std::vector<uint8_t> buffer(record);
   set.vitris.reserve(num_vitris);
   for (uint64_t i = 0; i < num_vitris; ++i) {
@@ -186,6 +201,14 @@ Result<ViTriSet> LoadViTriSet(const std::string& path) {
     }
   }
   return set;
+}
+
+Result<ViTriSet> LoadViTriSet(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return LoadViTriSetFromStream(file.get());
 }
 
 Status SaveIndexSnapshot(const ViTriIndex& index, const std::string& path) {

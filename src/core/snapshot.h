@@ -1,6 +1,7 @@
 #ifndef VITRI_CORE_SNAPSHOT_H_
 #define VITRI_CORE_SNAPSHOT_H_
 
+#include <cstdio>
 #include <string>
 
 #include "common/result.h"
@@ -20,6 +21,15 @@ Status SaveViTriSet(const ViTriSet& set, const std::string& path);
 
 /// Reads a snapshot written by SaveViTriSet.
 Result<ViTriSet> LoadViTriSet(const std::string& path);
+
+/// Reads a snapshot from an already-open seekable stream (positioned at
+/// the snapshot's first byte). This is the parsing core of LoadViTriSet,
+/// exposed so the fuzz harness can drive it over in-memory bytes
+/// (fmemopen) without touching the filesystem. Element counts in the
+/// header are validated against the stream's remaining size before any
+/// allocation, so a corrupt count cannot trigger a multi-gigabyte
+/// resize.
+Result<ViTriSet> LoadViTriSetFromStream(std::FILE* f);
 
 /// Convenience: snapshot an index's current contents.
 Status SaveIndexSnapshot(const ViTriIndex& index, const std::string& path);

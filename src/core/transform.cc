@@ -94,7 +94,12 @@ Result<double> OneDimensionalTransform::DriftAngle(
 }
 
 std::vector<KeyRange> ComposeKeyRanges(std::vector<KeyRange> ranges) {
-  std::erase_if(ranges, [](const KeyRange& r) { return r.lo > r.hi; });
+  // Drop every range that is not provably well-formed. The predicate is
+  // deliberately !(lo <= hi) rather than lo > hi: a NaN endpoint fails
+  // both comparisons, so the old form kept NaN ranges, which then broke
+  // std::sort's strict-weak-ordering contract below (UB — found by the
+  // query_compose fuzz target). ±inf endpoints still pass.
+  std::erase_if(ranges, [](const KeyRange& r) { return !(r.lo <= r.hi); });
   std::sort(ranges.begin(), ranges.end(),
             [](const KeyRange& a, const KeyRange& b) {
               return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/os.h"
+
 #if defined(__x86_64__) && defined(__GNUC__)
 #define VITRI_KERNELS_X86 1
 #include <immintrin.h>
@@ -435,7 +437,7 @@ const KernelOps& KernelOpsFor(KernelBackend backend) {
 }
 
 bool SimdDisabledByEnv() {
-  const char* env = std::getenv("VITRI_DISABLE_SIMD");
+  const char* env = GetEnv("VITRI_DISABLE_SIMD");
   if (env == nullptr || env[0] == '\0') return false;
   return std::strcmp(env, "0") != 0;
 }

@@ -1,6 +1,5 @@
 #include "storage/buffer_pool.h"
 
-#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -47,7 +46,7 @@ BufferPool::~BufferPool() {
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   ++stats_.logical_reads;
   // Registry counters are cumulative process metrics, deliberately
   // separate from stats_: validators save/restore stats_, and queries
@@ -92,7 +91,7 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageRef> BufferPool::New() {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   VITRI_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
   ++stats_.allocations;
   VITRI_METRIC_COUNTER("storage.pool.allocations")->Increment();
@@ -113,7 +112,7 @@ Result<PageRef> BufferPool::New() {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   for (auto& [id, frame] : frames_) {
     VITRI_RETURN_IF_ERROR(WriteBackLocked(frame));
   }
@@ -123,7 +122,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   for (auto it = frames_.begin(); it != frames_.end();) {
     Frame& frame = it->second;
     if (frame.pin_count > 0) {
@@ -138,7 +137,7 @@ Status BufferPool::EvictAll() {
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   auto it = frames_.find(id);
   VITRI_CHECK(it != frames_.end()) << "unpin of unknown page " << id;
   Frame& frame = it->second;
@@ -180,7 +179,7 @@ Status PoolInvariantViolation(const std::string& what) {
 }  // namespace
 
 Status BufferPool::ValidateInvariants() const {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   return ValidateInvariantsLocked();
 }
 

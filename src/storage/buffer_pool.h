@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/result.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
@@ -116,17 +116,17 @@ class BufferPool {
   ~BufferPool();
 
   /// Fetches (pinning) an existing page.
-  Result<PageRef> Fetch(PageId id);
+  Result<PageRef> Fetch(PageId id) VITRI_EXCLUDES(latch_);
 
   /// Allocates a new page in the pager and returns it pinned and dirty.
-  Result<PageRef> New();
+  Result<PageRef> New() VITRI_EXCLUDES(latch_);
 
   /// Writes back all dirty frames (pages stay cached).
-  Status FlushAll();
+  Status FlushAll() VITRI_EXCLUDES(latch_);
 
   /// Drops every unpinned frame after flushing it; simulates a cold
   /// cache for benchmark repeatability.
-  Status EvictAll();
+  Status EvictAll() VITRI_EXCLUDES(latch_);
 
   /// The counters are atomic, so reading through the reference is safe
   /// while other threads fetch pages; copy it to snapshot a delta.
@@ -138,21 +138,24 @@ class BufferPool {
   /// Page ids whose checksum verification failed since construction (or
   /// the last ClearCorruptPages). Ordered for stable reporting; returns
   /// a copy so the caller's view cannot race with concurrent fetches.
-  std::set<PageId> corrupt_pages() const {
-    std::lock_guard<std::mutex> lock(latch_);
+  std::set<PageId> corrupt_pages() const VITRI_EXCLUDES(latch_) {
+    MutexLock lock(latch_);
     return corrupt_pages_;
   }
-  void ClearCorruptPages() {
-    std::lock_guard<std::mutex> lock(latch_);
+  void ClearCorruptPages() VITRI_EXCLUDES(latch_) {
+    MutexLock lock(latch_);
     corrupt_pages_.clear();
   }
 
   size_t capacity() const { return capacity_; }
   const BufferPoolOptions& options() const { return options_; }
-  size_t resident() const {
-    std::lock_guard<std::mutex> lock(latch_);
+  size_t resident() const VITRI_EXCLUDES(latch_) {
+    MutexLock lock(latch_);
     return frames_.size();
   }
+  /// The pointer itself is set at construction and immutable; callers
+  /// outside the pool may use it only while no pool operation can be
+  /// writing through it (e.g. single-threaded setup/teardown).
   Pager* pager() const { return pager_; }
 
   /// Deep self-check of the pool's bookkeeping: every frame's pin count
@@ -162,7 +165,7 @@ class BufferPool {
   /// counter never exceeds the fetch counter. Runs after every
   /// mutating operation in debug builds (VITRI_DCHECK) and via
   /// `vitri check`; returns Internal naming the violated invariant.
-  Status ValidateInvariants() const;
+  Status ValidateInvariants() const VITRI_EXCLUDES(latch_);
 
  private:
   friend class PageRef;
@@ -180,22 +183,26 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  void Unpin(PageId id, bool dirty);
-  // The *Locked helpers assume latch_ is held by the caller.
-  Status EvictOneIfFullLocked();
-  Status WriteBackLocked(Frame& frame);
-  Status ValidateInvariantsLocked() const;
+  void Unpin(PageId id, bool dirty) VITRI_EXCLUDES(latch_);
+  // The *Locked helpers assume latch_ is held by the caller — now a
+  // compile-time contract under Clang's thread-safety analysis.
+  Status EvictOneIfFullLocked() VITRI_REQUIRES(latch_);
+  Status WriteBackLocked(Frame& frame) VITRI_REQUIRES(latch_);
+  Status ValidateInvariantsLocked() const VITRI_REQUIRES(latch_);
 
-  Pager* pager_;
+  /// Set at construction, never reassigned; the pointee is only
+  /// dereferenced with latch_ held (pagers need no locking of their own).
+  Pager* const pager_ VITRI_PT_GUARDED_BY(latch_);
   size_t capacity_;
   BufferPoolOptions options_;
   /// Guards frames_, lru_, corrupt_pages_, and all pager_ access. The
   /// IoStats counters are atomic and may be read without it.
-  mutable std::mutex latch_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // Front = least recently used.
+  mutable Mutex latch_;
+  std::unordered_map<PageId, Frame> frames_ VITRI_GUARDED_BY(latch_);
+  // Front = least recently used.
+  std::list<PageId> lru_ VITRI_GUARDED_BY(latch_);
   IoStats stats_;
-  std::set<PageId> corrupt_pages_;
+  std::set<PageId> corrupt_pages_ VITRI_GUARDED_BY(latch_);
 };
 
 }  // namespace vitri::storage

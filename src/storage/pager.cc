@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/os.h"
 #include "storage/page_footer.h"
 #include "storage/posix_io.h"
 
@@ -90,12 +91,12 @@ Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
   }
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return Status::IoError("open(" + path + "): " + ErrnoString(errno));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    return Status::IoError("fstat(" + path + "): " + std::strerror(errno));
+    return Status::IoError("fstat(" + path + "): " + ErrnoString(errno));
   }
   if (static_cast<size_t>(st.st_size) % page_size != 0) {
     ::close(fd);

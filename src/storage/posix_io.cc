@@ -4,7 +4,8 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+
+#include "common/os.h"
 
 namespace vitri::storage {
 
@@ -25,7 +26,7 @@ Status ReadFullyAt(int fd, uint8_t* buf, size_t n, off_t offset) {
     const ssize_t r = ::pread(fd, buf, n, offset);
     if (r < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+      return Status::IoError(std::string("pread: ") + ErrnoString(errno));
     }
     if (r == 0) {
       return Status::IoError("pread: unexpected end of file");
@@ -42,7 +43,7 @@ Status WriteFullyAt(int fd, const uint8_t* buf, size_t n, off_t offset) {
     const ssize_t r = ::pwrite(fd, buf, n, offset);
     if (r < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+      return Status::IoError(std::string("pwrite: ") + ErrnoString(errno));
     }
     if (r == 0) {
       return Status::IoError("pwrite: wrote no bytes");
@@ -70,14 +71,14 @@ Status SyncFd(int fd, FileSyncMode mode) {
     if (rc == 0) return Status::OK();
     if (errno == EINTR) continue;
     return Status::IoError(std::string(FileSyncModeName(mode)) + ": " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
 }
 
 Status SyncDir(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return Status::IoError("open(" + path + "): " + ErrnoString(errno));
   }
   const Status s = SyncFd(fd, FileSyncMode::kFsync);
   ::close(fd);

@@ -11,6 +11,7 @@
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/metrics.h"
+#include "common/os.h"
 #include "common/stopwatch.h"
 
 namespace vitri::storage {
@@ -32,6 +33,24 @@ void AppendWalRecord(uint8_t type, std::span<const uint8_t> payload,
   EncodeU32(p + 4, crc);
 }
 
+// --- MemWalFile -------------------------------------------------------
+
+Status MemWalFile::ReadAt(uint64_t offset, uint8_t* out, size_t n) {
+  if (offset > data_.size() || data_.size() - offset < n) {
+    return Status::IoError("MemWalFile: read past end");
+  }
+  std::memcpy(out, data_.data() + offset, n);
+  return Status::OK();
+}
+
+Status MemWalFile::Truncate(uint64_t new_size) {
+  if (new_size > data_.size()) {
+    return Status::IoError("MemWalFile: truncate would extend");
+  }
+  data_.resize(new_size);
+  return Status::OK();
+}
+
 // --- PosixWalFile -----------------------------------------------------
 
 PosixWalFile::PosixWalFile(int fd, uint64_t size, FileSyncMode sync_mode)
@@ -45,12 +64,12 @@ Result<std::unique_ptr<PosixWalFile>> PosixWalFile::Open(
     const std::string& path, FileSyncMode sync_mode) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return Status::IoError("open(" + path + "): " + ErrnoString(errno));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    return Status::IoError("fstat(" + path + "): " + std::strerror(errno));
+    return Status::IoError("fstat(" + path + "): " + ErrnoString(errno));
   }
   return std::unique_ptr<PosixWalFile>(new PosixWalFile(
       fd, static_cast<uint64_t>(st.st_size), sync_mode));
@@ -72,7 +91,7 @@ Status PosixWalFile::Truncate(uint64_t new_size) {
     if (::ftruncate(fd_, static_cast<off_t>(new_size)) == 0) break;
     if (errno == EINTR) continue;
     return Status::IoError(std::string("ftruncate: ") +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
   size_ = new_size;
   return Status::OK();

@@ -83,6 +83,31 @@ class WalFile {
   WalFile() = default;
 };
 
+/// Heap-backed WalFile: the "disk" is a byte vector and Sync is a
+/// no-op. Used by tests and the wal_replay fuzz harness, which feeds
+/// arbitrary bytes straight into ReplayWal without touching a
+/// filesystem.
+class MemWalFile final : public WalFile {
+ public:
+  MemWalFile() = default;
+  explicit MemWalFile(std::vector<uint8_t> contents)
+      : data_(std::move(contents)) {}
+
+  uint64_t size() const override { return data_.size(); }
+  Status Append(const uint8_t* data, size_t n) override {
+    data_.insert(data_.end(), data, data + n);
+    return Status::OK();
+  }
+  Status ReadAt(uint64_t offset, uint8_t* out, size_t n) override;
+  Status Truncate(uint64_t new_size) override;
+  Status Sync() override { return Status::OK(); }
+
+  const std::vector<uint8_t>& contents() const { return data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
 /// POSIX-backed WalFile. EINTR-safe; Sync() uses `sync_mode`.
 class PosixWalFile final : public WalFile {
  public:
@@ -197,7 +222,10 @@ Result<WalReplayResult> ReplayWal(
 /// Commit() to frame them together with a commit marker and write the
 /// whole batch in a single file append — a crash can tear the batch but
 /// never interleave it. Commit() then syncs per WalOptions.sync_mode.
-/// Not thread-safe; the index layer serializes writers.
+/// Not thread-safe and deliberately unannotated: ViTriIndex owns the
+/// writer behind its latch (wal_ is GUARDED_BY the index latch), so the
+/// serialization is enforced one layer up where the capability lives.
+/// See DESIGN.md §14.
 class WalWriter {
  public:
   /// Takes ownership of `file`, appending after its current contents

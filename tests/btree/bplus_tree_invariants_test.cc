@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,7 +49,7 @@ class BPlusTreeInvariantsTest : public ::testing::Test {
     pool_ = std::make_unique<BufferPool>(pager_.get(), 64);
     auto tree = BPlusTree::Create(pool_.get(), kValueSize);
     ASSERT_TRUE(tree.ok()) << tree.status().ToString();
-    tree_.emplace(std::move(*tree));
+    tree_ = std::make_unique<BPlusTree>(std::move(*tree));
 
     std::vector<Entry> entries;
     for (uint64_t i = 0; i < 200; ++i) {
@@ -111,7 +110,7 @@ class BPlusTreeInvariantsTest : public ::testing::Test {
 
   std::unique_ptr<MemPager> pager_;
   std::unique_ptr<BufferPool> pool_;
-  std::optional<BPlusTree> tree_;
+  std::unique_ptr<BPlusTree> tree_;
 };
 
 TEST_F(BPlusTreeInvariantsTest, HealthyTreeValidatesAfterMutations) {

@@ -1,0 +1,79 @@
+// Negative-compile proof that the -Wthread-safety gate actually gates.
+//
+// Compiled three ways by tests/CMakeLists.txt under Clang, with
+// `-Wthread-safety -Wthread-safety-beta -Werror -fsyntax-only`:
+//
+//   (no define)                      — must COMPILE: the locking below
+//                                      is correct, proving the test
+//                                      would catch a regression in the
+//                                      wrappers themselves rather than
+//                                      passing vacuously.
+//   -DVITRI_TSA_VIOLATION_GUARDED    — must FAIL: reads/writes a
+//                                      GUARDED_BY member with no lock.
+//   -DVITRI_TSA_VIOLATION_REQUIRES   — must FAIL: calls a REQUIRES
+//                                      function without the capability.
+//
+// If either violation build starts succeeding, the analysis has been
+// silently disabled and the WILL_FAIL ctest entries turn red.
+
+#include "common/annotated_lock.h"
+
+namespace {
+
+class Account {
+ public:
+  int Balance() VITRI_EXCLUDES(mu_) {
+    vitri::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void Deposit(int amount) VITRI_EXCLUDES(mu_) {
+    vitri::MutexLock lock(mu_);
+    DepositLocked(amount);
+  }
+
+ private:
+  void DepositLocked(int amount) VITRI_REQUIRES(mu_) { balance_ += amount; }
+
+  vitri::Mutex mu_;
+  int balance_ VITRI_GUARDED_BY(mu_) = 0;
+};
+
+int Use(Account& account) {
+  account.Deposit(10);
+  return account.Balance();
+}
+
+#if defined(VITRI_TSA_VIOLATION_GUARDED)
+class Broken {
+ public:
+  int Read() { return value_; }  // No lock: -Wthread-safety error.
+
+ private:
+  vitri::Mutex mu_;
+  int value_ VITRI_GUARDED_BY(mu_) = 0;
+};
+
+int UseBroken(Broken& broken) { return broken.Read(); }
+#endif
+
+#if defined(VITRI_TSA_VIOLATION_REQUIRES)
+class Caller {
+ public:
+  void Outer() { InnerLocked(); }  // Missing REQUIRES: error.
+
+ private:
+  void InnerLocked() VITRI_REQUIRES(mu_) {}
+
+  vitri::Mutex mu_;
+};
+
+void UseCaller(Caller& caller) { caller.Outer(); }
+#endif
+
+}  // namespace
+
+int AnnotatedLockCompileTestAnchor() {
+  Account account;
+  return Use(account);
+}

@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "common/coding.h"
 #include "core/vitri_builder.h"
 #include "video/synthesizer.h"
 
@@ -263,6 +265,63 @@ TEST(SnapshotTest, FailedSaveCleansUpItsTempFile) {
   FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
   EXPECT_EQ(tmp, nullptr);
   if (tmp != nullptr) std::fclose(tmp);
+}
+
+// --- fuzz regressions (fuzz/snapshot_load_fuzz.cc) --------------------
+
+// Builds a snapshot header (magic, version 2, dimension) followed by a
+// 64-bit element count, with nothing behind it.
+std::vector<uint8_t> HeaderWithCount(uint64_t count) {
+  std::vector<uint8_t> bytes(20);
+  EncodeU32(bytes.data(), 0x56534e50);  // 'VSNP'
+  EncodeU32(bytes.data() + 4, 2);       // version
+  EncodeU32(bytes.data() + 8, 3);       // dimension
+  EncodeU64(bytes.data() + 12, count);  // num_videos
+  return bytes;
+}
+
+Result<ViTriSet> LoadFromBytes(const std::vector<uint8_t>& bytes) {
+  std::FILE* f = ::fmemopen(const_cast<uint8_t*>(bytes.data()),
+                            bytes.size(), "rb");
+  EXPECT_NE(f, nullptr);
+  auto loaded = LoadViTriSetFromStream(f);
+  std::fclose(f);
+  return loaded;
+}
+
+TEST(SnapshotFuzzRegressionTest, HugeVideoCountIsRejectedBeforeAllocating) {
+  // The historical OOM: a header claiming 2^63 videos used to drive
+  // frame_counts.resize() straight into std::bad_alloc. The count is
+  // now checked against the bytes actually remaining in the stream.
+  auto loaded = LoadFromBytes(HeaderWithCount(0x7fffffffffffffffull));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST(SnapshotFuzzRegressionTest, HugeViTriCountIsRejectedBeforeAllocating) {
+  // Same shape one field later: zero videos, then an absurd ViTri count.
+  std::vector<uint8_t> bytes = HeaderWithCount(0);
+  bytes.resize(28);
+  EncodeU64(bytes.data() + 20, 0x7fffffffffffffffull);  // num_vitris
+  auto loaded = LoadFromBytes(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST(SnapshotFuzzRegressionTest, StreamLoaderMatchesFileLoader) {
+  const std::string path = TempPath("snapshot_stream.vsnp");
+  std::remove(path.c_str());
+  const ViTriSet original = SmallSet();
+  ASSERT_TRUE(SaveViTriSet(original, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  auto loaded = LoadViTriSetFromStream(f);
+  std::fclose(f);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dimension, original.dimension);
+  EXPECT_EQ(loaded->vitris.size(), original.vitris.size());
+  EXPECT_EQ(loaded->frame_counts, original.frame_counts);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -98,6 +99,54 @@ TEST(ComposeKeyRangesPropertyTest, DropsEmptyAndKeepsPointRanges) {
   ASSERT_EQ(merged.size(), 1u);
   EXPECT_EQ(merged[0].lo, 5.0);
   EXPECT_EQ(merged[0].hi, 6.0);
+}
+
+// Fuzz regression (fuzz/query_compose_fuzz.cc): NaN endpoints used to
+// slip past the lo > hi well-formedness filter — both comparisons with
+// NaN are false — and then poison std::sort's strict weak ordering
+// (undefined behavior). They must be dropped like any malformed range,
+// while ±infinity endpoints stay legal.
+TEST(ComposeKeyRangesPropertyTest, DropsNanRangesKeepsInfiniteOnes) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto merged = ComposeKeyRanges({KeyRange{nan, 5.0},
+                                        KeyRange{3.0, nan},
+                                        KeyRange{nan, nan},
+                                        KeyRange{1.0, 2.0},
+                                        KeyRange{-inf, 0.5},
+                                        KeyRange{4.0, inf}});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].lo, -inf);
+  EXPECT_EQ(merged[0].hi, 0.5);
+  EXPECT_EQ(merged[1].lo, 1.0);
+  EXPECT_EQ(merged[1].hi, 2.0);
+  EXPECT_EQ(merged[2].lo, 4.0);
+  EXPECT_EQ(merged[2].hi, inf);
+  for (const KeyRange& m : merged) {
+    EXPECT_FALSE(std::isnan(m.lo));
+    EXPECT_FALSE(std::isnan(m.hi));
+  }
+}
+
+TEST(ComposeKeyRangesPropertyTest, NanPoisonedSortStaysDeterministic) {
+  // Many NaN ranges interleaved with real ones across repeated shuffles:
+  // before the fix this was the sort-UB shape the fuzzer tripped.
+  Rng rng(31);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<KeyRange> ranges = RandomRanges(&rng, 20);
+    for (int i = 0; i < 10; ++i) {
+      ranges.push_back(KeyRange{nan, rng.Uniform(-10.0, 10.0)});
+      ranges.push_back(KeyRange{rng.Uniform(-10.0, 10.0), nan});
+    }
+    const auto merged = ComposeKeyRanges(ranges);
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_TRUE(merged[i].lo <= merged[i].hi);
+      if (i > 0) {
+        EXPECT_LT(merged[i - 1].hi, merged[i].lo);
+      }
+    }
+  }
 }
 
 // End-to-end property on a real index: with heavily overlapping query

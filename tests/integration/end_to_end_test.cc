@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/os.h"
 #include "core/ground_truth.h"
 #include "core/index.h"
 #include "core/similarity.h"
@@ -331,7 +332,7 @@ TEST_F(EndToEndTest, GoldenKnnResultsAndIoCostsArePinned) {
   auto index = ViTriIndex::Build(set_, options);
   ASSERT_TRUE(index.ok());
 
-  const bool regen = std::getenv("VITRI_REGEN_GOLDEN") != nullptr;
+  const bool regen = GetEnv("VITRI_REGEN_GOLDEN") != nullptr;
   ASSERT_EQ(queries_.size(), kGolden.size());
   for (size_t q = 0; q < queries_.size(); ++q) {
     const auto summary = Summarize(queries_[q]);

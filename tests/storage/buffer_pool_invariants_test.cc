@@ -10,27 +10,39 @@ namespace vitri::storage {
 
 /// Reaches into BufferPool's private bookkeeping to break one invariant
 /// at a time, proving ValidateInvariants() catches exactly that breakage.
+/// Being a friend, the peer takes the pool latch the same way internal
+/// code does, which also keeps it clean under -Wthread-safety.
 struct BufferPoolTestPeer {
   static void SetPinCount(BufferPool* pool, PageId id, int pins) {
+    MutexLock lock(pool->latch_);
     pool->frames_.at(id).pin_count = pins;
   }
   static void SetFrameId(BufferPool* pool, PageId id, PageId claimed) {
+    MutexLock lock(pool->latch_);
     pool->frames_.at(id).id = claimed;
   }
   static void ShrinkBuffer(BufferPool* pool, PageId id) {
-    pool->frames_.at(id).data.resize(pool->pager()->page_size() - 1);
+    MutexLock lock(pool->latch_);
+    pool->frames_.at(id).data.resize(pool->pager_->page_size() - 1);
   }
   static void RestoreBuffer(BufferPool* pool, PageId id) {
-    pool->frames_.at(id).data.resize(pool->pager()->page_size());
+    MutexLock lock(pool->latch_);
+    pool->frames_.at(id).data.resize(pool->pager_->page_size());
   }
   static void DuplicateLruEntry(BufferPool* pool, PageId id) {
+    MutexLock lock(pool->latch_);
     pool->lru_.push_back(id);
   }
-  static void PopLruEntry(BufferPool* pool) { pool->lru_.pop_back(); }
+  static void PopLruEntry(BufferPool* pool) {
+    MutexLock lock(pool->latch_);
+    pool->lru_.pop_back();
+  }
   static void RemoveLruEntry(BufferPool* pool, PageId id) {
+    MutexLock lock(pool->latch_);
     pool->lru_.remove(id);
   }
   static void DropLruFlag(BufferPool* pool, PageId id) {
+    MutexLock lock(pool->latch_);
     pool->frames_.at(id).in_lru = false;
   }
   static void InflateCacheHits(BufferPool* pool) {

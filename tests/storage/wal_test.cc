@@ -333,5 +333,66 @@ TEST(WalCrashScheduleTest, DryRunCountsOps) {
   EXPECT_FALSE(schedule->dead);
 }
 
+// --- fuzz regressions (fuzz/wal_replay_fuzz.cc) -----------------------
+// Shapes the fuzzer exercises continuously, pinned here so the tier-1
+// suite catches a reintroduction even on runs that never build the
+// fuzz harnesses.
+
+TEST(WalFuzzRegressionTest, MemWalFileRejectsOutOfBoundsReads) {
+  MemWalFile file(std::vector<uint8_t>{1, 2, 3, 4});
+  uint8_t out[8] = {};
+  EXPECT_TRUE(file.ReadAt(0, out, 4).ok());
+  EXPECT_FALSE(file.ReadAt(0, out, 5).ok());
+  EXPECT_FALSE(file.ReadAt(4, out, 1).ok());
+  EXPECT_FALSE(file.ReadAt(1u << 20, out, 1).ok());
+  EXPECT_FALSE(file.Truncate(5).ok());
+  ASSERT_TRUE(file.Truncate(2).ok());
+  EXPECT_EQ(file.size(), 2u);
+}
+
+TEST(WalFuzzRegressionTest, RepairIsIdempotentOnHostileBytes) {
+  // Arbitrary byte soup, a length field claiming more than the file
+  // holds, and a frame whose length is exactly kWalFrameHeaderSize
+  // short — each must repair to a log that replays clean the second
+  // time, applying nothing.
+  std::vector<std::vector<uint8_t>> inputs;
+  inputs.push_back({0xff, 0x13, 0x37, 0x00, 0x00, 0xab, 0xcd, 0xef, 0x01});
+  std::vector<uint8_t> oversize(kWalFrameHeaderSize + 4, 0);
+  EncodeU32(oversize.data(), 0x7fffffff);  // length >> file size
+  inputs.push_back(std::move(oversize));
+  inputs.push_back(std::vector<uint8_t>(kWalFrameHeaderSize - 1, 0x55));
+
+  for (const auto& bytes : inputs) {
+    MemWalFile file{std::vector<uint8_t>(bytes)};
+    const auto apply = [](uint64_t, std::span<const uint8_t>) {
+      return Status::OK();
+    };
+    auto first = ReplayWal(&file, apply, /*repair=*/true);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->commits, 0u);
+    EXPECT_EQ(file.size(), first->committed_end);
+    auto second = ReplayWal(&file, apply, /*repair=*/true);
+    ASSERT_TRUE(second.ok());
+    EXPECT_FALSE(second->torn_tail);
+    EXPECT_EQ(second->bytes_discarded, 0u);
+  }
+}
+
+TEST(WalFuzzRegressionTest, StaleCommitSequenceIsCorruptionNotTornTail) {
+  // A checksummed-clean commit frame carrying the wrong sequence number
+  // must surface as Corruption (replay refuses), not as a repairable
+  // tail — silently truncating it would drop acknowledged data.
+  std::vector<uint8_t> log;
+  std::vector<uint8_t> marker(sizeof(uint64_t));
+  EncodeU64(marker.data(), 42);  // expected: 1
+  AppendWalRecord(kWalCommitRecord, marker, &log);
+  MemWalFile file{std::move(log)};
+  auto replayed = ReplayWal(
+      &file, [](uint64_t, std::span<const uint8_t>) { return Status::OK(); },
+      /*repair=*/true);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_TRUE(replayed.status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace vitri::storage

@@ -14,7 +14,8 @@ namespace vitri {
 namespace {
 
 std::string RunAndCapture(const std::string& command) {
-  FILE* pipe = popen(command.c_str(), "r");
+  // Single-threaded test binary: popen's mt-unsafety is moot here.
+  FILE* pipe = popen(command.c_str(), "r");  // NOLINT(concurrency-mt-unsafe)
   EXPECT_NE(pipe, nullptr) << command;
   if (pipe == nullptr) return "";
   std::string out;
