@@ -21,6 +21,7 @@
 #include "common/coding.h"
 #include "core/snapshot.h"
 #include "core/vitri.h"
+#include "serving/protocol.h"
 #include "storage/wal.h"
 
 namespace {
@@ -171,6 +172,89 @@ void MakeComposeSeeds(const std::string& dir) {
   WriteBytes(dir + "/edge_values.bin", edge);
 }
 
+// --- protocol_decode --------------------------------------------------
+
+void MakeProtocolSeeds(const std::string& dir) {
+  namespace sv = vitri::serving;
+
+  // Valid ping frame — the smallest complete exchange.
+  std::vector<uint8_t> payload;
+  sv::EncodePingRequest(sv::PingRequest{7}, &payload);
+  std::vector<uint8_t> ping;
+  sv::EncodeFrame(sv::MessageType::kPingRequest, payload, &ping);
+  WriteBytes(dir + "/ping.bin", ping);
+
+  // Valid knn request frame: two queries, one with two triplets.
+  sv::KnnRequest req;
+  req.request_id = 1;
+  req.deadline_ms = 100;
+  req.k = 3;
+  req.dimension = 4;
+  vitri::core::BatchQuery q;
+  q.num_frames = 24;
+  ViTri v;
+  v.video_id = 9;
+  v.cluster_size = 5;
+  v.radius = 0.04;
+  v.position = vitri::linalg::Vec{0.1, 0.2, 0.3, 0.4};
+  q.vitris = {v, v};
+  req.queries.push_back(q);
+  q.vitris = {v};
+  req.queries.push_back(q);
+  payload.clear();
+  sv::EncodeKnnRequest(req, &payload);
+  std::vector<uint8_t> knn;
+  sv::EncodeFrame(sv::MessageType::kKnnRequest, payload, &knn);
+  WriteBytes(dir + "/knn_request.bin", knn);
+
+  // The same frame torn mid-payload (NeedMoreData shape) and with its
+  // magic corrupted (the reject that must fire from byte 0).
+  WriteBytes(dir + "/truncated.bin",
+             std::vector<uint8_t>(knn.begin(),
+                                  knn.begin() + knn.size() * 2 / 3));
+  std::vector<uint8_t> bad_magic = knn;
+  bad_magic[0] ^= 0xff;
+  WriteBytes(dir + "/bad_magic.bin", bad_magic);
+
+  // Header claiming a payload far past kMaxFramePayload: must be
+  // rejected from the 10 header bytes alone, before any allocation.
+  std::vector<uint8_t> huge(sv::kFrameHeaderSize);
+  vitri::EncodeU32(huge.data(), sv::kFrameMagic);
+  huge[4] = static_cast<uint8_t>(sv::MessageType::kKnnRequest);
+  huge[5] = 0;
+  vitri::EncodeU32(huge.data() + 6, 0xffffffffu);
+  WriteBytes(dir + "/huge_len.bin", huge);
+
+  // Well-framed knn request whose query count outruns the payload — the
+  // bytes-remaining guard in the payload decoder must catch it.
+  std::vector<uint8_t> hostile_payload = payload;
+  vitri::EncodeU32(hostile_payload.data() + 21, 0xffffffffu);
+  std::vector<uint8_t> hostile;
+  sv::EncodeFrame(sv::MessageType::kKnnRequest, hostile_payload, &hostile);
+  WriteBytes(dir + "/hostile_count.bin", hostile);
+
+  // Valid knn response frame (the client-side decoder's happy path).
+  sv::KnnResponse resp;
+  resp.head.request_id = 1;
+  resp.head.status = sv::WireStatus::kOk;
+  resp.results = {{{9, 0.97}, {2, 0.4}}, {}};
+  payload.clear();
+  sv::EncodeKnnResponse(resp, &payload);
+  std::vector<uint8_t> knn_resp;
+  sv::EncodeFrame(sv::MessageType::kKnnResponse, payload, &knn_resp);
+  WriteBytes(dir + "/knn_response.bin", knn_resp);
+
+  // Error response carrying a message (Overloaded rejection shape).
+  sv::ResponseHead head;
+  head.request_id = 3;
+  head.status = sv::WireStatus::kOverloaded;
+  payload.clear();
+  sv::EncodeSimpleResponse(head, "request queue is full", &payload);
+  std::vector<uint8_t> rejected;
+  sv::EncodeFrame(sv::MessageType::kKnnResponse, payload, &rejected);
+  WriteBytes(dir + "/overloaded_response.bin", rejected);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,11 +264,12 @@ int main(int argc, char** argv) {
   }
   const std::string root = argv[1];
   for (const char* sub : {"", "/wal_replay", "/snapshot_load",
-                          "/query_compose"}) {
+                          "/query_compose", "/protocol_decode"}) {
     ::mkdir((root + sub).c_str(), 0755);
   }
   MakeWalSeeds(root + "/wal_replay");
   MakeSnapshotSeeds(root + "/snapshot_load");
   MakeComposeSeeds(root + "/query_compose");
+  MakeProtocolSeeds(root + "/protocol_decode");
   return 0;
 }

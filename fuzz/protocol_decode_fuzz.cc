@@ -1,0 +1,123 @@
+// Fuzzes the vitrid wire-protocol codec (serving/protocol.cc) over
+// arbitrary bytes: the framing layer first (incremental DecodeFrame),
+// then every payload decoder — a hostile peer controls both the frame
+// type and the payload, so each decoder must be total over raw bytes.
+// Accepted inputs must satisfy the codec's invariants: a decoded frame
+// or payload re-encodes to exactly the bytes it was parsed from, and no
+// element count ever exceeds what the input's size can back (the guard
+// that keeps a 4-byte count from driving a multi-gigabyte resize).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "serving/protocol.h"
+
+namespace {
+
+#define FUZZ_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) __builtin_trap();                                    \
+  } while (0)
+
+using vitri::serving::DecodeFrame;
+using vitri::serving::EncodeFrame;
+using vitri::serving::Frame;
+using vitri::serving::FrameDecodeStatus;
+
+void CheckEqualBytes(const std::vector<uint8_t>& encoded,
+                     std::span<const uint8_t> original) {
+  FUZZ_CHECK(encoded.size() == original.size());
+  FUZZ_CHECK(encoded.empty() ||
+             std::memcmp(encoded.data(), original.data(),
+                         encoded.size()) == 0);
+}
+
+void FuzzPayloadDecoders(std::span<const uint8_t> payload) {
+  namespace sv = vitri::serving;
+
+  if (auto r = sv::DecodePingRequest(payload); r.ok()) {
+    std::vector<uint8_t> enc;
+    sv::EncodePingRequest(*r, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+  if (auto r = sv::DecodeStatsRequest(payload); r.ok()) {
+    std::vector<uint8_t> enc;
+    sv::EncodeStatsRequest(*r, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+  if (auto r = sv::DecodeShutdownRequest(payload); r.ok()) {
+    std::vector<uint8_t> enc;
+    sv::EncodeShutdownRequest(*r, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+
+  if (auto r = sv::DecodeKnnRequest(payload); r.ok()) {
+    FUZZ_CHECK(r->k > 0);
+    FUZZ_CHECK(r->dimension <= sv::kMaxDimension);
+    // Counts were validated against the remaining bytes, so nothing
+    // parsed from `payload` can claim more elements than it can back.
+    FUZZ_CHECK(r->queries.size() <= payload.size() / 8);
+    for (const auto& q : r->queries) {
+      for (const auto& v : q.vitris) {
+        FUZZ_CHECK(v.position.size() == r->dimension);
+      }
+    }
+    std::vector<uint8_t> enc;
+    sv::EncodeKnnRequest(*r, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+
+  if (auto r = sv::DecodeInsertRequest(payload); r.ok()) {
+    FUZZ_CHECK(r->dimension <= sv::kMaxDimension);
+    for (const auto& v : r->vitris) {
+      FUZZ_CHECK(v.position.size() == r->dimension);
+    }
+    std::vector<uint8_t> enc;
+    sv::EncodeInsertRequest(*r, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+
+  if (auto r = sv::DecodeSimpleResponse(payload); r.ok()) {
+    std::vector<uint8_t> enc;
+    sv::EncodeSimpleResponse(r->head, r->error, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+  if (auto r = sv::DecodeKnnResponse(payload); r.ok()) {
+    std::vector<uint8_t> enc;
+    sv::EncodeKnnResponse(*r, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+  if (auto r = sv::DecodeStatsResponse(payload); r.ok()) {
+    std::vector<uint8_t> enc;
+    sv::EncodeStatsResponse(*r, &enc);
+    CheckEqualBytes(enc, payload);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> in(data, size);
+
+  Frame frame;
+  size_t consumed = 0;
+  const FrameDecodeStatus status = DecodeFrame(in, &frame, &consumed);
+  if (status == FrameDecodeStatus::kOk) {
+    FUZZ_CHECK(consumed <= size);
+    FUZZ_CHECK(consumed ==
+               vitri::serving::kFrameHeaderSize + frame.payload.size());
+    FUZZ_CHECK(frame.payload.size() <= vitri::serving::kMaxFramePayload);
+    // The framing layer is a bijection on accepted inputs.
+    std::vector<uint8_t> again;
+    EncodeFrame(frame.type, frame.payload, &again);
+    CheckEqualBytes(again, in.subspan(0, consumed));
+    FuzzPayloadDecoders(frame.payload);
+  } else {
+    // Every payload decoder must also survive bytes that never framed.
+    FuzzPayloadDecoders(in);
+  }
+  return 0;
+}

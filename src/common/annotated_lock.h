@@ -29,6 +29,7 @@
 #ifndef VITRI_COMMON_ANNOTATED_LOCK_H_
 #define VITRI_COMMON_ANNOTATED_LOCK_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -223,6 +224,12 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  /// Timed wait; returns false on timeout. Same re-check-in-a-loop
+  /// contract as Wait() — a true return only means "woken", not
+  /// "predicate holds".
+  bool WaitFor(MutexLock& lock, std::chrono::milliseconds timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

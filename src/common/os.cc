@@ -1,5 +1,10 @@
 #include "common/os.h"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +28,43 @@ std::string ErrnoString(int errno_value) {
 const char* GetEnv(const char* name) {
   // Safe per the contract in the header: no setenv/putenv after startup.
   return std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+}
+
+Result<size_t> ReadFull(int fd, void* buf, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + ErrnoString(errno));
+    }
+    if (r == 0) break;  // EOF: the peer closed the stream.
+    done += static_cast<size_t>(r);
+  }
+  return done;
+}
+
+Status WriteFull(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::write(fd, p + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + ErrnoString(errno));
+    }
+    if (r == 0) return Status::IoError("write: wrote no bytes");
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void IgnoreSigpipe() {
+  // sigaction over signal() for a defined, portable disposition swap.
+  struct sigaction sa = {};
+  sa.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &sa, nullptr);
 }
 
 }  // namespace vitri

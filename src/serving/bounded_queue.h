@@ -1,0 +1,84 @@
+#ifndef VITRI_SERVING_BOUNDED_QUEUE_H_
+#define VITRI_SERVING_BOUNDED_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/annotated_lock.h"
+
+namespace vitri::serving {
+
+/// Fixed-capacity MPMC queue — the admission-control point of the
+/// serving layer (DESIGN.md §15). Producers never block: TryPush fails
+/// when the queue is full (the caller answers `Overloaded`) or closed
+/// (`ShuttingDown`), so a slow consumer back-pressures clients with a
+/// typed status instead of unbounded memory. Consumers block in Pop
+/// until an item arrives or the queue is closed *and* drained — Close()
+/// deliberately lets the remaining items flow out, which is what lets a
+/// graceful shutdown answer every request it already admitted.
+///
+/// Lock discipline: one Mutex guards the deque and the closed flag;
+/// both are annotated so the clang-tsa gate covers this type like every
+/// other locking type in the repo.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admits `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) VITRI_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// empty (false — the consumer should exit its loop).
+  bool Pop(T* out) VITRI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.Wait(lock);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admission; queued items still drain through Pop. Idempotent.
+  void Close() VITRI_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      closed_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  size_t size() const VITRI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const VITRI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ VITRI_GUARDED_BY(mu_);
+  bool closed_ VITRI_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace vitri::serving
+
+#endif  // VITRI_SERVING_BOUNDED_QUEUE_H_

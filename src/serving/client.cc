@@ -1,0 +1,159 @@
+#include "serving/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/os.h"
+
+namespace vitri::serving {
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket: " + ErrnoString(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect " + path + ": " + ErrnoString(err));
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket: " + ErrnoString(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + ErrnoString(err));
+  }
+  return Client(fd);
+}
+
+void Client::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendFrame(MessageType type,
+                         const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) return Status::IoError("client not connected");
+  std::vector<uint8_t> wire;
+  EncodeFrame(type, payload, &wire);
+  return WriteFull(fd_, wire.data(), wire.size());
+}
+
+Result<Frame> Client::ReadFrame(MessageType expect) {
+  uint8_t header[kFrameHeaderSize];
+  VITRI_ASSIGN_OR_RETURN(const size_t got,
+                         ReadFull(fd_, header, sizeof(header)));
+  if (got == 0) {
+    return Status::IoError("connection closed by server");
+  }
+  if (got < sizeof(header)) {
+    return Status::IoError("connection closed mid-frame");
+  }
+  Frame frame;
+  size_t consumed = 0;
+  FrameDecodeStatus st = DecodeFrame(
+      std::span<const uint8_t>(header, sizeof(header)), &frame, &consumed);
+  if (st == FrameDecodeStatus::kNeedMoreData) {
+    const uint32_t payload_len = DecodeU32(header + 6);
+    std::vector<uint8_t> buf(kFrameHeaderSize + payload_len);
+    std::memcpy(buf.data(), header, kFrameHeaderSize);
+    VITRI_ASSIGN_OR_RETURN(
+        const size_t body,
+        ReadFull(fd_, buf.data() + kFrameHeaderSize, payload_len));
+    if (body < payload_len) {
+      return Status::IoError("connection closed mid-frame");
+    }
+    st = DecodeFrame(buf, &frame, &consumed);
+  }
+  if (st != FrameDecodeStatus::kOk) {
+    return Status::Corruption(std::string("bad frame from server: ") +
+                              FrameDecodeStatusName(st));
+  }
+  if (frame.type != expect) {
+    return Status::Corruption(std::string("unexpected response type: got ") +
+                              MessageTypeName(frame.type) + ", want " +
+                              MessageTypeName(expect));
+  }
+  return frame;
+}
+
+Result<SimpleResponse> Client::Ping(uint64_t request_id) {
+  PingRequest req;
+  req.request_id = request_id;
+  std::vector<uint8_t> payload;
+  EncodePingRequest(req, &payload);
+  VITRI_RETURN_IF_ERROR(SendFrame(MessageType::kPingRequest, payload));
+  VITRI_ASSIGN_OR_RETURN(Frame frame,
+                         ReadFrame(MessageType::kPingResponse));
+  return DecodeSimpleResponse(frame.payload);
+}
+
+Result<KnnResponse> Client::Knn(const KnnRequest& request) {
+  std::vector<uint8_t> payload;
+  EncodeKnnRequest(request, &payload);
+  VITRI_RETURN_IF_ERROR(SendFrame(MessageType::kKnnRequest, payload));
+  VITRI_ASSIGN_OR_RETURN(Frame frame, ReadFrame(MessageType::kKnnResponse));
+  return DecodeKnnResponse(frame.payload);
+}
+
+Result<SimpleResponse> Client::Insert(const InsertRequest& request) {
+  std::vector<uint8_t> payload;
+  EncodeInsertRequest(request, &payload);
+  VITRI_RETURN_IF_ERROR(SendFrame(MessageType::kInsertRequest, payload));
+  VITRI_ASSIGN_OR_RETURN(Frame frame,
+                         ReadFrame(MessageType::kInsertResponse));
+  return DecodeSimpleResponse(frame.payload);
+}
+
+Result<StatsResponse> Client::Stats(uint64_t request_id) {
+  StatsRequest req;
+  req.request_id = request_id;
+  std::vector<uint8_t> payload;
+  EncodeStatsRequest(req, &payload);
+  VITRI_RETURN_IF_ERROR(SendFrame(MessageType::kStatsRequest, payload));
+  VITRI_ASSIGN_OR_RETURN(Frame frame,
+                         ReadFrame(MessageType::kStatsResponse));
+  return DecodeStatsResponse(frame.payload);
+}
+
+Result<SimpleResponse> Client::Shutdown(uint64_t request_id) {
+  ShutdownRequest req;
+  req.request_id = request_id;
+  std::vector<uint8_t> payload;
+  EncodeShutdownRequest(req, &payload);
+  VITRI_RETURN_IF_ERROR(SendFrame(MessageType::kShutdownRequest, payload));
+  VITRI_ASSIGN_OR_RETURN(Frame frame,
+                         ReadFrame(MessageType::kShutdownResponse));
+  return DecodeSimpleResponse(frame.payload);
+}
+
+}  // namespace vitri::serving

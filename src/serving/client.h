@@ -1,0 +1,65 @@
+#ifndef VITRI_SERVING_CLIENT_H_
+#define VITRI_SERVING_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serving/protocol.h"
+
+namespace vitri::serving {
+
+/// Blocking client for the vitrid wire protocol: one connection, one
+/// outstanding request at a time (send, then read the matching
+/// response). Thread-compatible, not thread-safe — the load driver and
+/// tests give each thread its own Client.
+///
+/// Transport failures surface as Status errors; application-level
+/// outcomes (Overloaded, DeadlineExceeded, ...) come back as the
+/// response's WireStatus with the call itself returning OK, so callers
+/// can tell "the server said no" from "the connection broke".
+class Client {
+ public:
+  /// Connects to a unix-domain socket.
+  static Result<Client> ConnectUnix(const std::string& path);
+  /// Connects to a numeric IPv4 address (e.g. "127.0.0.1").
+  static Result<Client> ConnectTcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      CloseFd();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() { CloseFd(); }
+
+  Result<SimpleResponse> Ping(uint64_t request_id);
+  Result<KnnResponse> Knn(const KnnRequest& request);
+  Result<SimpleResponse> Insert(const InsertRequest& request);
+  Result<StatsResponse> Stats(uint64_t request_id);
+  /// Asks the server to stop; the ack arrives before the server drains.
+  Result<SimpleResponse> Shutdown(uint64_t request_id);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  void CloseFd();
+  Status SendFrame(MessageType type, const std::vector<uint8_t>& payload);
+  /// Reads one frame, which must be `expect` (a pipelined stream would
+  /// need request-id demultiplexing; this client never pipelines).
+  Result<Frame> ReadFrame(MessageType expect);
+
+  int fd_ = -1;
+};
+
+}  // namespace vitri::serving
+
+#endif  // VITRI_SERVING_CLIENT_H_

@@ -1,0 +1,481 @@
+#include "serving/protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace vitri::serving {
+
+namespace {
+
+/// Cursor over a payload with bounds-checked reads: every getter fails
+/// (returns false) instead of reading past the end, so decoders built on
+/// it are total functions of their input bytes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = bytes_[pos_];
+    pos_ += 1;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = DecodeU32(bytes_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = DecodeU64(bytes_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadDouble(double* v) {
+    if (remaining() < 8) return false;
+    *v = DecodeDouble(bytes_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  /// The rest of the payload as a string (always succeeds).
+  std::string ReadRest() {
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  remaining());
+    pos_ = bytes_.size();
+    return s;
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+void AppendU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  uint8_t buf[4];
+  EncodeU32(buf, v);
+  out->insert(out->end(), buf, buf + 4);
+}
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  uint8_t buf[8];
+  EncodeU64(buf, v);
+  out->insert(out->end(), buf, buf + 8);
+}
+void AppendDouble(std::vector<uint8_t>* out, double v) {
+  uint8_t buf[8];
+  EncodeDouble(buf, v);
+  out->insert(out->end(), buf, buf + 8);
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed payload: ") + what);
+}
+
+/// Shared tail of the knn/insert encoders: one ViTri as
+/// [video_id:u32][cluster_size:u32][radius:f64][position:f64 x dim].
+void AppendViTri(std::vector<uint8_t>* out, const core::ViTri& v) {
+  AppendU32(out, v.video_id);
+  AppendU32(out, v.cluster_size);
+  AppendDouble(out, v.radius);
+  for (double x : v.position) AppendDouble(out, x);
+}
+
+/// Decodes one ViTri of known dimension. The caller has already proven
+/// dimension <= kMaxDimension, and the per-field reads bound everything
+/// else, so a hostile count can at worst exhaust the payload (and fail),
+/// never allocate beyond it.
+bool ReadViTri(ByteReader* r, uint32_t dimension, core::ViTri* v) {
+  if (!r->ReadU32(&v->video_id)) return false;
+  if (!r->ReadU32(&v->cluster_size)) return false;
+  if (!r->ReadDouble(&v->radius)) return false;
+  if (!std::isfinite(v->radius) || v->radius < 0.0) return false;
+  v->position.resize(dimension);
+  for (uint32_t d = 0; d < dimension; ++d) {
+    if (!r->ReadDouble(&v->position[d])) return false;
+    if (!std::isfinite(v->position[d])) return false;
+  }
+  return true;
+}
+
+/// Wire size of one encoded ViTri at `dimension`.
+size_t ViTriWireSize(uint32_t dimension) {
+  return 4 + 4 + 8 + 8 * static_cast<size_t>(dimension);
+}
+
+}  // namespace
+
+bool IsValidMessageType(uint8_t raw) {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kPingRequest:
+    case MessageType::kKnnRequest:
+    case MessageType::kInsertRequest:
+    case MessageType::kStatsRequest:
+    case MessageType::kShutdownRequest:
+    case MessageType::kPingResponse:
+    case MessageType::kKnnResponse:
+    case MessageType::kInsertResponse:
+    case MessageType::kStatsResponse:
+    case MessageType::kShutdownResponse:
+      return true;
+  }
+  return false;
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPingRequest:
+      return "PingRequest";
+    case MessageType::kKnnRequest:
+      return "KnnRequest";
+    case MessageType::kInsertRequest:
+      return "InsertRequest";
+    case MessageType::kStatsRequest:
+      return "StatsRequest";
+    case MessageType::kShutdownRequest:
+      return "ShutdownRequest";
+    case MessageType::kPingResponse:
+      return "PingResponse";
+    case MessageType::kKnnResponse:
+      return "KnnResponse";
+    case MessageType::kInsertResponse:
+      return "InsertResponse";
+    case MessageType::kStatsResponse:
+      return "StatsResponse";
+    case MessageType::kShutdownResponse:
+      return "ShutdownResponse";
+  }
+  return "unknown";
+}
+
+MessageType ResponseTypeFor(MessageType request) {
+  return static_cast<MessageType>(static_cast<uint8_t>(request) | 0x80u);
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "Ok";
+    case WireStatus::kInvalidRequest:
+      return "InvalidRequest";
+    case WireStatus::kOverloaded:
+      return "Overloaded";
+    case WireStatus::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case WireStatus::kShuttingDown:
+      return "ShuttingDown";
+    case WireStatus::kInternalError:
+      return "InternalError";
+  }
+  return "unknown";
+}
+
+bool IsValidWireStatus(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(WireStatus::kInternalError);
+}
+
+const char* FrameDecodeStatusName(FrameDecodeStatus status) {
+  switch (status) {
+    case FrameDecodeStatus::kOk:
+      return "Ok";
+    case FrameDecodeStatus::kNeedMoreData:
+      return "NeedMoreData";
+    case FrameDecodeStatus::kBadMagic:
+      return "BadMagic";
+    case FrameDecodeStatus::kBadFlags:
+      return "BadFlags";
+    case FrameDecodeStatus::kBadType:
+      return "BadType";
+    case FrameDecodeStatus::kTooLarge:
+      return "TooLarge";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(MessageType type, std::span<const uint8_t> payload,
+                 std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kFrameHeaderSize + payload.size());
+  AppendU32(out, kFrameMagic);
+  AppendU8(out, static_cast<uint8_t>(type));
+  AppendU8(out, 0);  // flags
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+FrameDecodeStatus DecodeFrame(std::span<const uint8_t> in, Frame* frame,
+                              size_t* consumed) {
+  // Reject on whatever prefix of the header is present: bad magic is
+  // detectable from byte 0, so garbage fails fast instead of stalling a
+  // connection in kNeedMoreData.
+  if (in.empty()) return FrameDecodeStatus::kNeedMoreData;
+  const size_t magic_avail = in.size() < 4 ? in.size() : 4;
+  uint8_t expect[4];
+  EncodeU32(expect, kFrameMagic);
+  if (std::memcmp(in.data(), expect, magic_avail) != 0) {
+    return FrameDecodeStatus::kBadMagic;
+  }
+  if (in.size() >= 5 && !IsValidMessageType(in[4])) {
+    return FrameDecodeStatus::kBadType;
+  }
+  if (in.size() >= 6 && in[5] != 0) {
+    return FrameDecodeStatus::kBadFlags;
+  }
+  if (in.size() < kFrameHeaderSize) {
+    return FrameDecodeStatus::kNeedMoreData;
+  }
+  const uint32_t len = DecodeU32(in.data() + 6);
+  if (len > kMaxFramePayload) {
+    return FrameDecodeStatus::kTooLarge;
+  }
+  if (in.size() < kFrameHeaderSize + len) {
+    return FrameDecodeStatus::kNeedMoreData;
+  }
+  frame->type = static_cast<MessageType>(in[4]);
+  frame->payload.assign(in.begin() + kFrameHeaderSize,
+                        in.begin() + kFrameHeaderSize + len);
+  *consumed = kFrameHeaderSize + len;
+  return FrameDecodeStatus::kOk;
+}
+
+// --- requests --------------------------------------------------------------
+
+void EncodePingRequest(const PingRequest& req, std::vector<uint8_t>* out) {
+  AppendU64(out, req.request_id);
+}
+
+void EncodeKnnRequest(const KnnRequest& req, std::vector<uint8_t>* out) {
+  AppendU64(out, req.request_id);
+  AppendU32(out, req.deadline_ms);
+  AppendU32(out, req.k);
+  AppendU8(out, req.method == core::KnnMethod::kNaive ? 0 : 1);
+  AppendU32(out, req.dimension);
+  AppendU32(out, static_cast<uint32_t>(req.queries.size()));
+  for (const core::BatchQuery& q : req.queries) {
+    AppendU32(out, q.num_frames);
+    AppendU32(out, static_cast<uint32_t>(q.vitris.size()));
+    for (const core::ViTri& v : q.vitris) AppendViTri(out, v);
+  }
+}
+
+void EncodeInsertRequest(const InsertRequest& req,
+                         std::vector<uint8_t>* out) {
+  AppendU64(out, req.request_id);
+  AppendU32(out, req.deadline_ms);
+  AppendU32(out, req.video_id);
+  AppendU32(out, req.num_frames);
+  AppendU32(out, req.dimension);
+  AppendU32(out, static_cast<uint32_t>(req.vitris.size()));
+  for (const core::ViTri& v : req.vitris) AppendViTri(out, v);
+}
+
+void EncodeStatsRequest(const StatsRequest& req, std::vector<uint8_t>* out) {
+  AppendU64(out, req.request_id);
+}
+
+void EncodeShutdownRequest(const ShutdownRequest& req,
+                           std::vector<uint8_t>* out) {
+  AppendU64(out, req.request_id);
+}
+
+Result<PingRequest> DecodePingRequest(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  PingRequest req;
+  if (!r.ReadU64(&req.request_id)) return Malformed("ping id");
+  if (!r.done()) return Malformed("ping trailing bytes");
+  return req;
+}
+
+Result<KnnRequest> DecodeKnnRequest(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  KnnRequest req;
+  uint8_t method = 0;
+  uint32_t num_queries = 0;
+  if (!r.ReadU64(&req.request_id) || !r.ReadU32(&req.deadline_ms) ||
+      !r.ReadU32(&req.k) || !r.ReadU8(&method) ||
+      !r.ReadU32(&req.dimension) || !r.ReadU32(&num_queries)) {
+    return Malformed("knn header");
+  }
+  if (method > 1) return Malformed("knn method");
+  req.method =
+      method == 0 ? core::KnnMethod::kNaive : core::KnnMethod::kComposed;
+  if (req.k == 0) return Malformed("knn k = 0");
+  if (req.dimension == 0 || req.dimension > kMaxDimension) {
+    return Malformed("knn dimension");
+  }
+  // Each query carries at least its 8-byte header, so num_queries is
+  // bounded by the remaining bytes before any reserve.
+  if (num_queries > r.remaining() / 8) return Malformed("knn query count");
+  req.queries.reserve(num_queries);
+  const size_t vitri_size = ViTriWireSize(req.dimension);
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    core::BatchQuery query;
+    uint32_t num_vitris = 0;
+    if (!r.ReadU32(&query.num_frames) || !r.ReadU32(&num_vitris)) {
+      return Malformed("knn query header");
+    }
+    if (num_vitris == 0) return Malformed("knn empty query");
+    if (num_vitris > r.remaining() / vitri_size) {
+      return Malformed("knn vitri count");
+    }
+    query.vitris.resize(num_vitris);
+    for (uint32_t i = 0; i < num_vitris; ++i) {
+      if (!ReadViTri(&r, req.dimension, &query.vitris[i])) {
+        return Malformed("knn vitri");
+      }
+    }
+    req.queries.push_back(std::move(query));
+  }
+  if (req.queries.empty()) return Malformed("knn no queries");
+  if (!r.done()) return Malformed("knn trailing bytes");
+  return req;
+}
+
+Result<InsertRequest> DecodeInsertRequest(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  InsertRequest req;
+  uint32_t num_vitris = 0;
+  if (!r.ReadU64(&req.request_id) || !r.ReadU32(&req.deadline_ms) ||
+      !r.ReadU32(&req.video_id) || !r.ReadU32(&req.num_frames) ||
+      !r.ReadU32(&req.dimension) || !r.ReadU32(&num_vitris)) {
+    return Malformed("insert header");
+  }
+  if (req.dimension == 0 || req.dimension > kMaxDimension) {
+    return Malformed("insert dimension");
+  }
+  if (num_vitris == 0) return Malformed("insert no vitris");
+  const size_t vitri_size = ViTriWireSize(req.dimension);
+  if (num_vitris > r.remaining() / vitri_size) {
+    return Malformed("insert vitri count");
+  }
+  req.vitris.resize(num_vitris);
+  for (uint32_t i = 0; i < num_vitris; ++i) {
+    if (!ReadViTri(&r, req.dimension, &req.vitris[i])) {
+      return Malformed("insert vitri");
+    }
+  }
+  if (!r.done()) return Malformed("insert trailing bytes");
+  return req;
+}
+
+Result<StatsRequest> DecodeStatsRequest(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  StatsRequest req;
+  if (!r.ReadU64(&req.request_id)) return Malformed("stats id");
+  if (!r.done()) return Malformed("stats trailing bytes");
+  return req;
+}
+
+Result<ShutdownRequest> DecodeShutdownRequest(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  ShutdownRequest req;
+  if (!r.ReadU64(&req.request_id)) return Malformed("shutdown id");
+  if (!r.done()) return Malformed("shutdown trailing bytes");
+  return req;
+}
+
+// --- responses -------------------------------------------------------------
+
+namespace {
+
+void AppendResponseHead(std::vector<uint8_t>* out, const ResponseHead& head) {
+  AppendU64(out, head.request_id);
+  AppendU8(out, static_cast<uint8_t>(head.status));
+}
+
+bool ReadResponseHead(ByteReader* r, ResponseHead* head) {
+  uint8_t status = 0;
+  if (!r->ReadU64(&head->request_id) || !r->ReadU8(&status)) return false;
+  if (!IsValidWireStatus(status)) return false;
+  head->status = static_cast<WireStatus>(status);
+  return true;
+}
+
+}  // namespace
+
+void EncodeSimpleResponse(const ResponseHead& head, std::string_view body,
+                          std::vector<uint8_t>* out) {
+  AppendResponseHead(out, head);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+void EncodeKnnResponse(const KnnResponse& resp, std::vector<uint8_t>* out) {
+  AppendResponseHead(out, resp.head);
+  if (resp.head.status != WireStatus::kOk) {
+    out->insert(out->end(), resp.error.begin(), resp.error.end());
+    return;
+  }
+  AppendU32(out, static_cast<uint32_t>(resp.results.size()));
+  for (const std::vector<core::VideoMatch>& matches : resp.results) {
+    AppendU32(out, static_cast<uint32_t>(matches.size()));
+    for (const core::VideoMatch& m : matches) {
+      AppendU32(out, m.video_id);
+      AppendDouble(out, m.similarity);
+    }
+  }
+}
+
+void EncodeStatsResponse(const StatsResponse& resp,
+                         std::vector<uint8_t>* out) {
+  AppendResponseHead(out, resp.head);
+  const std::string& body =
+      resp.head.status == WireStatus::kOk ? resp.json : resp.error;
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Result<SimpleResponse> DecodeSimpleResponse(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  SimpleResponse resp;
+  if (!ReadResponseHead(&r, &resp.head)) return Malformed("response head");
+  resp.error = r.ReadRest();
+  return resp;
+}
+
+Result<KnnResponse> DecodeKnnResponse(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  KnnResponse resp;
+  if (!ReadResponseHead(&r, &resp.head)) return Malformed("response head");
+  if (resp.head.status != WireStatus::kOk) {
+    resp.error = r.ReadRest();
+    return resp;
+  }
+  uint32_t num_results = 0;
+  if (!r.ReadU32(&num_results)) return Malformed("knn result count");
+  if (num_results > r.remaining() / 4) return Malformed("knn result count");
+  resp.results.reserve(num_results);
+  for (uint32_t i = 0; i < num_results; ++i) {
+    uint32_t num_matches = 0;
+    if (!r.ReadU32(&num_matches)) return Malformed("knn match count");
+    if (num_matches > r.remaining() / 12) return Malformed("knn match count");
+    std::vector<core::VideoMatch> matches(num_matches);
+    for (uint32_t m = 0; m < num_matches; ++m) {
+      if (!r.ReadU32(&matches[m].video_id) ||
+          !r.ReadDouble(&matches[m].similarity)) {
+        return Malformed("knn match");
+      }
+    }
+    resp.results.push_back(std::move(matches));
+  }
+  if (!r.done()) return Malformed("knn response trailing bytes");
+  return resp;
+}
+
+Result<StatsResponse> DecodeStatsResponse(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  StatsResponse resp;
+  if (!ReadResponseHead(&r, &resp.head)) return Malformed("response head");
+  if (resp.head.status == WireStatus::kOk) {
+    resp.json = r.ReadRest();
+  } else {
+    resp.error = r.ReadRest();
+  }
+  return resp;
+}
+
+}  // namespace vitri::serving

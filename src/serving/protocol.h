@@ -1,0 +1,205 @@
+#ifndef VITRI_SERVING_PROTOCOL_H_
+#define VITRI_SERVING_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/index.h"
+#include "core/vitri.h"
+
+namespace vitri::serving {
+
+/// Wire protocol of the `vitrid` server (DESIGN.md §15): length-prefixed
+/// binary frames over a byte stream (TCP or unix socket), little-endian
+/// like every other on-disk format in the repo.
+///
+///   frame := magic:u32 type:u8 flags:u8 payload_len:u32 payload[len]
+///
+/// The codec is split in two layers, each with typed (never aborting)
+/// error reporting so arbitrary network bytes cannot crash the server —
+/// the same contract the snapshot/WAL parsers honor for disk bytes, and
+/// fuzzed the same way (fuzz/protocol_decode_fuzz.cc):
+///   1. framing  — DecodeFrame: incremental, returns kNeedMoreData for
+///      any truncated prefix; rejects bad magic / unknown type /
+///      oversized length before allocating payload space;
+///   2. payloads — Decode*Request/Response: bounds-check every count
+///      against the remaining bytes before allocating.
+
+/// "VTRI" (as bytes on the wire: 'V','T','R','I').
+inline constexpr uint32_t kFrameMagic = 0x49525456u;
+inline constexpr size_t kFrameHeaderSize = 10;
+/// A Knn batch of a few hundred queries at dim 64 fits comfortably; a
+/// length field above this is rejected as kTooLarge *before* any
+/// allocation, so a hostile 4 GiB length cannot OOM the server.
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+/// Decoder guards mirrored from the snapshot loader: per-message element
+/// counts must also survive a bytes-remaining check.
+inline constexpr uint32_t kMaxDimension = 4096;
+
+/// Frame types. Responses are their request with the high bit set.
+enum class MessageType : uint8_t {
+  kPingRequest = 1,
+  kKnnRequest = 2,
+  kInsertRequest = 3,
+  kStatsRequest = 4,
+  kShutdownRequest = 5,
+  kPingResponse = 0x81,
+  kKnnResponse = 0x82,
+  kInsertResponse = 0x83,
+  kStatsResponse = 0x84,
+  kShutdownResponse = 0x85,
+};
+
+bool IsValidMessageType(uint8_t raw);
+const char* MessageTypeName(MessageType type);
+/// The response type answering `request` (identity for responses).
+MessageType ResponseTypeFor(MessageType request);
+
+/// Application-level status carried in every response payload. Distinct
+/// from vitri::Status: these are the *protocol's* typed outcomes — the
+/// admission-control and deadline semantics clients program against.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kInvalidRequest = 1,
+  /// The bounded request queue was full; retry with backoff.
+  kOverloaded = 2,
+  /// The request's deadline expired before/while the server worked on it.
+  kDeadlineExceeded = 3,
+  /// The server is draining for shutdown and admits no new work.
+  kShuttingDown = 4,
+  kInternalError = 5,
+};
+
+const char* WireStatusName(WireStatus status);
+bool IsValidWireStatus(uint8_t raw);
+
+/// One decoded frame: type plus raw payload bytes.
+struct Frame {
+  MessageType type = MessageType::kPingRequest;
+  std::vector<uint8_t> payload;
+};
+
+/// Typed outcome of the framing layer.
+enum class FrameDecodeStatus : uint8_t {
+  kOk = 0,
+  /// The buffer holds a valid prefix of a frame; read more bytes.
+  kNeedMoreData = 1,
+  kBadMagic = 2,
+  kBadFlags = 3,
+  kBadType = 4,
+  kTooLarge = 5,
+};
+
+const char* FrameDecodeStatusName(FrameDecodeStatus status);
+
+/// Appends one encoded frame to `out`.
+void EncodeFrame(MessageType type, std::span<const uint8_t> payload,
+                 std::vector<uint8_t>* out);
+
+/// Decodes the frame at the start of `in`. On kOk fills `frame` and sets
+/// `consumed` to the frame's full wire size; on any other status both
+/// outputs are untouched. Never reads past `in`, never aborts.
+FrameDecodeStatus DecodeFrame(std::span<const uint8_t> in, Frame* frame,
+                              size_t* consumed);
+
+// ---------------------------------------------------------------------------
+// Request payloads. Every request starts with [request_id:u64]
+// [deadline_ms:u32]; responses echo the id, so clients can match replies
+// on a pipelined connection. deadline_ms is relative to receipt
+// (0 = no deadline) — the server stamps the absolute deadline when the
+// frame arrives and enforces it at dequeue and between query stages.
+// ---------------------------------------------------------------------------
+
+struct PingRequest {
+  uint64_t request_id = 0;
+};
+
+struct KnnRequest {
+  uint64_t request_id = 0;
+  uint32_t deadline_ms = 0;
+  uint32_t k = 10;
+  core::KnnMethod method = core::KnnMethod::kComposed;
+  uint32_t dimension = 0;
+  std::vector<core::BatchQuery> queries;
+};
+
+struct InsertRequest {
+  uint64_t request_id = 0;
+  uint32_t deadline_ms = 0;
+  uint32_t video_id = 0;
+  uint32_t num_frames = 0;
+  uint32_t dimension = 0;
+  std::vector<core::ViTri> vitris;
+};
+
+struct StatsRequest {
+  uint64_t request_id = 0;
+};
+
+struct ShutdownRequest {
+  uint64_t request_id = 0;
+};
+
+void EncodePingRequest(const PingRequest& req, std::vector<uint8_t>* out);
+void EncodeKnnRequest(const KnnRequest& req, std::vector<uint8_t>* out);
+void EncodeInsertRequest(const InsertRequest& req, std::vector<uint8_t>* out);
+void EncodeStatsRequest(const StatsRequest& req, std::vector<uint8_t>* out);
+void EncodeShutdownRequest(const ShutdownRequest& req,
+                           std::vector<uint8_t>* out);
+
+Result<PingRequest> DecodePingRequest(std::span<const uint8_t> payload);
+Result<KnnRequest> DecodeKnnRequest(std::span<const uint8_t> payload);
+Result<InsertRequest> DecodeInsertRequest(std::span<const uint8_t> payload);
+Result<StatsRequest> DecodeStatsRequest(std::span<const uint8_t> payload);
+Result<ShutdownRequest> DecodeShutdownRequest(
+    std::span<const uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// Response payloads: [request_id:u64][status:u8][body]. For non-OK
+// statuses the body is a UTF-8 error message; for kOk it is the typed
+// result (empty for ping/insert/shutdown, JSON text for stats, match
+// lists for knn).
+// ---------------------------------------------------------------------------
+
+struct ResponseHead {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+};
+
+struct KnnResponse {
+  ResponseHead head;
+  std::string error;  // Non-OK only.
+  /// results[i] answers queries[i] of the request.
+  std::vector<std::vector<core::VideoMatch>> results;
+};
+
+struct StatsResponse {
+  ResponseHead head;
+  std::string error;  // Non-OK only.
+  std::string json;   // kOk only.
+};
+
+/// Ping / insert / shutdown responses: head plus optional error text.
+struct SimpleResponse {
+  ResponseHead head;
+  std::string error;
+};
+
+/// Encodes a head-plus-message response (error replies of any type, and
+/// the OK replies of ping/insert/shutdown, whose body is empty).
+void EncodeSimpleResponse(const ResponseHead& head, std::string_view body,
+                          std::vector<uint8_t>* out);
+void EncodeKnnResponse(const KnnResponse& resp, std::vector<uint8_t>* out);
+void EncodeStatsResponse(const StatsResponse& resp,
+                         std::vector<uint8_t>* out);
+
+Result<SimpleResponse> DecodeSimpleResponse(std::span<const uint8_t> payload);
+Result<KnnResponse> DecodeKnnResponse(std::span<const uint8_t> payload);
+Result<StatsResponse> DecodeStatsResponse(std::span<const uint8_t> payload);
+
+}  // namespace vitri::serving
+
+#endif  // VITRI_SERVING_PROTOCOL_H_

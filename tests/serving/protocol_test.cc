@@ -1,0 +1,410 @@
+// Codec contract of the vitrid wire protocol (src/serving/protocol.h):
+// every encoder round-trips through its decoder, and every malformed
+// input — truncated, oversized, bad magic, hostile counts — comes back
+// as a typed error (FrameDecodeStatus / Status::InvalidArgument), never
+// an abort. The same inputs are fuzzed continuously by
+// fuzz/protocol_decode_fuzz.cc; these tests pin the specific behaviors
+// the server and client rely on.
+
+#include "serving/protocol.h"
+
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+
+namespace vitri::serving {
+namespace {
+
+core::ViTri MakeViTri(uint32_t video_id, uint32_t dimension, double base) {
+  core::ViTri v;
+  v.video_id = video_id;
+  v.cluster_size = 7;
+  v.radius = 0.05;
+  v.position.resize(dimension);
+  for (uint32_t d = 0; d < dimension; ++d) {
+    v.position[d] = base + 0.01 * static_cast<double>(d);
+  }
+  return v;
+}
+
+KnnRequest MakeKnnRequest() {
+  KnnRequest req;
+  req.request_id = 42;
+  req.deadline_ms = 250;
+  req.k = 5;
+  req.method = core::KnnMethod::kComposed;
+  req.dimension = 8;
+  core::BatchQuery q;
+  q.num_frames = 120;
+  q.vitris = {MakeViTri(1, 8, 0.1), MakeViTri(1, 8, 0.5)};
+  req.queries.push_back(q);
+  q.num_frames = 60;
+  q.vitris = {MakeViTri(2, 8, -0.3)};
+  req.queries.push_back(q);
+  return req;
+}
+
+// --- framing ---------------------------------------------------------------
+
+TEST(ProtocolTest, FrameRoundTripsWithPayload) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> wire;
+  EncodeFrame(MessageType::kKnnRequest, payload, &wire);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed), FrameDecodeStatus::kOk);
+  EXPECT_EQ(frame.type, MessageType::kKnnRequest);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(ProtocolTest, FrameRoundTripsEmptyPayload) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MessageType::kPingRequest, {}, &wire);
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed), FrameDecodeStatus::kOk);
+  EXPECT_EQ(frame.type, MessageType::kPingRequest);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(consumed, kFrameHeaderSize);
+}
+
+TEST(ProtocolTest, EveryTruncatedPrefixOfAValidFrameNeedsMoreData) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MessageType::kStatsRequest, std::vector<uint8_t>(16, 0xab),
+              &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Frame frame;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(std::span<const uint8_t>(wire.data(), len),
+                          &frame, &consumed),
+              FrameDecodeStatus::kNeedMoreData)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ProtocolTest, BadMagicFailsFromTheFirstByte) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MessageType::kPingRequest, {}, &wire);
+  wire[0] ^= 0xff;
+  Frame frame;
+  size_t consumed = 0;
+  // The full frame, and even a one-byte prefix, are rejected: garbage
+  // must not park a connection in NeedMoreData.
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed),
+            FrameDecodeStatus::kBadMagic);
+  EXPECT_EQ(DecodeFrame(std::span<const uint8_t>(wire.data(), 1), &frame,
+                        &consumed),
+            FrameDecodeStatus::kBadMagic);
+}
+
+TEST(ProtocolTest, UnknownTypeAndFlagsAreTyped) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MessageType::kPingRequest, {}, &wire);
+  Frame frame;
+  size_t consumed = 0;
+
+  std::vector<uint8_t> bad_type = wire;
+  bad_type[4] = 0x7f;
+  EXPECT_EQ(DecodeFrame(bad_type, &frame, &consumed),
+            FrameDecodeStatus::kBadType);
+
+  std::vector<uint8_t> bad_flags = wire;
+  bad_flags[5] = 1;
+  EXPECT_EQ(DecodeFrame(bad_flags, &frame, &consumed),
+            FrameDecodeStatus::kBadFlags);
+}
+
+TEST(ProtocolTest, OversizedLengthIsRejectedFromTheHeaderAlone) {
+  // A hostile 4 GiB length must be rejected with just the 10 header
+  // bytes in hand — before any payload allocation could happen.
+  std::vector<uint8_t> header(kFrameHeaderSize);
+  EncodeU32(header.data(), kFrameMagic);
+  header[4] = static_cast<uint8_t>(MessageType::kKnnRequest);
+  header[5] = 0;
+  EncodeU32(header.data() + 6, std::numeric_limits<uint32_t>::max());
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(header, &frame, &consumed),
+            FrameDecodeStatus::kTooLarge);
+
+  EncodeU32(header.data() + 6, static_cast<uint32_t>(kMaxFramePayload) + 1);
+  EXPECT_EQ(DecodeFrame(header, &frame, &consumed),
+            FrameDecodeStatus::kTooLarge);
+}
+
+TEST(ProtocolTest, ResponseTypeForSetsTheHighBit) {
+  EXPECT_EQ(ResponseTypeFor(MessageType::kPingRequest),
+            MessageType::kPingResponse);
+  EXPECT_EQ(ResponseTypeFor(MessageType::kKnnRequest),
+            MessageType::kKnnResponse);
+  EXPECT_EQ(ResponseTypeFor(MessageType::kKnnResponse),
+            MessageType::kKnnResponse);
+}
+
+TEST(ProtocolTest, TypeAndStatusNamesCoverEveryValue) {
+  for (uint8_t raw = 0; raw < 0xff; ++raw) {
+    if (IsValidMessageType(raw)) {
+      EXPECT_STRNE(MessageTypeName(static_cast<MessageType>(raw)),
+                   "unknown");
+    }
+  }
+  EXPECT_TRUE(IsValidWireStatus(0));
+  EXPECT_TRUE(
+      IsValidWireStatus(static_cast<uint8_t>(WireStatus::kInternalError)));
+  EXPECT_FALSE(IsValidWireStatus(
+      static_cast<uint8_t>(WireStatus::kInternalError) + 1));
+  EXPECT_STREQ(WireStatusName(WireStatus::kOverloaded), "Overloaded");
+  EXPECT_STREQ(FrameDecodeStatusName(FrameDecodeStatus::kTooLarge),
+               "TooLarge");
+}
+
+// --- request payloads ------------------------------------------------------
+
+TEST(ProtocolTest, PingAndAdminRequestsRoundTrip) {
+  std::vector<uint8_t> payload;
+  EncodePingRequest(PingRequest{99}, &payload);
+  auto ping = DecodePingRequest(payload);
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->request_id, 99u);
+
+  payload.clear();
+  EncodeStatsRequest(StatsRequest{7}, &payload);
+  auto stats = DecodeStatsRequest(payload);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->request_id, 7u);
+
+  payload.clear();
+  EncodeShutdownRequest(ShutdownRequest{13}, &payload);
+  auto shutdown = DecodeShutdownRequest(payload);
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_EQ(shutdown->request_id, 13u);
+}
+
+TEST(ProtocolTest, KnnRequestRoundTrips) {
+  const KnnRequest req = MakeKnnRequest();
+  std::vector<uint8_t> payload;
+  EncodeKnnRequest(req, &payload);
+  auto decoded = DecodeKnnRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, req.request_id);
+  EXPECT_EQ(decoded->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(decoded->k, req.k);
+  EXPECT_EQ(decoded->method, req.method);
+  EXPECT_EQ(decoded->dimension, req.dimension);
+  ASSERT_EQ(decoded->queries.size(), req.queries.size());
+  for (size_t q = 0; q < req.queries.size(); ++q) {
+    EXPECT_EQ(decoded->queries[q].num_frames, req.queries[q].num_frames);
+    ASSERT_EQ(decoded->queries[q].vitris.size(),
+              req.queries[q].vitris.size());
+    for (size_t i = 0; i < req.queries[q].vitris.size(); ++i) {
+      const core::ViTri& got = decoded->queries[q].vitris[i];
+      const core::ViTri& want = req.queries[q].vitris[i];
+      EXPECT_EQ(got.video_id, want.video_id);
+      EXPECT_EQ(got.cluster_size, want.cluster_size);
+      EXPECT_DOUBLE_EQ(got.radius, want.radius);
+      EXPECT_EQ(got.position, want.position);
+    }
+  }
+}
+
+TEST(ProtocolTest, InsertRequestRoundTrips) {
+  InsertRequest req;
+  req.request_id = 5;
+  req.deadline_ms = 0;
+  req.video_id = 300;
+  req.num_frames = 48;
+  req.dimension = 4;
+  req.vitris = {MakeViTri(300, 4, 0.2), MakeViTri(300, 4, 0.9)};
+  std::vector<uint8_t> payload;
+  EncodeInsertRequest(req, &payload);
+  auto decoded = DecodeInsertRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->video_id, req.video_id);
+  EXPECT_EQ(decoded->num_frames, req.num_frames);
+  ASSERT_EQ(decoded->vitris.size(), 2u);
+  EXPECT_EQ(decoded->vitris[1].position, req.vitris[1].position);
+}
+
+TEST(ProtocolTest, EveryTruncationOfAKnnRequestIsATypedError) {
+  std::vector<uint8_t> payload;
+  EncodeKnnRequest(MakeKnnRequest(), &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto decoded =
+        DecodeKnnRequest(std::span<const uint8_t>(payload.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+    EXPECT_TRUE(decoded.status().IsInvalidArgument()) << len;
+  }
+}
+
+TEST(ProtocolTest, KnnRequestRejectsHostileFields) {
+  std::vector<uint8_t> base;
+  EncodeKnnRequest(MakeKnnRequest(), &base);
+  // Layout: id:8 deadline:4 k:4 method:1 dim:4 num_queries:4 ...
+  {
+    std::vector<uint8_t> p = base;
+    EncodeU32(p.data() + 12, 0);  // k = 0
+    EXPECT_FALSE(DecodeKnnRequest(p).ok());
+  }
+  {
+    std::vector<uint8_t> p = base;
+    p[16] = 9;  // method out of range
+    EXPECT_FALSE(DecodeKnnRequest(p).ok());
+  }
+  {
+    std::vector<uint8_t> p = base;
+    EncodeU32(p.data() + 17, kMaxDimension + 1);
+    EXPECT_FALSE(DecodeKnnRequest(p).ok());
+  }
+  {
+    // A query count far beyond the remaining bytes must fail the bounds
+    // check before any allocation is attempted.
+    std::vector<uint8_t> p = base;
+    EncodeU32(p.data() + 21, std::numeric_limits<uint32_t>::max());
+    EXPECT_FALSE(DecodeKnnRequest(p).ok());
+  }
+  {
+    std::vector<uint8_t> p = base;
+    p.push_back(0);  // trailing byte
+    EXPECT_FALSE(DecodeKnnRequest(p).ok());
+  }
+  {
+    // Non-finite coordinates are data corruption, not a valid query.
+    KnnRequest req = MakeKnnRequest();
+    req.queries[0].vitris[0].position[0] =
+        std::numeric_limits<double>::quiet_NaN();
+    std::vector<uint8_t> p;
+    EncodeKnnRequest(req, &p);
+    EXPECT_FALSE(DecodeKnnRequest(p).ok());
+  }
+  {
+    KnnRequest req = MakeKnnRequest();
+    req.queries[0].vitris[0].radius = -1.0;
+    std::vector<uint8_t> p;
+    EncodeKnnRequest(req, &p);
+    EXPECT_FALSE(DecodeKnnRequest(p).ok());
+  }
+}
+
+TEST(ProtocolTest, InsertRequestBoundsVitriCountByRemainingBytes) {
+  InsertRequest req;
+  req.request_id = 1;
+  req.video_id = 1;
+  req.num_frames = 10;
+  req.dimension = 4;
+  req.vitris = {MakeViTri(1, 4, 0.0)};
+  std::vector<uint8_t> payload;
+  EncodeInsertRequest(req, &payload);
+  // Layout: id:8 deadline:4 video:4 frames:4 dim:4 num_vitris:4.
+  EncodeU32(payload.data() + 24, 1u << 30);
+  auto decoded = DecodeInsertRequest(payload);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
+// --- response payloads -----------------------------------------------------
+
+TEST(ProtocolTest, SimpleResponseRoundTripsEveryStatus) {
+  for (const WireStatus status :
+       {WireStatus::kOk, WireStatus::kInvalidRequest, WireStatus::kOverloaded,
+        WireStatus::kDeadlineExceeded, WireStatus::kShuttingDown,
+        WireStatus::kInternalError}) {
+    ResponseHead head;
+    head.request_id = 17;
+    head.status = status;
+    std::vector<uint8_t> payload;
+    EncodeSimpleResponse(head, status == WireStatus::kOk ? "" : "why",
+                         &payload);
+    auto decoded = DecodeSimpleResponse(payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->head.request_id, 17u);
+    EXPECT_EQ(decoded->head.status, status);
+    if (status != WireStatus::kOk) {
+      EXPECT_EQ(decoded->error, "why");
+    }
+  }
+}
+
+TEST(ProtocolTest, KnnResponseRoundTrips) {
+  KnnResponse resp;
+  resp.head.request_id = 8;
+  resp.head.status = WireStatus::kOk;
+  resp.results = {{{10, 0.95}, {11, 0.5}}, {}};
+  std::vector<uint8_t> payload;
+  EncodeKnnResponse(resp, &payload);
+  auto decoded = DecodeKnnResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->results.size(), 2u);
+  ASSERT_EQ(decoded->results[0].size(), 2u);
+  EXPECT_EQ(decoded->results[0][0].video_id, 10u);
+  EXPECT_DOUBLE_EQ(decoded->results[0][0].similarity, 0.95);
+  EXPECT_TRUE(decoded->results[1].empty());
+}
+
+TEST(ProtocolTest, KnnErrorResponseCarriesTheMessage) {
+  KnnResponse resp;
+  resp.head.request_id = 9;
+  resp.head.status = WireStatus::kOverloaded;
+  resp.error = "request queue is full";
+  std::vector<uint8_t> payload;
+  EncodeKnnResponse(resp, &payload);
+  auto decoded = DecodeKnnResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->head.status, WireStatus::kOverloaded);
+  EXPECT_EQ(decoded->error, "request queue is full");
+  EXPECT_TRUE(decoded->results.empty());
+}
+
+TEST(ProtocolTest, KnnResponseRejectsHostileCounts) {
+  KnnResponse resp;
+  resp.head.request_id = 1;
+  resp.head.status = WireStatus::kOk;
+  resp.results = {{{1, 0.5}}};
+  std::vector<uint8_t> payload;
+  EncodeKnnResponse(resp, &payload);
+  // result count at offset 9 (head is 8 + 1 bytes).
+  EncodeU32(payload.data() + 9, std::numeric_limits<uint32_t>::max());
+  EXPECT_FALSE(DecodeKnnResponse(payload).ok());
+}
+
+TEST(ProtocolTest, StatsResponseRoundTrips) {
+  StatsResponse resp;
+  resp.head.request_id = 2;
+  resp.head.status = WireStatus::kOk;
+  resp.json = "{\"server\":{}}";
+  std::vector<uint8_t> payload;
+  EncodeStatsResponse(resp, &payload);
+  auto decoded = DecodeStatsResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->json, resp.json);
+
+  payload.clear();
+  resp.head.status = WireStatus::kInternalError;
+  resp.error = "boom";
+  resp.json.clear();
+  EncodeStatsResponse(resp, &payload);
+  decoded = DecodeStatsResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->head.status, WireStatus::kInternalError);
+  EXPECT_EQ(decoded->error, "boom");
+}
+
+TEST(ProtocolTest, ResponseHeadRejectsUnknownStatus) {
+  ResponseHead head;
+  head.request_id = 3;
+  head.status = WireStatus::kOk;
+  std::vector<uint8_t> payload;
+  EncodeSimpleResponse(head, "", &payload);
+  payload[8] = 200;  // not a WireStatus
+  EXPECT_FALSE(DecodeSimpleResponse(payload).ok());
+}
+
+}  // namespace
+}  // namespace vitri::serving

@@ -1,0 +1,157 @@
+// End-to-end contract of the `vitrid` binary's client plane, following
+// the cli_stats_test pattern: a real Server runs in this test process
+// (so its stats document serializes *this* process's metrics registry,
+// which the test pre-populates with WAL and query activity), and the
+// real vitrid binary (path baked in via VITRID_PATH) talks to it over a
+// unix socket. Asserts the stats JSON parses and carries the documented
+// shape: server block, wal.* counters, query latency histograms.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "core/index.h"
+#include "core/vitri_builder.h"
+#include "serving/server.h"
+#include "video/synthesizer.h"
+
+namespace vitri {
+namespace {
+
+std::string RunAndCapture(const std::string& command, int* exit_code) {
+  // The server threads in this process never touch the environment, so
+  // popen's mt-unsafety is moot.
+  FILE* pipe = popen(command.c_str(), "r");  // NOLINT(concurrency-mt-unsafe)
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  *exit_code = pclose(pipe);
+  return out;
+}
+
+TEST(VitridSmokeTest, HelpDocumentsEverySubcommand) {
+  int rc = -1;
+  const std::string out =
+      RunAndCapture(std::string(VITRID_PATH) + " --help", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  for (const char* token : {"serve", "ping", "stats", "shutdown",
+                            "--socket", "Overloaded", "deadline"}) {
+    EXPECT_NE(out.find(token), std::string::npos) << token << "\n" << out;
+  }
+}
+
+TEST(VitridSmokeTest, StatsSubcommandReportsWalAndQueryMetrics) {
+  // Build a small durable index and run one insert + one query so the
+  // process registry holds wal.* counters and query histograms before
+  // the stats document is rendered.
+  char tmpl[] = "/tmp/vitrid_smoke_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string db_dir = dir + "/db";
+  const std::string socket = dir + "/vitrid.sock";
+
+  video::SynthesizerOptions so;
+  so.seed = 2005;
+  video::VideoSynthesizer synth(so);
+  const video::VideoDatabase db = synth.GenerateDatabase(0.004);
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = 0.15;
+  core::ViTriBuilder builder(bo);
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+  core::ViTriIndexOptions io;
+  io.dimension = db.dimension;
+  io.epsilon = 0.15;
+  auto index = core::ViTriIndex::Build(*set, io);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->EnableDurability(db_dir).ok());
+
+  auto query = builder.Build(db.videos[0]);
+  ASSERT_TRUE(query.ok());
+  const auto frames = static_cast<uint32_t>(db.videos[0].num_frames());
+  ASSERT_TRUE(index->Knn(*query, frames, 3, core::KnnMethod::kComposed).ok());
+  uint32_t next_id = 0;
+  for (const auto& v : set->vitris) next_id = std::max(next_id, v.video_id);
+  ASSERT_TRUE(index->Insert(next_id + 1, frames, *query).ok());
+
+  serving::ServerOptions opts;
+  opts.unix_socket_path = socket;
+  opts.checkpoint_on_shutdown = false;
+  serving::Server server(&*index, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  int rc = -1;
+  const std::string pong =
+      RunAndCapture(std::string(VITRID_PATH) + " ping --socket " + socket,
+                    &rc);
+  EXPECT_EQ(rc, 0) << pong;
+  EXPECT_NE(pong.find("pong"), std::string::npos) << pong;
+
+  const std::string out =
+      RunAndCapture(std::string(VITRID_PATH) + " stats --socket " + socket,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  auto parsed = json::ParseJson(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << out;
+  ASSERT_TRUE(parsed->is_object());
+
+  // Server block: admission/drain counters plus the index's shape.
+  const json::JsonValue* srv = parsed->Find("server");
+  ASSERT_NE(srv, nullptr) << out;
+  ASSERT_TRUE(srv->is_object());
+  for (const char* key :
+       {"state", "queue_depth", "queue_capacity", "connections", "admitted",
+        "rejected_overloaded", "deadline_exceeded"}) {
+    EXPECT_NE(srv->Find(key), nullptr) << key << "\n" << out;
+  }
+  const json::JsonValue* idx = srv->Find("index");
+  ASSERT_NE(idx, nullptr) << out;
+  const json::JsonValue* durable = idx->Find("durable");
+  ASSERT_NE(durable, nullptr);
+  EXPECT_EQ(durable->kind, json::JsonValue::Kind::kBool);
+  EXPECT_TRUE(durable->bool_value);
+
+  // Metrics registry: the durable insert left wal.* counters behind.
+  const json::JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr) << out;
+  const json::JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* name : {"wal.appends", "wal.commits", "wal.append_bytes"}) {
+    const json::JsonValue* c = counters->Find(name);
+    ASSERT_NE(c, nullptr) << name << "\n" << out;
+    EXPECT_GT(c->number, 0.0) << name;
+  }
+
+  // ... and the query ran through the histograms.
+  const json::JsonValue* histograms = metrics->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::JsonValue* latency = histograms->Find("query.knn.latency_us");
+  ASSERT_NE(latency, nullptr) << out;
+  for (const char* field : {"count", "p50", "p95", "p99"}) {
+    EXPECT_NE(latency->Find(field), nullptr) << field;
+  }
+
+  // In-band shutdown through the binary signals the owner loop.
+  const std::string ack = RunAndCapture(
+      std::string(VITRID_PATH) + " shutdown --socket " + socket, &rc);
+  EXPECT_EQ(rc, 0) << ack;
+  EXPECT_NE(ack.find("shutdown requested"), std::string::npos) << ack;
+  EXPECT_TRUE(server.WaitForShutdownRequest(10'000));
+  EXPECT_TRUE(server.Shutdown().ok());
+
+  // Best-effort cleanup of the temp tree (db dir contents + socket).
+  [[maybe_unused]] int ignored =
+      std::system(("rm -rf " + dir).c_str());  // NOLINT(concurrency-mt-unsafe)
+}
+
+}  // namespace
+}  // namespace vitri
