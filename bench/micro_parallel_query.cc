@@ -1,16 +1,23 @@
 // Scaling of the parallel query and ingest paths: BatchKnn throughput
-// and BuildDatabase wall time at 1/2/4/8 worker threads, verifying at
-// every thread count that the results are bit-identical to the
-// sequential run, plus the tracing-overhead check (traced queries must
-// stay within a few percent of untraced throughput — the observability
-// contract of DESIGN.md §12). Speedup depends on the machine's core
+// and BuildDatabase wall time swept from 1 thread to the machine's
+// hardware concurrency, verifying at every thread count that the
+// results are bit-identical to the sequential run, plus the
+// tracing-overhead check (traced queries must stay within a few percent
+// of untraced throughput — the observability contract of DESIGN.md
+// §12), plus a sharded-buffer-pool section that hammers concurrent
+// Fetch at one shard (the old single-latch pool) vs. the auto shard
+// count, reporting per-shard hit rates, evictions, and prefetch
+// efficiency (DESIGN.md §16). Speedup depends on the machine's core
 // count; the bit-identity checks hold everywhere.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/index.h"
@@ -18,6 +25,8 @@
 #include "core/vitri_builder.h"
 #include "harness/bench_common.h"
 #include "harness/bench_report.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
 
 namespace {
 
@@ -38,6 +47,15 @@ bool Identical(const std::vector<std::vector<VideoMatch>>& a,
     }
   }
   return true;
+}
+
+/// 1, 2, 4, ... capped by (and always including) hardware concurrency.
+std::vector<size_t> ThreadSweep() {
+  const size_t hw = std::max<size_t>(1, ThreadPool::HardwareThreads());
+  std::vector<size_t> counts;
+  for (size_t t = 1; t < hw; t *= 2) counts.push_back(t);
+  counts.push_back(hw);
+  return counts;
 }
 
 }  // namespace
@@ -77,8 +95,7 @@ int main() {
               "queries/s", "speedup", "identical");
   std::vector<std::vector<VideoMatch>> baseline;
   double baseline_ms = 0.0;
-  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4},
-                               size_t{8}}) {
+  for (const size_t threads : ThreadSweep()) {
     double best_ms = 0.0;
     std::vector<std::vector<VideoMatch>> last;
     QueryCosts costs;
@@ -218,10 +235,10 @@ int main() {
   std::printf("\n%-10s %-12s %-14s %-10s\n", "threads", "wall ms",
               "videos/s", "speedup");
   double ingest_baseline_ms = 0.0;
-  for (const int threads : {1, 2, 4, 8}) {
+  for (const size_t threads : ThreadSweep()) {
     ViTriBuilderOptions bo;
     bo.epsilon = w.epsilon;
-    bo.num_threads = threads;
+    bo.num_threads = static_cast<int>(threads);
     ViTriBuilder builder(bo);
     double best_ms = 0.0;
     for (int r = 0; r < repeats; ++r) {
@@ -235,7 +252,7 @@ int main() {
       if (r == 0 || ms < best_ms) best_ms = ms;
     }
     if (threads == 1) ingest_baseline_ms = best_ms;
-    std::printf("%-10d %-12.2f %-14.1f %-10.2f\n", threads, best_ms,
+    std::printf("%-10zu %-12.2f %-14.1f %-10.2f\n", threads, best_ms,
                 static_cast<double>(w.db.num_videos()) / (best_ms / 1e3),
                 ingest_baseline_ms / best_ms);
     report.AddRow()
@@ -247,9 +264,148 @@ int main() {
         .Set("speedup", ingest_baseline_ms / best_ms);
   }
 
+  // --- Buffer pool scaling -----------------------------------------
+  // Concurrent Fetch against one shard (the old single-latch pool) vs.
+  // the auto shard count, same page universe and access pattern. Every
+  // worker mixes a random working set with a leaf-chain-style
+  // sequential scan that hints the next page (Prefetch), so hit rates,
+  // evictions, and prefetch efficiency all have signal. MemPager keeps
+  // the I/O cost itself negligible: what this section measures is latch
+  // contention in the pool bookkeeping.
+  {
+    constexpr size_t kPoolPages = 2048;
+    constexpr size_t kPoolCapacity = 512;
+    const int fetches_per_thread =
+        bench::EnvInt("VITRI_POOL_FETCHES", 40000);
+    std::printf("\n%-10s %-10s %-10s %-12s %-14s %-10s %-10s\n", "config",
+                "shards", "threads", "wall ms", "fetches/s", "speedup",
+                "hit rate");
+    for (const size_t shard_config : {size_t{1}, size_t{0}}) {
+      storage::MemPager pager(256);
+      storage::BufferPoolOptions po;
+      po.shards = shard_config;
+      po.sync_on_flush = false;
+      po.readahead_pages = 8;
+      po.prefetch_threads = 1;  // Async loads give prefetch-hit signal.
+      storage::BufferPool pool(&pager, kPoolCapacity, po);
+      for (size_t i = 0; i < kPoolPages; ++i) {
+        auto page = pool.New();
+        if (!page.ok()) return 1;
+        page->MarkDirty();
+      }
+      if (!pool.FlushAll().ok() || !pool.EvictAll().ok()) return 1;
+      const char* config = shard_config == 1 ? "1-shard" : "sharded";
+
+      double pool_baseline_ms = 0.0;
+      for (const size_t threads : ThreadSweep()) {
+        // Cold counters per run so per-shard rates describe this sweep
+        // point only; EvictAll also cools the cache.
+        if (!pool.EvictAll().ok()) return 1;
+        pool.RestoreStats(storage::BufferPool::StatsSave{
+            std::vector<storage::IoSnapshot>(pool.num_shards()),
+            storage::IoSnapshot{}});
+        Stopwatch timer;
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (size_t t = 0; t < threads; ++t) {
+          workers.emplace_back([&pool, t, fetches_per_thread] {
+            Rng rng(42 + t);
+            // 75% random working-set fetches, 25% sequential scan with
+            // a leaf-chain readahead hint on the successor.
+            storage::PageId cursor =
+                static_cast<storage::PageId>(rng.Index(kPoolPages));
+            for (int i = 0; i < fetches_per_thread; ++i) {
+              storage::PageId id;
+              if (i % 4 == 3) {
+                cursor = (cursor + 1) % kPoolPages;
+                id = cursor;
+                pool.Prefetch((cursor + 1) % kPoolPages);
+              } else {
+                // Zipf-ish: half the traffic hits 1/8 of the pages, so
+                // the pool has a meaningful hot set to cache.
+                id = static_cast<storage::PageId>(
+                    rng.Index(2) == 0 ? rng.Index(kPoolPages / 8)
+                                      : rng.Index(kPoolPages));
+              }
+              auto page = pool.Fetch(id);
+              if (!page.ok()) std::abort();  // MemPager cannot fail.
+            }
+          });
+        }
+        for (std::thread& worker : workers) worker.join();
+        const double ms = timer.ElapsedMillis();
+        if (threads == 1) pool_baseline_ms = ms;
+        const storage::IoSnapshot total = pool.StatsSnapshot();
+        const double total_fetches =
+            static_cast<double>(threads) * fetches_per_thread;
+        const double hit_rate =
+            total.logical_reads == 0
+                ? 0.0
+                : static_cast<double>(total.cache_hits) /
+                      static_cast<double>(total.logical_reads);
+        std::printf("%-10s %-10zu %-10zu %-12.2f %-14.0f %-10.2f "
+                    "%-10.3f\n",
+                    config, pool.num_shards(), threads, ms,
+                    total_fetches / (ms / 1e3), pool_baseline_ms / ms,
+                    hit_rate);
+        report.AddRow()
+            .Set("section", "pool_fetch")
+            .Set("config", config)
+            .Set("shards", pool.num_shards())
+            .Set("threads", threads)
+            .Set("wall_ms", ms)
+            .Set("fetches_per_s", total_fetches / (ms / 1e3))
+            .Set("speedup", pool_baseline_ms / ms)
+            .Set("hit_rate", hit_rate)
+            .Set("evictions", total.evictions)
+            .Set("prefetch_issued", total.prefetch_issued)
+            .Set("prefetch_hits", total.prefetch_hits);
+
+        // Per-shard balance at the widest sweep point: shard-local hit
+        // rate, evictions, and prefetch efficiency.
+        if (threads == ThreadSweep().back()) {
+          const std::vector<storage::IoSnapshot> shards =
+              pool.ShardSnapshots();
+          for (size_t i = 0; i < shards.size(); ++i) {
+            const storage::IoSnapshot& s = shards[i];
+            const double shard_hit_rate =
+                s.logical_reads == 0
+                    ? 0.0
+                    : static_cast<double>(s.cache_hits) /
+                          static_cast<double>(s.logical_reads);
+            const double prefetch_efficiency =
+                s.prefetch_issued == 0
+                    ? 0.0
+                    : static_cast<double>(s.prefetch_hits) /
+                          static_cast<double>(s.prefetch_issued);
+            std::printf("  shard %zu: %llu fetches, hit rate %.3f, "
+                        "%llu evictions, prefetch eff %.3f\n",
+                        i,
+                        static_cast<unsigned long long>(s.logical_reads),
+                        shard_hit_rate,
+                        static_cast<unsigned long long>(s.evictions),
+                        prefetch_efficiency);
+            report.AddRow()
+                .Set("section", "pool_shard")
+                .Set("config", config)
+                .Set("shard", i)
+                .Set("threads", threads)
+                .Set("logical_reads", s.logical_reads)
+                .Set("hit_rate", shard_hit_rate)
+                .Set("evictions", s.evictions)
+                .Set("prefetch_issued", s.prefetch_issued)
+                .Set("prefetch_hits", s.prefetch_hits)
+                .Set("prefetch_efficiency", prefetch_efficiency);
+          }
+        }
+      }
+    }
+  }
+
   std::printf("\n# expected shape: near-linear speedup up to the core "
               "count, identical results at every thread count, tracing "
-              "overhead within noise\n");
+              "overhead within noise, sharded pool fetch scaling ahead "
+              "of the 1-shard baseline\n");
   if (!report.WriteArtifact()) return 1;
   return 0;
 }

@@ -562,6 +562,14 @@ Result<uint64_t> BPlusTree::RangeScan(double lo, double hi,
     NodeView leaf(const_cast<uint8_t*>(page.data()), value_size_);
     size_t pos = first_leaf_of_scan ? leaf.LeafLowerBound(lo, 0) : 0;
     first_leaf_of_scan = false;
+    // The scan will follow the sibling chain unless this leaf already
+    // covers hi; hint the pool before consuming the current leaf so the
+    // readahead overlaps with the callback work. Bulk-loaded chains are
+    // allocated in order, so siblings are contiguous on disk and the
+    // pool's readahead window covers several upcoming leaves.
+    if (leaf.count() > 0 && leaf.leaf_key(leaf.count() - 1) <= hi) {
+      pool_->Prefetch(leaf.next());
+    }
     for (; pos < leaf.count(); ++pos) {
       const double k = leaf.leaf_key(pos);
       if (k > hi) return visited;
@@ -874,9 +882,9 @@ Status BPlusTree::ValidateInvariants(const TreeCheckOptions& options) const {
 Status BPlusTree::ValidateInvariantsLocked(
     const TreeCheckOptions& options) const {
   // The validator is observation-free: the audited save/restore scope
-  // rolls the pool's I/O counters back so debug-build self-checks never
-  // skew the page-access costs the experiments report.
-  storage::ScopedIoStatsRestore restore(pool_->mutable_stats());
+  // rolls the pool's I/O counters back (shard by shard) so debug-build
+  // self-checks never skew the page-access costs the experiments report.
+  storage::ScopedPoolStatsRestore restore(pool_);
   return ValidateInvariantsImpl(options);
 }
 

@@ -97,7 +97,7 @@ Status ViTriIndex::LoadTree() {
   // Mirror transient-error retries into the pool's IoStats so query
   // cost reporting surfaces them.
   if (auto* retrying = dynamic_cast<storage::RetryingPager*>(pager_.get())) {
-    retrying->set_stats_sink(pool_->mutable_stats());
+    retrying->set_stats_sink(pool_->external_stats());
   }
   VITRI_ASSIGN_OR_RETURN(
       BPlusTree tree,
@@ -302,7 +302,7 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
       auto candidate = ViTri::Deserialize(value, options_.dimension);
       if (candidate.ok()) evaluate(*candidate, r.query_index);
     };
-    TraceSpanScope scan_span(trace, "scan", &pool_->stats());
+    TraceSpanScope scan_span(trace, "scan", pool_.get());
     for (size_t ri = 0; ri < ranges.size(); ++ri) {
       const RangeSpec& r = ranges[ri];
       ++costs->range_searches;
@@ -342,7 +342,7 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
     }
     std::vector<KeyRange> merged;
     {
-      TraceSpanScope compose_span(trace, "compose", &pool_->stats());
+      TraceSpanScope compose_span(trace, "compose", pool_.get());
       merged = ComposeKeyRanges(std::move(to_merge));
     }
     auto process = [&](double key, std::span<const uint8_t> value) {
@@ -355,7 +355,7 @@ Status ViTriIndex::KnnScanTree(const std::vector<ViTri>& query,
         }
       }
     };
-    TraceSpanScope scan_span(trace, "scan", &pool_->stats());
+    TraceSpanScope scan_span(trace, "scan", pool_.get());
     for (size_t mi = 0; mi < merged.size(); ++mi) {
       const KeyRange& m = merged[mi];
       ++costs->range_searches;
@@ -430,7 +430,7 @@ Result<std::vector<VideoMatch>> ViTriIndex::KnnCompute(
   // Per-query-ViTri keys and radii for candidate evaluation.
   std::vector<RangeSpec> ranges;
   {
-    TraceSpanScope transform_span(trace, "transform", &pool_->stats());
+    TraceSpanScope transform_span(trace, "transform", pool_.get());
     ranges = MakeRanges(query);
   }
 
@@ -448,12 +448,12 @@ Result<std::vector<VideoMatch>> ViTriIndex::KnnCompute(
     local->candidates = 0;
     local->similarity_evals = 0;
     std::fill(shared.begin(), shared.end(), 0.0);
-    TraceSpanScope refine_span(trace, "refine", &pool_->stats());
+    TraceSpanScope refine_span(trace, "refine", pool_.get());
     EvaluateInMemory(query, &shared, local);
   } else if (!scan.ok()) {
     return scan;
   }
-  TraceSpanScope rank_span(trace, "rank", &pool_->stats());
+  TraceSpanScope rank_span(trace, "rank", pool_.get());
   return RankResults(shared, query_frames, k);
 }
 
@@ -702,7 +702,7 @@ Status ViTriIndex::ValidateInvariants() {
 Status ViTriIndex::ValidateInvariantsLocked() {
   // The audited save/restore helper: validation reads pages through the
   // pool, but must never perturb the counters queries report.
-  storage::ScopedIoStatsRestore restore(pool_->mutable_stats());
+  storage::ScopedPoolStatsRestore restore(pool_.get());
   return ValidateInvariantsImpl();
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/json.h"
+#include "storage/buffer_pool.h"
 
 namespace vitri::core {
 
@@ -108,6 +109,15 @@ std::string QueryTrace::ToJson() const {
   return w.str();
 }
 
+TraceSpanScope::TraceSpanScope(QueryTrace* trace, const char* name,
+                               const storage::BufferPool* pool)
+    : trace_(trace), name_(name), pool_(pool) {
+  if (trace_ != nullptr) {
+    start_ = QueryTrace::Clock::now();
+    io_before_ = pool_->StatsSnapshot();
+  }
+}
+
 TraceSpanScope::~TraceSpanScope() {
   if (trace_ == nullptr) return;
   const QueryTrace::Clock::time_point end = QueryTrace::Clock::now();
@@ -117,7 +127,7 @@ TraceSpanScope::~TraceSpanScope() {
       std::chrono::duration<double>(start_ - trace_->epoch_).count();
   span.duration_seconds =
       std::chrono::duration<double>(end - start_).count();
-  span.io = io_->Snapshot() - io_before_;
+  span.io = pool_->StatsSnapshot() - io_before_;
   trace_->spans_.push_back(span);
 }
 

@@ -7,6 +7,10 @@
 
 #include "storage/io_stats.h"
 
+namespace vitri::storage {
+class BufferPool;
+}  // namespace vitri::storage
+
 namespace vitri::core {
 
 /// One timed stage of a query, with the buffer pool's I/O counter delta
@@ -83,17 +87,13 @@ extern const double kTraceClockPairSeconds;
 /// RAII span recorder. Null-safe: with trace == nullptr, construction
 /// and destruction reduce to a pointer test — the untraced hot path
 /// stays untouched. With a trace, construction snapshots the clock and
-/// the pool counters, destruction appends the finished span.
+/// the pool's (shard-folded) counters, destruction appends the finished
+/// span. Snapshot bodies live in the .cc so this header needs only a
+/// forward declaration of BufferPool.
 class TraceSpanScope {
  public:
   TraceSpanScope(QueryTrace* trace, const char* name,
-                 const storage::IoStats* io)
-      : trace_(trace), name_(name), io_(io) {
-    if (trace_ != nullptr) {
-      start_ = QueryTrace::Clock::now();
-      io_before_ = io_->Snapshot();
-    }
-  }
+                 const storage::BufferPool* pool);
   ~TraceSpanScope();
 
   TraceSpanScope(const TraceSpanScope&) = delete;
@@ -102,7 +102,7 @@ class TraceSpanScope {
  private:
   QueryTrace* trace_;
   const char* name_;
-  const storage::IoStats* io_;
+  const storage::BufferPool* pool_;
   QueryTrace::Clock::time_point start_{};
   storage::IoSnapshot io_before_;
 };

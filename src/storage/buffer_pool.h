@@ -2,16 +2,20 @@
 #define VITRI_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/annotated_lock.h"
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "storage/replacer.h"
 
 namespace vitri::storage {
 
@@ -75,25 +79,7 @@ class PageRef {
   bool dirty_latch_ = false;
 };
 
-/// LRU buffer pool over a Pager. Tracks logical fetches, cache hits, and
-/// physical transfers in IoStats — the counters the experiment harnesses
-/// report as the paper's "I/O cost".
-///
-/// The pool is also the page-integrity boundary: every page written back
-/// is stamped with a checksum footer (storage/page_footer.h) and every
-/// page read from the pager is verified. A mismatch fails the Fetch with
-/// Status::Corruption and quarantines the page id in corrupt_pages().
-///
-/// Thread-safety: all public operations are safe to call concurrently.
-/// A single latch guards the page table, LRU list, and pin counts; the
-/// backing pager is only ever accessed with the latch held, so pagers
-/// need no locking of their own. The latch is the innermost lock in the
-/// system and no callback or user code runs under it (see DESIGN.md
-/// "Threading model"). Page *contents* are not latched: concurrent
-/// readers of a page are fine, but a writer needs exclusive ownership of
-/// that page. FlushAll()/EvictAll() write back pinned dirty frames too,
-/// so they must not run concurrently with writers mutating pinned pages.
-/// Durability knobs for a BufferPool.
+/// Knobs for a BufferPool.
 struct BufferPoolOptions {
   /// Finish FlushAll() (and therefore destruction) with Pager::Sync(),
   /// making the flush a durability point rather than just a write-back
@@ -101,12 +87,64 @@ struct BufferPoolOptions {
   /// pager's own sync mode (FilePager::Open's FileSyncMode). Disable
   /// for throwaway benchmark pools where the file is never reopened.
   bool sync_on_flush = true;
+
+  /// Number of independently latched sub-pools the frames are split
+  /// into (page id modulo shard count picks the shard). 0 = auto:
+  /// capacity/8 clamped to [1, 8], so small test pools stay one shard
+  /// (single-latch behavior, byte-identical results) and big pools
+  /// spread contention. The VITRI_POOL_SHARDS environment variable
+  /// overrides *auto* only — an explicit count here always wins — which
+  /// is how the one-shard CI leg pins the whole suite to one shard.
+  /// Always clamped to [1, capacity] so every shard owns >= 1 frame.
+  size_t shards = 0;
+
+  /// Pages per readahead hint: Prefetch(id) advises the pager that
+  /// [id, id+readahead_pages) will be read (FilePager turns this into
+  /// posix_fadvise(WILLNEED); MemPager ignores it). Bulk-loaded leaf
+  /// chains are contiguous on disk, so a span starting at the next
+  /// sibling covers the scan's near future. 0 disables readahead
+  /// entirely (Prefetch becomes a no-op).
+  size_t readahead_pages = 8;
+
+  /// Worker threads for asynchronous frame prefetch. 0 (default) keeps
+  /// Prefetch hint-only: the kernel may read ahead, but no frame is
+  /// populated until a demand Fetch. > 0 additionally loads the hinted
+  /// page into its shard on a pool-owned thread, so the demand fetch
+  /// finds it resident (counted in prefetch_hits). Async prefetch
+  /// consumes frames and may evict, so it is opt-in.
+  size_t prefetch_threads = 0;
 };
 
+/// Sharded buffer pool over a Pager, with clock (second-chance)
+/// replacement per shard. Pages map to shards by id; each shard owns a
+/// fixed set of frames, its own page table, replacer, and latch, so
+/// fetches of pages in different shards never contend. Tracks logical
+/// fetches, cache hits, and physical transfers in per-shard IoStats —
+/// the counters the experiment harnesses report as the paper's "I/O
+/// cost" — folded together on read (stats()).
+///
+/// The pool is also the page-integrity boundary: every page written back
+/// is stamped with a checksum footer (storage/page_footer.h) and every
+/// page read from the pager is verified. A mismatch fails the Fetch with
+/// Status::Corruption and quarantines the page id in corrupt_pages().
+///
+/// Thread-safety: all public operations are safe to call concurrently.
+/// Each shard's latch guards that shard's bookkeeping only; pager I/O
+/// runs *outside* the latch, with per-frame load/evict states keeping
+/// concurrent fetches of the same page from racing (duplicate loads
+/// park on the shard's condvar; a page mid-writeback is fetched only
+/// after the write lands, so readers never see stale bytes). Shard
+/// latches are leaves of the lock order (DESIGN.md §14, §16) and are
+/// never held two at a time. The backing pager must honor the Pager
+/// concurrency contract (pager.h). Page *contents* are not latched:
+/// concurrent readers of a page are fine, but a writer needs exclusive
+/// ownership of that page. FlushAll()/EvictAll() write back pinned
+/// dirty frames too, so they must not run concurrently with writers
+/// mutating pinned pages.
 class BufferPool {
  public:
-  /// `capacity` is the number of resident frames (>= 1). The pool does
-  /// not own the pager.
+  /// `capacity` is the number of resident frames (>= 1), split across
+  /// the shards. The pool does not own the pager.
   BufferPool(Pager* pager, size_t capacity);
   BufferPool(Pager* pager, size_t capacity, const BufferPoolOptions& options);
 
@@ -116,56 +154,79 @@ class BufferPool {
   ~BufferPool();
 
   /// Fetches (pinning) an existing page.
-  Result<PageRef> Fetch(PageId id) VITRI_EXCLUDES(latch_);
+  Result<PageRef> Fetch(PageId id);
 
   /// Allocates a new page in the pager and returns it pinned and dirty.
-  Result<PageRef> New() VITRI_EXCLUDES(latch_);
+  Result<PageRef> New();
+
+  /// Readahead hint: pages [id, id+readahead_pages) are likely to be
+  /// fetched soon. Forwards to Pager::WillNeed and, when async prefetch
+  /// is configured, schedules a background load of `id` into its shard.
+  /// Advisory: never fails, never pins, never counts a logical read —
+  /// the paper's page-access figures see only demand fetches.
+  void Prefetch(PageId id);
 
   /// Writes back all dirty frames (pages stay cached).
-  Status FlushAll() VITRI_EXCLUDES(latch_);
+  Status FlushAll();
 
-  /// Drops every unpinned frame after flushing it; simulates a cold
-  /// cache for benchmark repeatability.
-  Status EvictAll() VITRI_EXCLUDES(latch_);
+  /// Drains in-flight prefetches, then drops every unpinned frame after
+  /// flushing it; simulates a cold cache for benchmark repeatability.
+  Status EvictAll();
 
-  /// The counters are atomic, so reading through the reference is safe
-  /// while other threads fetch pages; copy it to snapshot a delta.
-  const IoStats& stats() const { return stats_; }
-  /// Writing through this pointer (the validators' save/restore trick)
-  /// requires that no other thread is using the pool.
-  IoStats* mutable_stats() { return &stats_; }
+  /// Aggregated counters, folded across the shards (plus the external
+  /// sink) at call time. Each field is a sum of atomic loads, so totals
+  /// never tear even while other threads fetch. Returned by value: with
+  /// sharded counters there is no single live struct to reference.
+  IoStats stats() const;
+  /// Same fold as plain integers — the cheap form for deltas.
+  IoSnapshot StatsSnapshot() const;
+  /// One snapshot per shard (index = shard number), for per-shard
+  /// hit-rate / balance reporting. Excludes the external sink.
+  std::vector<IoSnapshot> ShardSnapshots() const;
+
+  /// Counter sink for pager decorators (RetryingPager::set_stats_sink):
+  /// an extra IoStats folded into stats() that does not belong to any
+  /// shard. Writing other fields through it (tests) is fine too.
+  IoStats* external_stats() { return &external_stats_; }
+
+  /// Everything stats() folds, split by origin — the save/restore
+  /// currency of ScopedPoolStatsRestore.
+  struct StatsSave {
+    std::vector<IoSnapshot> shards;
+    IoSnapshot external;
+  };
+  /// Save/restore of every counter the pool owns. Restoring while other
+  /// threads use the pool silently drops their increments; callers
+  /// require exclusive access (same caveat as RestoreIoStats).
+  StatsSave SaveStats() const;
+  void RestoreStats(const StatsSave& saved);
 
   /// Page ids whose checksum verification failed since construction (or
   /// the last ClearCorruptPages). Ordered for stable reporting; returns
   /// a copy so the caller's view cannot race with concurrent fetches.
-  std::set<PageId> corrupt_pages() const VITRI_EXCLUDES(latch_) {
-    MutexLock lock(latch_);
-    return corrupt_pages_;
-  }
-  void ClearCorruptPages() VITRI_EXCLUDES(latch_) {
-    MutexLock lock(latch_);
-    corrupt_pages_.clear();
-  }
+  std::set<PageId> corrupt_pages() const;
+  void ClearCorruptPages();
 
   size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
   const BufferPoolOptions& options() const { return options_; }
-  size_t resident() const VITRI_EXCLUDES(latch_) {
-    MutexLock lock(latch_);
-    return frames_.size();
-  }
-  /// The pointer itself is set at construction and immutable; callers
-  /// outside the pool may use it only while no pool operation can be
-  /// writing through it (e.g. single-threaded setup/teardown).
+  size_t resident() const;
+  /// The pointer itself is set at construction and immutable; the
+  /// pointee is thread-safe per the Pager contract.
   Pager* pager() const { return pager_; }
 
-  /// Deep self-check of the pool's bookkeeping: every frame's pin count
-  /// is non-negative, a frame sits on the LRU list iff it is unpinned
-  /// (exactly once, with a live back-pointer), no page id owns two
-  /// frames, frame buffers match the pager's page size, and the hit
-  /// counter never exceeds the fetch counter. Runs after every
-  /// mutating operation in debug builds (VITRI_DCHECK) and via
-  /// `vitri check`; returns Internal naming the violated invariant.
-  Status ValidateInvariants() const VITRI_EXCLUDES(latch_);
+  /// Deep self-check of the pool's bookkeeping, shard by shard: every
+  /// frame slot is exactly one of free / table-mapped, every table
+  /// entry names a frame that agrees on its page id AND lives in the
+  /// page's home shard, the replacer tracks exactly the unpinned
+  /// resident slots (a pinned frame in the replacer is a violation),
+  /// pin counts are non-negative, frame buffers match the pager's page
+  /// size, and the hit counter never exceeds the fetch counter. Runs
+  /// after every mutating operation in debug builds (VITRI_DCHECK) and
+  /// via `vitri check`; returns Internal naming the violated invariant.
+  /// Requires no in-flight pool operations (frames mid-load/mid-evict
+  /// are deliberately in transitional states).
+  Status ValidateInvariants() const;
 
  private:
   friend class PageRef;
@@ -178,31 +239,117 @@ class BufferPool {
     std::vector<uint8_t> data;
     int pin_count = 0;
     bool dirty = false;
-    // Position in lru_ when pin_count == 0.
-    std::list<PageId>::iterator lru_pos;
-    bool in_lru = false;
+    /// A demand load or async prefetch is filling `data`; the filling
+    /// thread owns the bytes, everyone else parks on the shard condvar.
+    bool loading = false;
+    /// Loaded by async prefetch and not yet demanded; the first demand
+    /// fetch clears it and counts a prefetch hit.
+    bool prefetched = false;
   };
 
-  void Unpin(PageId id, bool dirty) VITRI_EXCLUDES(latch_);
-  // The *Locked helpers assume latch_ is held by the caller — now a
-  // compile-time contract under Clang's thread-safety analysis.
-  Status EvictOneIfFullLocked() VITRI_REQUIRES(latch_);
-  Status WriteBackLocked(Frame& frame) VITRI_REQUIRES(latch_);
-  Status ValidateInvariantsLocked() const VITRI_REQUIRES(latch_);
+  /// Cached per-shard registry counters (buffer_pool.shard.<i>.*).
+  /// Looked up once at construction — the VITRI_METRIC_* macros cache
+  /// per *call site*, which would pin every shard to shard 0's counter.
+  struct ShardMetrics {
+    metrics::Counter* fetches = nullptr;
+    metrics::Counter* hits = nullptr;
+    metrics::Counter* evictions = nullptr;
+    metrics::Counter* prefetch_issued = nullptr;
+    metrics::Counter* prefetch_hits = nullptr;
+  };
 
-  /// Set at construction, never reassigned; the pointee is only
-  /// dereferenced with latch_ held (pagers need no locking of their own).
-  Pager* const pager_ VITRI_PT_GUARDED_BY(latch_);
+  /// One independently latched sub-pool. The latch guards the
+  /// bookkeeping containers and every Frame's bookkeeping fields; frame
+  /// *data* buffers are handed off to I/O threads via the loading flag
+  /// and the evicting set (the mutex release/acquire orders the bytes).
+  struct Shard {
+    /// Position in shards_ (for diagnostics and the home-shard check).
+    size_t index = 0;
+    mutable Mutex latch;
+    /// Signaled when a load finishes or an eviction write-back lands.
+    CondVar cv;
+    /// Fixed at construction; never resized (stable Frame addresses).
+    std::vector<Frame> frames;
+    /// Resident page -> slot index in `frames`.
+    std::unordered_map<PageId, size_t> table VITRI_GUARDED_BY(latch);
+    /// Slots whose frame holds no page.
+    std::vector<size_t> free_list VITRI_GUARDED_BY(latch);
+    /// Victim selection over the unpinned resident slots.
+    ClockReplacer replacer VITRI_GUARDED_BY(latch){0};
+    /// Pages mid-writeback: already out of `table`, bytes not yet on
+    /// the pager. Fetches of these pages wait — re-reading now would
+    /// resurrect the stale on-disk version and lose the dirty write.
+    std::unordered_set<PageId> evicting VITRI_GUARDED_BY(latch);
+    IoStats stats;
+    std::set<PageId> corrupt VITRI_GUARDED_BY(latch);
+    ShardMetrics metrics;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+  const Shard& ShardFor(PageId id) const {
+    return *shards_[id % shards_.size()];
+  }
+
+  void Unpin(PageId id, bool dirty);
+
+  /// Claims a slot in `s` that is in no structure (not in the table,
+  /// free list, or replacer): pops a free slot, or evicts the replacer's
+  /// victim — writing a dirty victim back *outside* the latch, with the
+  /// page parked in `evicting` meanwhile. ResourceExhausted when every
+  /// frame is pinned; a failed write-back reinstalls the victim and
+  /// propagates the error.
+  Result<size_t> ClaimSlot(Shard& s) VITRI_EXCLUDES(s.latch);
+
+  /// Loads page `id` into `s` via a claimed slot. With `demand`, the
+  /// frame stays pinned once and the Result carries its data pointer;
+  /// errors (including a failed integrity check, which quarantines the
+  /// page) propagate. Without, the frame lands unpinned+prefetched and
+  /// errors only update counters — prefetch is best-effort.
+  Result<uint8_t*> LoadPage(Shard& s, PageId id, bool demand)
+      VITRI_EXCLUDES(s.latch);
+
+  /// Background half of Prefetch(): loads `id` if still absent.
+  void PrefetchLoad(PageId id);
+  /// Blocks until no async prefetch is queued or running.
+  void DrainPrefetches();
+
+  Status WriteBackLocked(Shard& s, Frame& frame) VITRI_REQUIRES(s.latch);
+  Status ValidateShardLocked(const Shard& s) const VITRI_REQUIRES(s.latch);
+
+  /// Set at construction, never reassigned; thread-safe per contract.
+  Pager* const pager_;
   size_t capacity_;
   BufferPoolOptions options_;
-  /// Guards frames_, lru_, corrupt_pages_, and all pager_ access. The
-  /// IoStats counters are atomic and may be read without it.
-  mutable Mutex latch_;
-  std::unordered_map<PageId, Frame> frames_ VITRI_GUARDED_BY(latch_);
-  // Front = least recently used.
-  std::list<PageId> lru_ VITRI_GUARDED_BY(latch_);
-  IoStats stats_;
-  std::set<PageId> corrupt_pages_ VITRI_GUARDED_BY(latch_);
+  /// unique_ptr for address stability (Shard holds a Mutex and is
+  /// neither movable nor copyable).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  IoStats external_stats_;
+
+  std::unique_ptr<ThreadPool> prefetch_pool_;
+  Mutex prefetch_mu_;
+  CondVar prefetch_cv_;
+  size_t prefetch_outstanding_ VITRI_GUARDED_BY(prefetch_mu_) = 0;
+};
+
+/// Pool-wide counterpart of ScopedIoStatsRestore: captures every shard's
+/// counters (and the external sink) on construction and restores them on
+/// destruction, making the enclosed scope invisible to I/O cost
+/// accounting. Same exclusivity caveat: no other thread may use the
+/// pool for the scope's lifetime.
+class ScopedPoolStatsRestore {
+ public:
+  explicit ScopedPoolStatsRestore(BufferPool* pool)
+      : pool_(pool), saved_(pool->SaveStats()) {}
+  ~ScopedPoolStatsRestore() { pool_->RestoreStats(saved_); }
+
+  ScopedPoolStatsRestore(const ScopedPoolStatsRestore&) = delete;
+  ScopedPoolStatsRestore& operator=(const ScopedPoolStatsRestore&) = delete;
+
+  const BufferPool::StatsSave& saved() const { return saved_; }
+
+ private:
+  BufferPool* pool_;
+  BufferPool::StatsSave saved_;
 };
 
 }  // namespace vitri::storage

@@ -35,13 +35,19 @@ FaultInjectingPager::FaultInjectingPager(std::unique_ptr<Pager> base,
     : Pager(base->page_size()), base_(std::move(base)), rng_(seed) {}
 
 void FaultInjectingPager::AddRule(const FaultRule& rule) {
+  MutexLock lock(mu_);
   rules_.push_back(ArmedRule{rule, 0, 0});
 }
 
-void FaultInjectingPager::ClearRules() { rules_.clear(); }
+void FaultInjectingPager::ClearRules() {
+  MutexLock lock(mu_);
+  rules_.clear();
+}
 
-const FaultRule* FaultInjectingPager::NextFault(FaultOp op, PageId id) {
-  const FaultRule* firing = nullptr;
+std::optional<FaultKind> FaultInjectingPager::NextFault(FaultOp op,
+                                                        PageId id) {
+  MutexLock lock(mu_);
+  std::optional<FaultKind> firing;
   for (ArmedRule& armed : rules_) {
     const FaultRule& r = armed.rule;
     if (r.op != op) continue;
@@ -54,15 +60,16 @@ const FaultRule* FaultInjectingPager::NextFault(FaultOp op, PageId id) {
     } else {
       fires = armed.fired < r.limit && (armed.matches - r.after) % r.every == 0;
     }
-    if (fires && firing == nullptr) {
+    if (fires && !firing.has_value()) {
       ++armed.fired;
-      firing = &r;
+      firing = r.kind;
     }
   }
   return firing;
 }
 
 void FaultInjectingPager::CountFault(FaultKind kind) {
+  MutexLock lock(mu_);
   switch (kind) {
     case FaultKind::kTransientIoError:
       ++stats_.transient_io_errors;
@@ -83,8 +90,13 @@ void FaultInjectingPager::CountFault(FaultKind kind) {
 }
 
 void FaultInjectingPager::FlipRandomBit(uint8_t* page) {
-  const size_t byte = rng_.Index(page_size());
-  const int bit = static_cast<int>(rng_.Index(8));
+  size_t byte;
+  int bit;
+  {
+    MutexLock lock(mu_);
+    byte = rng_.Index(page_size());
+    bit = static_cast<int>(rng_.Index(8));
+  }
   page[byte] ^= static_cast<uint8_t>(1u << bit);
 }
 
@@ -93,18 +105,18 @@ PageId FaultInjectingPager::num_pages() const { return base_->num_pages(); }
 Result<PageId> FaultInjectingPager::Allocate() { return base_->Allocate(); }
 
 Status FaultInjectingPager::Read(PageId id, uint8_t* out) {
-  const FaultRule* fault = NextFault(FaultOp::kRead, id);
-  if (fault != nullptr) {
-    switch (fault->kind) {
+  const std::optional<FaultKind> fault = NextFault(FaultOp::kRead, id);
+  if (fault.has_value()) {
+    switch (*fault) {
       case FaultKind::kTransientIoError:
       case FaultKind::kPersistentIoError:
-        CountFault(fault->kind);
+        CountFault(*fault);
         return Status::IoError(std::string("injected ") +
-                               FaultKindName(fault->kind) + " reading page " +
+                               FaultKindName(*fault) + " reading page " +
                                std::to_string(id));
       case FaultKind::kBitFlip: {
         VITRI_RETURN_IF_ERROR(base_->Read(id, out));
-        CountFault(fault->kind);
+        CountFault(*fault);
         FlipRandomBit(out);
         return Status::OK();
       }
@@ -117,18 +129,18 @@ Status FaultInjectingPager::Read(PageId id, uint8_t* out) {
 }
 
 Status FaultInjectingPager::Write(PageId id, const uint8_t* src) {
-  const FaultRule* fault = NextFault(FaultOp::kWrite, id);
-  if (fault != nullptr) {
-    switch (fault->kind) {
+  const std::optional<FaultKind> fault = NextFault(FaultOp::kWrite, id);
+  if (fault.has_value()) {
+    switch (*fault) {
       case FaultKind::kTransientIoError:
       case FaultKind::kPersistentIoError:
-        CountFault(fault->kind);
+        CountFault(*fault);
         return Status::IoError(std::string("injected ") +
-                               FaultKindName(fault->kind) + " writing page " +
+                               FaultKindName(*fault) + " writing page " +
                                std::to_string(id));
       case FaultKind::kBitFlip: {
         std::vector<uint8_t> corrupted(src, src + page_size());
-        CountFault(fault->kind);
+        CountFault(*fault);
         FlipRandomBit(corrupted.data());
         return base_->Write(id, corrupted.data());
       }
@@ -139,7 +151,7 @@ Status FaultInjectingPager::Write(PageId id, const uint8_t* src) {
         std::vector<uint8_t> torn(page_size(), 0);
         (void)base_->Read(id, torn.data());
         std::memcpy(torn.data(), src, page_size() / 2);
-        CountFault(fault->kind);
+        CountFault(*fault);
         return base_->Write(id, torn.data());
       }
       case FaultKind::kSyncFailure:
@@ -150,20 +162,27 @@ Status FaultInjectingPager::Write(PageId id, const uint8_t* src) {
 }
 
 Status FaultInjectingPager::Sync() {
-  const FaultRule* fault = NextFault(FaultOp::kSync, kAnyPage);
-  if (fault != nullptr) {
-    switch (fault->kind) {
+  const std::optional<FaultKind> fault = NextFault(FaultOp::kSync, kAnyPage);
+  if (fault.has_value()) {
+    switch (*fault) {
       case FaultKind::kSyncFailure:
       case FaultKind::kTransientIoError:
       case FaultKind::kPersistentIoError:
-        CountFault(fault->kind);
+        CountFault(*fault);
         return Status::IoError(std::string("injected ") +
-                               FaultKindName(fault->kind) + " on sync");
+                               FaultKindName(*fault) + " on sync");
       default:
         break;
     }
   }
   return base_->Sync();
+}
+
+void FaultInjectingPager::WillNeed(PageId first, size_t count) {
+  // Readahead never faults: it moves no data the checksum layer could
+  // vouch for, and the demand Read that follows is where the schedule
+  // expects its matches.
+  base_->WillNeed(first, count);
 }
 
 }  // namespace vitri::storage

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -72,16 +74,25 @@ struct FaultStats {
 /// Decorator injecting a deterministic, seeded schedule of storage
 /// faults into any Pager. Rules can be added/cleared at any time, so a
 /// test can build a healthy index first and sabotage it afterwards.
-/// Allocate is always passed through unharmed.
+/// Allocate and WillNeed are always passed through unharmed (readahead
+/// is advisory — the demand Read is where a fault must land to count).
+///
+/// The rule/rng/stats bookkeeping sits under an internal latch so the
+/// sharded buffer pool's concurrent I/O keeps schedules deterministic
+/// *per rule* (which operation of a page's sequence fires) even though
+/// cross-page interleaving is up to the scheduler.
 class FaultInjectingPager final : public Pager {
  public:
   explicit FaultInjectingPager(std::unique_ptr<Pager> base,
                                uint64_t seed = 2005);
 
-  void AddRule(const FaultRule& rule);
-  void ClearRules();
+  void AddRule(const FaultRule& rule) VITRI_EXCLUDES(mu_);
+  void ClearRules() VITRI_EXCLUDES(mu_);
 
-  const FaultStats& fault_stats() const { return stats_; }
+  FaultStats fault_stats() const VITRI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
   Pager* base() const { return base_.get(); }
 
   PageId num_pages() const override;
@@ -89,6 +100,7 @@ class FaultInjectingPager final : public Pager {
   Status Read(PageId id, uint8_t* out) override;
   Status Write(PageId id, const uint8_t* src) override;
   Status Sync() override;
+  void WillNeed(PageId first, size_t count) override;
 
  private:
   struct ArmedRule {
@@ -98,15 +110,22 @@ class FaultInjectingPager final : public Pager {
   };
 
   /// Returns the kind of the first rule firing for (op, id), advancing
-  /// all matching rules' counters; nullptr when no rule fires.
-  const FaultRule* NextFault(FaultOp op, PageId id);
-  void CountFault(FaultKind kind);
-  void FlipRandomBit(uint8_t* page);
+  /// all matching rules' counters under one latch hold (so each rule's
+  /// schedule position is race-free); kind is returned by value because
+  /// the rule vector may be cleared while the caller acts on the
+  /// verdict. nullopt when no rule fires. Counting happens separately at
+  /// the action site — a bit-flip whose underlying read failed consumed
+  /// a fire but injected nothing.
+  std::optional<FaultKind> NextFault(FaultOp op, PageId id)
+      VITRI_EXCLUDES(mu_);
+  void CountFault(FaultKind kind) VITRI_EXCLUDES(mu_);
+  void FlipRandomBit(uint8_t* page) VITRI_EXCLUDES(mu_);
 
   std::unique_ptr<Pager> base_;
-  std::vector<ArmedRule> rules_;
-  Rng rng_;
-  FaultStats stats_;
+  mutable Mutex mu_;
+  std::vector<ArmedRule> rules_ VITRI_GUARDED_BY(mu_);
+  Rng rng_ VITRI_GUARDED_BY(mu_);
+  FaultStats stats_ VITRI_GUARDED_BY(mu_);
 };
 
 }  // namespace vitri::storage

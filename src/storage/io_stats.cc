@@ -13,6 +13,9 @@ IoSnapshot IoStats::Snapshot() const {
   s.allocations = allocations.load(std::memory_order_relaxed);
   s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
   s.retries = retries.load(std::memory_order_relaxed);
+  s.evictions = evictions.load(std::memory_order_relaxed);
+  s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -37,6 +40,11 @@ void RestoreIoStats(IoStats* stats, const IoSnapshot& saved) {
   stats->checksum_failures.store(saved.checksum_failures,
                                  std::memory_order_relaxed);
   stats->retries.store(saved.retries, std::memory_order_relaxed);
+  stats->evictions.store(saved.evictions, std::memory_order_relaxed);
+  stats->prefetch_issued.store(saved.prefetch_issued,
+                               std::memory_order_relaxed);
+  stats->prefetch_hits.store(saved.prefetch_hits,
+                             std::memory_order_relaxed);
 }
 
 ScopedIoStatsRestore::ScopedIoStatsRestore(IoStats* stats)
@@ -56,7 +64,10 @@ std::string CountersToString(const IoSnapshot& s) {
      << " physical_writes=" << s.physical_writes
      << " allocations=" << s.allocations
      << " checksum_failures=" << s.checksum_failures
-     << " retries=" << s.retries;
+     << " retries=" << s.retries
+     << " evictions=" << s.evictions
+     << " prefetch_issued=" << s.prefetch_issued
+     << " prefetch_hits=" << s.prefetch_hits;
   return os.str();
 }
 

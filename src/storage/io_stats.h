@@ -30,6 +30,10 @@ struct IoStats {
   std::atomic<uint64_t> checksum_failures{0};  // Footer-rejected reads.
   std::atomic<uint64_t> retries{0};  // Transient-IoError retries (see
                                      // storage/retry_pager.h).
+  std::atomic<uint64_t> evictions{0};  // Frames recycled by the replacer.
+  std::atomic<uint64_t> prefetch_issued{0};  // Readahead hints acted on.
+  std::atomic<uint64_t> prefetch_hits{0};  // Fetches served by a frame a
+                                           // prefetch loaded.
 
   IoStats() = default;
   IoStats(const IoStats& rhs) { *this = rhs; }
@@ -50,6 +54,13 @@ struct IoStats {
         std::memory_order_relaxed);
     retries.store(rhs.retries.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
+    evictions.store(rhs.evictions.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    prefetch_issued.store(
+        rhs.prefetch_issued.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    prefetch_hits.store(rhs.prefetch_hits.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
     return *this;
   }
 
@@ -77,6 +88,26 @@ struct IoSnapshot {
   uint64_t allocations = 0;
   uint64_t checksum_failures = 0;
   uint64_t retries = 0;
+  uint64_t evictions = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+
+  /// Field-wise sum: how a sharded pool's per-shard snapshots fold into
+  /// one total (each addend is a plain integer, so totals never tear).
+  IoSnapshot operator+(const IoSnapshot& rhs) const {
+    IoSnapshot out;
+    out.logical_reads = logical_reads + rhs.logical_reads;
+    out.cache_hits = cache_hits + rhs.cache_hits;
+    out.physical_reads = physical_reads + rhs.physical_reads;
+    out.physical_writes = physical_writes + rhs.physical_writes;
+    out.allocations = allocations + rhs.allocations;
+    out.checksum_failures = checksum_failures + rhs.checksum_failures;
+    out.retries = retries + rhs.retries;
+    out.evictions = evictions + rhs.evictions;
+    out.prefetch_issued = prefetch_issued + rhs.prefetch_issued;
+    out.prefetch_hits = prefetch_hits + rhs.prefetch_hits;
+    return out;
+  }
 
   IoSnapshot operator-(const IoSnapshot& rhs) const {
     IoSnapshot out;
@@ -87,6 +118,9 @@ struct IoSnapshot {
     out.allocations = allocations - rhs.allocations;
     out.checksum_failures = checksum_failures - rhs.checksum_failures;
     out.retries = retries - rhs.retries;
+    out.evictions = evictions - rhs.evictions;
+    out.prefetch_issued = prefetch_issued - rhs.prefetch_issued;
+    out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
     return out;
   }
   bool operator==(const IoSnapshot&) const = default;

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -18,10 +19,12 @@ namespace vitri::storage {
 MemPager::MemPager(size_t page_size) : Pager(page_size) {}
 
 PageId MemPager::num_pages() const {
+  MutexLock lock(mu_);
   return static_cast<PageId>(pages_.size());
 }
 
 Result<PageId> MemPager::Allocate() {
+  MutexLock lock(mu_);
   if (pages_.size() >= kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
@@ -29,19 +32,30 @@ Result<PageId> MemPager::Allocate() {
   return static_cast<PageId>(pages_.size() - 1);
 }
 
+uint8_t* MemPager::PageData(PageId id) {
+  MutexLock lock(mu_);
+  if (id >= pages_.size()) return nullptr;
+  // Deque elements never move on push_back, so the pointer outlives the
+  // latch; the caller copies outside it (same-page exclusion is the
+  // caller's per the Pager contract).
+  return pages_[id].data();
+}
+
 Status MemPager::Read(PageId id, uint8_t* out) {
-  if (id >= pages_.size()) {
+  uint8_t* data = PageData(id);
+  if (data == nullptr) {
     return Status::OutOfRange("read of unallocated page");
   }
-  std::memcpy(out, pages_[id].data(), page_size());
+  std::memcpy(out, data, page_size());
   return Status::OK();
 }
 
 Status MemPager::Write(PageId id, const uint8_t* src) {
-  if (id >= pages_.size()) {
+  uint8_t* data = PageData(id);
+  if (data == nullptr) {
     return Status::OutOfRange("write of unallocated page");
   }
-  std::memcpy(pages_[id].data(), src, page_size());
+  std::memcpy(data, src, page_size());
   return Status::OK();
 }
 
@@ -109,22 +123,30 @@ Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
       new FilePager(fd, page_size, pages, sync_mode));
 }
 
-PageId FilePager::num_pages() const { return num_pages_; }
+PageId FilePager::num_pages() const {
+  return num_pages_.load(std::memory_order_acquire);
+}
 
 Result<PageId> FilePager::Allocate() {
-  if (num_pages_ >= kInvalidPageId) {
+  // Extension is serialized: the zero-fill write must land before the
+  // new count is published, or a racing Read could see a valid id whose
+  // bytes pread reports as EOF.
+  MutexLock lock(alloc_mu_);
+  const PageId current = num_pages_.load(std::memory_order_relaxed);
+  if (current >= kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
   std::vector<uint8_t> zeros(page_size(), 0);
   const off_t offset =
-      static_cast<off_t>(num_pages_) * static_cast<off_t>(page_size());
+      static_cast<off_t>(current) * static_cast<off_t>(page_size());
   VITRI_RETURN_IF_ERROR(
       WriteFullyAt(fd_, zeros.data(), page_size(), offset));
-  return num_pages_++;
+  num_pages_.store(current + 1, std::memory_order_release);
+  return current;
 }
 
 Status FilePager::Read(PageId id, uint8_t* out) {
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("read of unallocated page");
   }
   const off_t offset =
@@ -133,7 +155,7 @@ Status FilePager::Read(PageId id, uint8_t* out) {
 }
 
 Status FilePager::Write(PageId id, const uint8_t* src) {
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("write of unallocated page");
   }
   const off_t offset =
@@ -142,5 +164,15 @@ Status FilePager::Write(PageId id, const uint8_t* src) {
 }
 
 Status FilePager::Sync() { return SyncFd(fd_, sync_mode_); }
+
+void FilePager::WillNeed(PageId first, size_t count) {
+  const PageId pages = num_pages_.load(std::memory_order_acquire);
+  if (first >= pages || count == 0) return;
+  const size_t usable =
+      std::min<size_t>(count, static_cast<size_t>(pages - first));
+  const off_t offset =
+      static_cast<off_t>(first) * static_cast<off_t>(page_size());
+  AdviseWillNeed(fd_, offset, usable * page_size());
+}
 
 }  // namespace vitri::storage

@@ -1,11 +1,14 @@
 #ifndef VITRI_STORAGE_PAGER_H_
 #define VITRI_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/page.h"
@@ -15,6 +18,13 @@ namespace vitri::storage {
 
 /// Abstract fixed-size-page store. Implementations: in-memory (tests,
 /// benchmarks) and file-backed (durability, examples).
+///
+/// Thread-safety contract (since the buffer pool was sharded and its
+/// I/O moved outside the shard latches, DESIGN.md §16): implementations
+/// must tolerate concurrent Read/Write/WillNeed calls on *distinct*
+/// pages, plus concurrent Allocate/num_pages/Sync from any thread.
+/// Concurrent Read/Write of the *same* page is excluded by the caller —
+/// the pool's per-frame load/evict states serialize per-page I/O.
 class Pager {
  public:
   virtual ~Pager() = default;
@@ -40,6 +50,17 @@ class Pager {
   /// Flushes buffered writes to the backing medium.
   virtual Status Sync() = 0;
 
+  /// Advisory readahead hint: the caller expects to Read pages
+  /// [first, first+count) soon (leaf-chain scans hint their upcoming
+  /// siblings; bulk-loaded chains are contiguous on disk, so a span is
+  /// the right shape). Never fails and never transfers data — the
+  /// default is a no-op, FilePager forwards to posix_fadvise(WILLNEED),
+  /// and decorators pass it through to their base unfaulted.
+  virtual void WillNeed(PageId first, size_t count) {
+    (void)first;
+    (void)count;
+  }
+
  protected:
   explicit Pager(size_t page_size) : page_size_(page_size) {}
 
@@ -47,7 +68,11 @@ class Pager {
   size_t page_size_;
 };
 
-/// Heap-backed pager. Fast and ephemeral.
+/// Heap-backed pager. Fast and ephemeral. Pages live in a deque so
+/// element addresses survive Allocate's growth: Read/Write resolve the
+/// page buffer under the latch, then memcpy outside it — concurrent
+/// transfers on distinct pages proceed in parallel (per the Pager
+/// contract, same-page concurrency is the caller's to exclude).
 class MemPager final : public Pager {
  public:
   explicit MemPager(size_t page_size = kDefaultPageSize);
@@ -59,7 +84,11 @@ class MemPager final : public Pager {
   Status Sync() override;
 
  private:
-  std::vector<std::vector<uint8_t>> pages_;
+  /// Resolves a page's stable buffer address, or null if unallocated.
+  uint8_t* PageData(PageId id) VITRI_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::deque<std::vector<uint8_t>> pages_ VITRI_GUARDED_BY(mu_);
 };
 
 /// Result of an integrity scan over a pager (see VerifyAllPages).
@@ -79,6 +108,9 @@ struct PageVerifyReport {
 Result<PageVerifyReport> VerifyAllPages(Pager* pager);
 
 /// File-backed pager over a single file, pages stored contiguously.
+/// Read/Write are plain pread/pwrite (safe concurrently on one fd);
+/// Allocate serializes extension under a latch with the page count
+/// published atomically for the lock-free bounds checks.
 class FilePager final : public Pager {
  public:
   /// Opens (creating if necessary) `path`. The existing file length must
@@ -96,6 +128,7 @@ class FilePager final : public Pager {
   Status Read(PageId id, uint8_t* out) override;
   Status Write(PageId id, const uint8_t* src) override;
   Status Sync() override;
+  void WillNeed(PageId first, size_t count) override;
 
   FileSyncMode sync_mode() const { return sync_mode_; }
 
@@ -104,7 +137,8 @@ class FilePager final : public Pager {
             FileSyncMode sync_mode);
 
   int fd_;
-  PageId num_pages_;
+  Mutex alloc_mu_;
+  std::atomic<PageId> num_pages_;
   FileSyncMode sync_mode_;
 };
 

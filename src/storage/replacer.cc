@@ -1,0 +1,57 @@
+#include "storage/replacer.h"
+
+#include "common/check.h"
+
+namespace vitri::storage {
+
+ClockReplacer::ClockReplacer(size_t capacity) : entries_(capacity) {}
+
+void ClockReplacer::Unpin(size_t slot) {
+  VITRI_DCHECK(slot < entries_.size()) << "replacer slot out of range";
+  Entry& e = entries_[slot];
+  if (!e.candidate) {
+    e.candidate = true;
+    ++candidates_;
+  }
+  e.referenced = true;
+}
+
+void ClockReplacer::Pin(size_t slot) {
+  VITRI_DCHECK(slot < entries_.size()) << "replacer slot out of range";
+  Entry& e = entries_[slot];
+  if (e.candidate) {
+    e.candidate = false;
+    e.referenced = false;
+    --candidates_;
+  }
+}
+
+bool ClockReplacer::Victim(size_t* slot) {
+  if (candidates_ == 0) return false;
+  // Every candidate's bit is cleared at most once before the hand comes
+  // back around, so two passes bound the sweep.
+  for (size_t step = 0; step < 2 * entries_.size(); ++step) {
+    Entry& e = entries_[hand_];
+    const size_t current = hand_;
+    hand_ = (hand_ + 1) % entries_.size();
+    if (!e.candidate) continue;
+    if (e.referenced) {
+      e.referenced = false;
+      continue;
+    }
+    e.candidate = false;
+    --candidates_;
+    *slot = current;
+    return true;
+  }
+  VITRI_CHECK(false) << "clock sweep failed to find one of "
+                     << candidates_ << " candidates";
+  return false;
+}
+
+bool ClockReplacer::Contains(size_t slot) const {
+  VITRI_DCHECK(slot < entries_.size()) << "replacer slot out of range";
+  return entries_[slot].candidate;
+}
+
+}  // namespace vitri::storage

@@ -1,0 +1,65 @@
+#ifndef VITRI_STORAGE_REPLACER_H_
+#define VITRI_STORAGE_REPLACER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vitri::storage {
+
+/// Eviction policy over a fixed set of frame slots [0, capacity).
+/// Extracted from the buffer pool so the policy is testable in
+/// isolation and swappable per shard (DESIGN.md §16).
+///
+/// Clock / second-chance: an unpinned frame enters the candidate set
+/// with its reference bit set; Victim() sweeps a clock hand over the
+/// slots, clearing reference bits, and evicts the first candidate found
+/// with its bit already clear. A frame re-referenced between sweeps
+/// (Pin + Unpin) gets its bit set again and survives another pass, so
+/// hot frames behave LRU-ish while the bookkeeping is O(1) per touch
+/// with no list splicing on the fetch hot path.
+///
+/// Not thread-safe: the owning pool shard guards it with its latch.
+class ClockReplacer {
+ public:
+  /// `capacity` is the number of frame slots the replacer tracks; all
+  /// slots start pinned (not candidates).
+  explicit ClockReplacer(size_t capacity);
+
+  /// Marks `slot` as a victim candidate (its pin count hit zero) and
+  /// sets its reference bit, granting one full sweep of grace.
+  /// Idempotent: unpinning a candidate just re-arms its bit.
+  void Unpin(size_t slot);
+
+  /// Removes `slot` from the candidate set (it was pinned, or its frame
+  /// was freed). No-op if it was not a candidate.
+  void Pin(size_t slot);
+
+  /// Second-chance sweep: advances the hand, clearing reference bits of
+  /// candidates it passes, and claims the first candidate whose bit is
+  /// already clear. The claimed slot leaves the candidate set. Returns
+  /// false (leaving *slot untouched) when there are no candidates.
+  bool Victim(size_t* slot);
+
+  /// Number of victim candidates currently tracked.
+  size_t size() const { return candidates_; }
+  /// Total slots tracked (fixed at construction).
+  size_t capacity() const { return entries_.size(); }
+  /// Whether `slot` is currently a candidate (validator introspection).
+  bool Contains(size_t slot) const;
+  /// Current hand position (test introspection).
+  size_t hand() const { return hand_; }
+
+ private:
+  struct Entry {
+    bool candidate = false;
+    bool referenced = false;
+  };
+
+  std::vector<Entry> entries_;
+  size_t candidates_ = 0;
+  size_t hand_ = 0;
+};
+
+}  // namespace vitri::storage
+
+#endif  // VITRI_STORAGE_REPLACER_H_

@@ -23,7 +23,7 @@ Status RetryingPager::RunWithRetries(const std::function<Status()>& op) {
         policy_.max_backoff,
         std::chrono::microseconds(static_cast<int64_t>(
             static_cast<double>(backoff.count()) * policy_.multiplier)));
-    ++retries_;
+    retries_.fetch_add(1, std::memory_order_relaxed);
     if (stats_sink_ != nullptr) ++stats_sink_->retries;
     status = op();
   }
@@ -53,6 +53,11 @@ Status RetryingPager::Write(PageId id, const uint8_t* src) {
 
 Status RetryingPager::Sync() {
   return RunWithRetries([&] { return base_->Sync(); });
+}
+
+void RetryingPager::WillNeed(PageId first, size_t count) {
+  // No retry budget for a hint that cannot fail.
+  base_->WillNeed(first, count);
 }
 
 }  // namespace vitri::storage

@@ -1,6 +1,7 @@
 #ifndef VITRI_STORAGE_RETRY_PAGER_H_
 #define VITRI_STORAGE_RETRY_PAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -34,8 +35,11 @@ class RetryingPager final : public Pager {
   explicit RetryingPager(std::unique_ptr<Pager> base,
                          RetryPolicy policy = RetryPolicy{});
 
-  /// Total retries performed (not counting first attempts).
-  uint64_t retries() const { return retries_; }
+  /// Total retries performed (not counting first attempts). Atomic:
+  /// the sharded buffer pool drives this decorator from many threads.
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
   /// Optional IoStats to mirror the retry counter into (typically the
   /// buffer pool's, so QueryCosts/IoStats reporting sees retries).
@@ -55,13 +59,14 @@ class RetryingPager final : public Pager {
   Status Read(PageId id, uint8_t* out) override;
   Status Write(PageId id, const uint8_t* src) override;
   Status Sync() override;
+  void WillNeed(PageId first, size_t count) override;
 
  private:
   Status RunWithRetries(const std::function<Status()>& op);
 
   std::unique_ptr<Pager> base_;
   RetryPolicy policy_;
-  uint64_t retries_ = 0;
+  std::atomic<uint64_t> retries_{0};
   IoStats* stats_sink_ = nullptr;
   std::function<void(std::chrono::microseconds)> sleep_fn_;
 };

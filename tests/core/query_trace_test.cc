@@ -16,6 +16,8 @@
 #include "core/index.h"
 #include "core/query_trace.h"
 #include "core/vitri_builder.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
 #include "video/synthesizer.h"
 
 namespace vitri::core {
@@ -275,8 +277,9 @@ TEST(QueryTraceTest, BeginResetsAReusedTrace) {
   QueryTrace trace;
   trace.Begin();
   {
-    storage::IoStats io;
-    TraceSpanScope span(&trace, "scan", &io);
+    storage::MemPager pager(256);
+    storage::BufferPool pool(&pager, 4);
+    TraceSpanScope span(&trace, "scan", &pool);
   }
   trace.End();
   ASSERT_EQ(trace.spans().size(), 1u);

@@ -1,7 +1,11 @@
 // Concurrency stress tests for the BufferPool, designed to run under
 // ThreadSanitizer (tsan preset, CI tsan-stress job): readers and writers
 // hammer a pool far smaller than the page set, forcing constant
-// eviction, write-back, and re-fetch while pins race with the LRU.
+// eviction, write-back, and re-fetch while pins race with the clock
+// replacer. The PoolShard suites force multi-shard pools (explicit
+// counts, immune to the VITRI_POOL_SHARDS override) so cross-shard
+// traffic, async prefetch, and the shard-folded stats reads all run
+// under the race detector.
 
 #include <atomic>
 #include <cstdint>
@@ -177,6 +181,163 @@ TEST(BufferPoolConcurrencyTest, ConcurrentEvictAllAndFetches) {
   stop.store(true, std::memory_order_release);
   evictor.join();
   EXPECT_TRUE(pool.ValidateInvariants().ok());
+}
+
+TEST(PoolShardConcurrencyTest, CrossShardReadersAndWritersUnderEviction) {
+  constexpr size_t kPages = 64;
+  constexpr size_t kCapacity = 16;
+  constexpr size_t kShards = 4;
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kIters = 400;
+
+  MemPager pager(kPageSize);
+  BufferPoolOptions options;
+  options.shards = kShards;
+  BufferPool pool(&pager, kCapacity, options);
+  ASSERT_EQ(pool.num_shards(), kShards);
+  SeedPages(&pool, kPages);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kWriters);
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&pool, r] {
+      Rng rng(5000 + static_cast<uint64_t>(r));
+      for (int i = 0; i < kIters; ++i) {
+        const PageId id = static_cast<PageId>(rng.Index(kPages));
+        auto page = pool.Fetch(id);
+        if (!page.ok()) {
+          ASSERT_TRUE(page.status().IsResourceExhausted())
+              << page.status().ToString();
+          std::this_thread::yield();
+          continue;
+        }
+        EXPECT_EQ(DecodeU64(page->data()), id);
+      }
+    });
+  }
+  std::vector<uint64_t> writes_done(kWriters, 0);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&pool, &writes_done, w] {
+      Rng rng(6000 + static_cast<uint64_t>(w));
+      for (int i = 0; i < kIters; ++i) {
+        const PageId id = static_cast<PageId>(
+            rng.Index(kPages / kWriters) * kWriters +
+            static_cast<size_t>(w));
+        auto page = pool.Fetch(id);
+        if (!page.ok()) {
+          ASSERT_TRUE(page.status().IsResourceExhausted())
+              << page.status().ToString();
+          std::this_thread::yield();
+          continue;
+        }
+        EXPECT_EQ(DecodeU64(page->data()), id);
+        EncodeU64(page->mutable_data() + 8,
+                  DecodeU64(page->data() + 8) + 1);
+        page->MarkDirty();
+        ++writes_done[static_cast<size_t>(w)];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_TRUE(pool.ValidateInvariants().ok());
+  uint64_t counted = 0;
+  for (size_t id = 0; id < kPages; ++id) {
+    auto page = pool.Fetch(id);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    ASSERT_EQ(DecodeU64(page->data()), id);
+    counted += DecodeU64(page->data() + 8);
+  }
+  uint64_t expected = 0;
+  for (uint64_t w : writes_done) expected += w;
+  EXPECT_EQ(counted, expected);
+}
+
+TEST(PoolShardConcurrencyTest, AsyncPrefetchRacesDemandFetches) {
+  constexpr size_t kPages = 48;
+  MemPager pager(kPageSize);
+  BufferPoolOptions options;
+  options.shards = 4;
+  options.prefetch_threads = 2;
+  options.readahead_pages = 4;
+  BufferPool pool(&pager, 16, options);
+  SeedPages(&pool, kPages);
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&pool, r] {
+      Rng rng(7000 + static_cast<uint64_t>(r));
+      for (int i = 0; i < 300; ++i) {
+        const PageId id = static_cast<PageId>(rng.Index(kPages));
+        // Hint the sibling like a leaf-chain scan would, then demand
+        // the page itself: prefetch loads race demand loads, evictions,
+        // and each other across all four shards.
+        pool.Prefetch((id + 1) % kPages);
+        auto page = pool.Fetch(id);
+        if (!page.ok()) {
+          ASSERT_TRUE(page.status().IsResourceExhausted())
+              << page.status().ToString();
+          std::this_thread::yield();
+          continue;
+        }
+        EXPECT_EQ(DecodeU64(page->data()), id);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(pool.EvictAll().ok());  // Also drains in-flight prefetches.
+  EXPECT_TRUE(pool.ValidateInvariants().ok());
+  EXPECT_LE(pool.stats().cache_hits, pool.stats().logical_reads);
+}
+
+// Satellite regression: stats() folds per-shard atomics into plain
+// integers, so a reader polling totals while fetchers run must never
+// observe a torn or impossible combination (hits > fetches), and the
+// final fold must equal the per-shard sum exactly.
+TEST(PoolShardConcurrencyTest, StatsFoldNeverTearsUnderConcurrentFetches) {
+  constexpr size_t kPages = 32;
+  MemPager pager(kPageSize);
+  BufferPoolOptions options;
+  options.shards = 4;
+  BufferPool pool(&pager, 16, options);
+  SeedPages(&pool, kPages);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&pool, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const IoSnapshot s = pool.StatsSnapshot();
+      EXPECT_LE(s.cache_hits, s.logical_reads);
+      EXPECT_LE(s.prefetch_hits, s.cache_hits);
+      const IoStats folded = pool.stats();
+      EXPECT_LE(folded.cache_hits, folded.logical_reads);
+    }
+  });
+  std::vector<std::thread> fetchers;
+  for (int r = 0; r < 4; ++r) {
+    fetchers.emplace_back([&pool, r] {
+      Rng rng(8000 + static_cast<uint64_t>(r));
+      for (int i = 0; i < 1000; ++i) {
+        const PageId id = static_cast<PageId>(rng.Index(kPages));
+        auto page = pool.Fetch(id);
+        if (!page.ok()) {
+          ASSERT_TRUE(page.status().IsResourceExhausted())
+              << page.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : fetchers) t.join();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  // Quiescent: the fold must match the per-shard sum field for field.
+  IoSnapshot per_shard_sum;
+  for (const IoSnapshot& s : pool.ShardSnapshots()) {
+    per_shard_sum = per_shard_sum + s;
+  }
+  EXPECT_EQ(per_shard_sum, pool.StatsSnapshot());
+  EXPECT_EQ(per_shard_sum.logical_reads, 4u * 1000u);
 }
 
 }  // namespace

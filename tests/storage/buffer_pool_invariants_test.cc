@@ -8,57 +8,103 @@
 
 namespace vitri::storage {
 
-/// Reaches into BufferPool's private bookkeeping to break one invariant
+/// Reaches into BufferPool's sharded bookkeeping to break one invariant
 /// at a time, proving ValidateInvariants() catches exactly that breakage.
-/// Being a friend, the peer takes the pool latch the same way internal
-/// code does, which also keeps it clean under -Wthread-safety.
+/// Being a friend, the peer takes the owning shard's latch the same way
+/// internal code does, which also keeps it clean under -Wthread-safety.
 struct BufferPoolTestPeer {
+  static BufferPool::Shard& ShardFor(BufferPool* pool, PageId id) {
+    return pool->ShardFor(id);
+  }
+  static size_t SlotOf(BufferPool* pool, PageId id) {
+    BufferPool::Shard& s = pool->ShardFor(id);
+    MutexLock lock(s.latch);
+    return s.table.at(id);
+  }
   static void SetPinCount(BufferPool* pool, PageId id, int pins) {
-    MutexLock lock(pool->latch_);
-    pool->frames_.at(id).pin_count = pins;
+    BufferPool::Shard& s = pool->ShardFor(id);
+    MutexLock lock(s.latch);
+    s.frames.at(s.table.at(id)).pin_count = pins;
   }
   static void SetFrameId(BufferPool* pool, PageId id, PageId claimed) {
-    MutexLock lock(pool->latch_);
-    pool->frames_.at(id).id = claimed;
+    BufferPool::Shard& s = pool->ShardFor(id);
+    MutexLock lock(s.latch);
+    s.frames.at(s.table.at(id)).id = claimed;
   }
   static void ShrinkBuffer(BufferPool* pool, PageId id) {
-    MutexLock lock(pool->latch_);
-    pool->frames_.at(id).data.resize(pool->pager_->page_size() - 1);
+    BufferPool::Shard& s = pool->ShardFor(id);
+    MutexLock lock(s.latch);
+    s.frames.at(s.table.at(id)).data.resize(pool->pager_->page_size() - 1);
   }
   static void RestoreBuffer(BufferPool* pool, PageId id) {
-    MutexLock lock(pool->latch_);
-    pool->frames_.at(id).data.resize(pool->pager_->page_size());
+    BufferPool::Shard& s = pool->ShardFor(id);
+    MutexLock lock(s.latch);
+    s.frames.at(s.table.at(id)).data.resize(pool->pager_->page_size());
   }
-  static void DuplicateLruEntry(BufferPool* pool, PageId id) {
-    MutexLock lock(pool->latch_);
-    pool->lru_.push_back(id);
+  /// Seeds a replacer candidate for a pinned frame (a clock replacer
+  /// must only ever track unpinned residents).
+  static void AddReplacerEntry(BufferPool* pool, PageId id) {
+    BufferPool::Shard& s = pool->ShardFor(id);
+    MutexLock lock(s.latch);
+    s.replacer.Unpin(s.table.at(id));
   }
-  static void PopLruEntry(BufferPool* pool) {
-    MutexLock lock(pool->latch_);
-    pool->lru_.pop_back();
+  /// Drops an unpinned resident frame's replacer candidacy, leaving it
+  /// unevictable and the candidate count short.
+  static void DropReplacerEntry(BufferPool* pool, PageId id) {
+    BufferPool::Shard& s = pool->ShardFor(id);
+    MutexLock lock(s.latch);
+    s.replacer.Pin(s.table.at(id));
   }
-  static void RemoveLruEntry(BufferPool* pool, PageId id) {
-    MutexLock lock(pool->latch_);
-    pool->lru_.remove(id);
+  /// Re-homes `id`'s table entry into the *wrong* shard: claims a free
+  /// slot there and installs a pinned frame claiming to be page `id`.
+  /// Returns the foreign shard's index for the undo.
+  static size_t PlantInWrongShard(BufferPool* pool, PageId id) {
+    const size_t home = id % pool->shards_.size();
+    const size_t wrong = (home + 1) % pool->shards_.size();
+    BufferPool::Shard& s = *pool->shards_[wrong];
+    MutexLock lock(s.latch);
+    const size_t slot = s.free_list.back();
+    s.free_list.pop_back();
+    BufferPool::Frame& f = s.frames[slot];
+    f.id = id;
+    f.pin_count = 1;  // Pinned, so the replacer bookkeeping stays mute.
+    s.table.emplace(id, slot);
+    return wrong;
   }
-  static void DropLruFlag(BufferPool* pool, PageId id) {
-    MutexLock lock(pool->latch_);
-    pool->frames_.at(id).in_lru = false;
+  static void RemoveFromWrongShard(BufferPool* pool, PageId id,
+                                   size_t wrong) {
+    BufferPool::Shard& s = *pool->shards_[wrong];
+    MutexLock lock(s.latch);
+    const size_t slot = s.table.at(id);
+    BufferPool::Frame& f = s.frames[slot];
+    f.id = kInvalidPageId;
+    f.pin_count = 0;
+    s.table.erase(id);
+    s.free_list.push_back(slot);
   }
   static void InflateCacheHits(BufferPool* pool) {
-    pool->stats_.cache_hits = pool->stats_.logical_reads + 1;
+    IoStats& stats = pool->shards_.front()->stats;
+    stats.cache_hits = stats.logical_reads.load(std::memory_order_relaxed) + 1;
   }
+  static size_t NumShards(BufferPool* pool) { return pool->shards_.size(); }
 };
 
 namespace {
 
+/// Two explicit shards so the cross-shard seeds (home-shard check) have a
+/// wrong shard to plant entries in. Explicit counts bypass the
+/// VITRI_POOL_SHARDS override by design.
 class BufferPoolInvariantsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     pager_ = std::make_unique<MemPager>(256);
-    pool_ = std::make_unique<BufferPool>(pager_.get(), 4);
-    // Three allocated pages, all unpinned (on the LRU list).
-    for (int i = 0; i < 3; ++i) {
+    BufferPoolOptions options;
+    options.shards = 2;
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 8, options);
+    ASSERT_EQ(pool_->num_shards(), 2u);
+    // Four allocated pages (two per shard), all unpinned (replacer
+    // candidates in their home shards).
+    for (int i = 0; i < 4; ++i) {
       auto page = pool_->New();
       ASSERT_TRUE(page.ok());
     }
@@ -97,7 +143,7 @@ TEST_F(BufferPoolInvariantsTest, HealthyWorkoutStaysValid) {
 }
 
 TEST_F(BufferPoolInvariantsTest, CatchesNegativePinCount) {
-  // Pin page 1 so it leaves the LRU list, then drive its count negative.
+  // Pin page 1 so it leaves the replacer, then drive its count negative.
   auto page = pool_->Fetch(1);
   ASSERT_TRUE(page.ok());
   BufferPoolTestPeer::SetPinCount(pool_.get(), 1, -1);
@@ -108,47 +154,50 @@ TEST_F(BufferPoolInvariantsTest, CatchesNegativePinCount) {
   ExpectViolation(status, "negative pin count");
 }
 
-TEST_F(BufferPoolInvariantsTest, CatchesPinnedFrameOnLruList) {
-  // Frame 1 sits on the LRU list; claiming it is pinned must trip the
-  // pinned-iff-off-LRU rule.
+TEST_F(BufferPoolInvariantsTest, CatchesReplacerEntryForPinnedFrame) {
+  // Page 2 is pinned (off the replacer); seeding a candidate for its
+  // slot claims an evictable pinned frame — victimizing it would hand
+  // out a frame someone still points into.
+  auto page = pool_->Fetch(2);
+  ASSERT_TRUE(page.ok());
+  BufferPoolTestPeer::AddReplacerEntry(pool_.get(), 2);
+  const Status status = pool_->ValidateInvariants();
+  BufferPoolTestPeer::DropReplacerEntry(pool_.get(), 2);
+  ExpectViolation(status, "replacer holds a candidate entry for pinned page");
+}
+
+TEST_F(BufferPoolInvariantsTest, CatchesPinnedFrameStillInReplacer) {
+  // The converse seeding: frame 1 is a legitimate replacer candidate;
+  // claiming it is pinned without pulling the candidate must trip the
+  // same pinned-frame rule.
   BufferPoolTestPeer::SetPinCount(pool_.get(), 1, 1);
-  ExpectViolation(pool_->ValidateInvariants(), "sits on the LRU list");
+  ExpectViolation(pool_->ValidateInvariants(),
+                  "replacer holds a candidate entry for pinned page");
   BufferPoolTestPeer::SetPinCount(pool_.get(), 1, 0);
 }
 
-TEST_F(BufferPoolInvariantsTest, CatchesStaleLruEntryForPinnedFrame) {
-  // A pinned frame left a stale entry behind on the LRU list.
-  auto page = pool_->Fetch(2);
-  ASSERT_TRUE(page.ok());
-  BufferPoolTestPeer::DuplicateLruEntry(pool_.get(), 2);
-  const Status status = pool_->ValidateInvariants();
-  BufferPoolTestPeer::PopLruEntry(pool_.get());
-  ExpectViolation(status, "LRU");
+TEST_F(BufferPoolInvariantsTest, CatchesUnpinnedFrameMissingFromReplacer) {
+  // Frame 1 is resident and unpinned but loses its candidacy: it can
+  // never be evicted, and the candidate count disagrees.
+  BufferPoolTestPeer::DropReplacerEntry(pool_.get(), 1);
+  ExpectViolation(pool_->ValidateInvariants(), "missing from the replacer");
+  BufferPoolTestPeer::AddReplacerEntry(pool_.get(), 1);
 }
 
-TEST_F(BufferPoolInvariantsTest, CatchesDuplicateLruEntries) {
-  BufferPoolTestPeer::DuplicateLruEntry(pool_.get(), 1);
+TEST_F(BufferPoolInvariantsTest, CatchesFrameInWrongShard) {
+  // Page 5 belongs to shard 1 (5 % 2); planting a frame for it in shard
+  // 0 must trip the home-shard rule — a foreign entry is unreachable by
+  // ShardFor and shadows the real page.
+  const size_t wrong = BufferPoolTestPeer::PlantInWrongShard(pool_.get(), 5);
   const Status status = pool_->ValidateInvariants();
-  BufferPoolTestPeer::PopLruEntry(pool_.get());
-  ExpectViolation(status, "appears twice");
-}
-
-TEST_F(BufferPoolInvariantsTest, CatchesDesyncedLruBackPointer) {
-  BufferPoolTestPeer::DropLruFlag(pool_.get(), 1);
-  const Status status = pool_->ValidateInvariants();
-  BufferPoolTestPeer::RemoveLruEntry(pool_.get(), 1);
-  ExpectViolation(status, "desynced LRU back-pointer");
-}
-
-TEST_F(BufferPoolInvariantsTest, CatchesUnpinnedFrameMissingFromLru) {
-  // Frame 1 still believes it is listed, but the entry is gone: the
-  // listed-frame count no longer matches the unpinned-frame count.
-  BufferPoolTestPeer::RemoveLruEntry(pool_.get(), 1);
-  ExpectViolation(pool_->ValidateInvariants(), "disagrees with");
+  BufferPoolTestPeer::RemoveFromWrongShard(pool_.get(), 5, wrong);
+  ExpectViolation(status, "home shard");
 }
 
 TEST_F(BufferPoolInvariantsTest, CatchesFrameKeyedUnderWrongPage) {
-  BufferPoolTestPeer::SetFrameId(pool_.get(), 1, 2);
+  // Pages 1 and 3 share shard 1, so re-keying cannot trip the home-shard
+  // check first.
+  BufferPoolTestPeer::SetFrameId(pool_.get(), 1, 3);
   const Status status = pool_->ValidateInvariants();
   BufferPoolTestPeer::SetFrameId(pool_.get(), 1, 1);
   ExpectViolation(status, "believes it is page");

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "storage/page_footer.h"
 #include "storage/pager.h"
@@ -173,22 +176,27 @@ TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
   EXPECT_TRUE(fourth.ok());
 }
 
-TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+TEST(BufferPoolTest, ClockEvictsUnreferencedBeforeReferenced) {
   MemPager pager(64);
   BufferPool pool(&pager, 2);
   for (int i = 0; i < 2; ++i) {
     auto page = pool.New();
     ASSERT_TRUE(page.ok());
   }
-  // Touch page 0 so page 1 is the LRU victim.
-  { auto p = pool.Fetch(0); ASSERT_TRUE(p.ok()); }
-  { auto p = pool.New(); ASSERT_TRUE(p.ok()); }  // Evicts page 1.
+  // Both candidates carry the referenced bit; the first eviction sweeps
+  // them clear (second chance) and claims the frame holding page 0.
+  { auto p = pool.New(); ASSERT_TRUE(p.ok()); }  // Page 2 evicts page 0.
+  // Page 2's release re-armed its referenced bit; page 1's stayed clear
+  // since the sweep. The next victim must be page 1, not the
+  // just-referenced page 2.
+  { auto p = pool.New(); ASSERT_TRUE(p.ok()); }  // Page 3 evicts page 1.
   const IoStats before = pool.stats();
-  { auto p = pool.Fetch(0); ASSERT_TRUE(p.ok()); }
-  EXPECT_EQ((pool.stats() - before).cache_hits, 1u);  // 0 still resident.
+  { auto p = pool.Fetch(2); ASSERT_TRUE(p.ok()); }
+  EXPECT_EQ((pool.stats() - before).cache_hits, 1u);  // 2 still resident.
   const IoStats before2 = pool.stats();
   { auto p = pool.Fetch(1); ASSERT_TRUE(p.ok()); }
   EXPECT_EQ((pool.stats() - before2).physical_reads, 1u);  // 1 was evicted.
+  EXPECT_GE((pool.stats() - before).evictions, 1u);
 }
 
 TEST(BufferPoolTest, MovePageRefTransfersPin) {
@@ -283,6 +291,226 @@ TEST(BufferPoolTest, SyncOnFlushFalseSkipsPagerSync) {
   std::vector<uint8_t> buf(32);
   ASSERT_TRUE(pager.Read(0, buf.data()).ok());
   EXPECT_EQ(buf[0], 1);
+}
+
+TEST(BufferPoolShardingTest, ExplicitShardCountWinsAndIsClamped) {
+  MemPager pager(64);
+  BufferPoolOptions options;
+  options.shards = 16;
+  BufferPool pool(&pager, 4, options);  // More shards than frames.
+  EXPECT_EQ(pool.num_shards(), 4u);     // Clamped: every shard owns >= 1.
+  BufferPoolOptions two;
+  two.shards = 2;
+  BufferPool pool2(&pager, 64, two);
+  EXPECT_EQ(pool2.num_shards(), 2u);
+}
+
+/// Saves/clears VITRI_POOL_SHARDS around a scope, so the auto-resolution
+/// tests are deterministic even on the one-shard CI leg that exports it.
+class ScopedShardEnv {
+ public:
+  explicit ScopedShardEnv(const char* value) {
+    const char* old = std::getenv("VITRI_POOL_SHARDS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      setenv("VITRI_POOL_SHARDS", value, /*overwrite=*/1);
+    } else {
+      unsetenv("VITRI_POOL_SHARDS");
+    }
+  }
+  ~ScopedShardEnv() {
+    if (had_) {
+      setenv("VITRI_POOL_SHARDS", saved_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("VITRI_POOL_SHARDS");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(BufferPoolShardingTest, AutoShardCountKeepsTinyPoolsSingleShard) {
+  ScopedShardEnv env(nullptr);
+  MemPager pager(64);
+  BufferPool small(&pager, 8);
+  EXPECT_EQ(small.num_shards(), 1u);
+  BufferPool large(&pager, 256);
+  EXPECT_EQ(large.num_shards(), 8u);  // capacity/8 clamped to [1, 8].
+}
+
+TEST(BufferPoolShardingTest, EnvOverridesAutoButNotExplicitCounts) {
+  ScopedShardEnv env("2");
+  MemPager pager(64);
+  BufferPool auto_pool(&pager, 256);
+  EXPECT_EQ(auto_pool.num_shards(), 2u);  // Env replaces the auto pick.
+  BufferPoolOptions options;
+  options.shards = 4;
+  BufferPool explicit_pool(&pager, 256, options);
+  EXPECT_EQ(explicit_pool.num_shards(), 4u);  // Explicit always wins.
+}
+
+TEST(BufferPoolShardingTest, MalformedEnvFallsBackToAuto) {
+  ScopedShardEnv env("banana");
+  MemPager pager(64);
+  BufferPool pool(&pager, 256);
+  EXPECT_EQ(pool.num_shards(), 8u);
+}
+
+TEST(BufferPoolShardingTest, PagesLandInTheirHomeShardAndStatsFold) {
+  MemPager pager(64);
+  BufferPoolOptions options;
+  options.shards = 4;
+  BufferPool pool(&pager, 16, options);
+  for (int i = 0; i < 12; ++i) {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  for (PageId id = 0; id < 12; ++id) {
+    auto page = pool.Fetch(id);
+    ASSERT_TRUE(page.ok());
+  }
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+  // Ids are spread round-robin, so each of the 4 shards served 3 pages.
+  const std::vector<IoSnapshot> shards = pool.ShardSnapshots();
+  ASSERT_EQ(shards.size(), 4u);
+  IoSnapshot folded;
+  for (const IoSnapshot& s : shards) {
+    EXPECT_EQ(s.logical_reads, 3u);
+    EXPECT_EQ(s.physical_reads, 3u);
+    folded = folded + s;
+  }
+  EXPECT_EQ(folded, pool.StatsSnapshot());
+  EXPECT_EQ(pool.stats().logical_reads, 12u);
+}
+
+TEST(BufferPoolShardingTest, ScopedPoolStatsRestorePutsEveryShardBack) {
+  MemPager pager(64);
+  BufferPoolOptions options;
+  options.shards = 2;
+  BufferPool pool(&pager, 8, options);
+  for (int i = 0; i < 4; ++i) {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+  }
+  const IoSnapshot before = pool.StatsSnapshot();
+  const std::vector<IoSnapshot> before_shards = pool.ShardSnapshots();
+  {
+    ScopedPoolStatsRestore restore(&pool);
+    for (PageId id = 0; id < 4; ++id) {
+      auto page = pool.Fetch(id);
+      ASSERT_TRUE(page.ok());
+    }
+    pool.external_stats()->retries.fetch_add(5, std::memory_order_relaxed);
+    EXPECT_NE(pool.StatsSnapshot(), before);
+  }
+  EXPECT_EQ(pool.StatsSnapshot(), before);
+  EXPECT_EQ(pool.ShardSnapshots(), before_shards);
+}
+
+TEST(BufferPoolPrefetchTest, HintOnlyPrefetchCountsNoLogicalReads) {
+  MemPager pager(64);
+  BufferPoolOptions options;
+  options.readahead_pages = 4;
+  BufferPool pool(&pager, 4, options);
+  for (int i = 0; i < 3; ++i) {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  const IoSnapshot before = pool.StatsSnapshot();
+  pool.Prefetch(1);                // Absent: the hint is issued.
+  pool.Prefetch(kInvalidPageId);   // Leaf-chain end: no-op.
+  const IoSnapshot delta = pool.StatsSnapshot() - before;
+  EXPECT_EQ(delta.prefetch_issued, 1u);
+  EXPECT_EQ(delta.logical_reads, 0u);
+  // Hint-only mode (prefetch_threads == 0) never populates a frame.
+  EXPECT_EQ(delta.physical_reads, 0u);
+  EXPECT_EQ(pool.resident(), 0u);
+}
+
+TEST(BufferPoolPrefetchTest, ResidentPageSuppressesTheHint) {
+  MemPager pager(64);
+  BufferPool pool(&pager, 4);
+  {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+  }
+  const IoSnapshot before = pool.StatsSnapshot();
+  pool.Prefetch(0);
+  EXPECT_EQ((pool.StatsSnapshot() - before).prefetch_issued, 0u);
+}
+
+TEST(BufferPoolPrefetchTest, ZeroReadaheadDisablesPrefetch) {
+  MemPager pager(64);
+  BufferPoolOptions options;
+  options.readahead_pages = 0;
+  BufferPool pool(&pager, 4, options);
+  {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+  }
+  ASSERT_TRUE(pool.EvictAll().ok());
+  const IoSnapshot before = pool.StatsSnapshot();
+  pool.Prefetch(0);
+  EXPECT_EQ(pool.StatsSnapshot() - before, IoSnapshot{});
+}
+
+TEST(BufferPoolPrefetchTest, AsyncPrefetchLoadsFrameAndCountsTheHit) {
+  MemPager pager(64);
+  BufferPoolOptions options;
+  options.prefetch_threads = 1;
+  options.readahead_pages = 2;
+  BufferPool pool(&pager, 4, options);
+  {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    page->mutable_data()[3] = 7;
+    page->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  pool.Prefetch(0);
+  // EvictAll drains in-flight prefetch loads; run it on a *different*
+  // page id universe first — here we only need the drain barrier, so
+  // poll residency instead of racing the worker.
+  const IoSnapshot before = pool.StatsSnapshot();
+  auto page = pool.Fetch(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->data()[3], 7);
+  const IoSnapshot delta = pool.StatsSnapshot() - before;
+  EXPECT_EQ(delta.logical_reads, 1u);
+  // Whichever side won the race, the page was read physically exactly
+  // once overall and the fetch observed it correctly.
+  EXPECT_LE(delta.physical_reads, 1u);
+  if (delta.cache_hits == 1u) {
+    // The prefetch landed first; the demand fetch must credit it.
+    EXPECT_EQ(delta.prefetch_hits, 1u);
+  }
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+}
+
+TEST(BufferPoolPrefetchTest, DestructorDrainsOutstandingPrefetches) {
+  MemPager pager(64);
+  BufferPoolOptions options;
+  options.prefetch_threads = 2;
+  {
+    BufferPool pool(&pager, 8, options);
+    for (int i = 0; i < 6; ++i) {
+      auto page = pool.New();
+      ASSERT_TRUE(page.ok());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(pool.EvictAll().ok());
+    for (PageId id = 0; id < 6; ++id) pool.Prefetch(id);
+    // Destruction must block on the in-flight loads, not leak them.
+  }
+  SUCCEED();
 }
 
 }  // namespace

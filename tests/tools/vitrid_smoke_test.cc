@@ -131,6 +131,21 @@ TEST(VitridSmokeTest, StatsSubcommandReportsWalAndQueryMetrics) {
     EXPECT_GT(c->number, 0.0) << name;
   }
 
+  // The sharded buffer pool registered per-shard counters at index
+  // construction; the query bumped shard 0's fetch counter (whatever
+  // the shard count, shard 0 always exists).
+  for (const char* name :
+       {"buffer_pool.shard.0.fetches", "buffer_pool.shard.0.hits",
+        "buffer_pool.shard.0.evictions",
+        "buffer_pool.shard.0.prefetch_issued",
+        "buffer_pool.shard.0.prefetch_hits"}) {
+    EXPECT_NE(counters->Find(name), nullptr) << name << "\n" << out;
+  }
+  const json::JsonValue* shard_fetches =
+      counters->Find("buffer_pool.shard.0.fetches");
+  ASSERT_NE(shard_fetches, nullptr);
+  EXPECT_GT(shard_fetches->number, 0.0) << out;
+
   // ... and the query ran through the histograms.
   const json::JsonValue* histograms = metrics->Find("histograms");
   ASSERT_NE(histograms, nullptr);

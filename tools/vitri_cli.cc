@@ -7,6 +7,8 @@
 //   vitri query     --db db.vvdb --summary summary.vsnp --video ID
 //                   [--k 10] [--epsilon 0.15] [--method composed|naive]
 //                   [--threads N] [--trace] [--json]
+//                   [--pool-shards N] [--readahead PAGES]
+//                   [--prefetch-threads N]
 //   vitri verify    [--summary summary.vsnp] [--pages tree.vpag
 //                   [--page-size 4096]]
 //   vitri check     [--summary summary.vsnp [--epsilon E] [--deep]
@@ -260,6 +262,14 @@ int CmdQuery(const Args& args) {
   core::ViTriIndexOptions io;
   io.epsilon = args.GetDouble("--epsilon", 0.15);
   io.dimension = db->dimension;
+  // Buffer-pool tuning: 0 shards = auto (VITRI_POOL_SHARDS overrides
+  // auto; an explicit flag here wins over both).
+  io.buffer_pool_options.shards =
+      static_cast<size_t>(std::max(args.GetLong("--pool-shards", 0), 0L));
+  io.buffer_pool_options.readahead_pages =
+      static_cast<size_t>(std::max(args.GetLong("--readahead", 8), 0L));
+  io.buffer_pool_options.prefetch_threads = static_cast<size_t>(
+      std::max(args.GetLong("--prefetch-threads", 0), 0L));
   auto index = core::LoadIndexSnapshot(snapshot, io);
   if (!index.ok()) return Fail(index.status());
 
@@ -511,6 +521,8 @@ void Usage() {
                "  query     --db db.vvdb --summary s.vsnp --video ID\n"
                "            [--k K] [--epsilon E] [--method composed|naive]\n"
                "            [--threads N] [--trace] [--json]\n"
+               "            [--pool-shards N] [--readahead PAGES] "
+               "[--prefetch-threads N]\n"
                "  verify    [--summary s.vsnp] [--pages tree.vpag "
                "[--page-size N]]\n"
                "  check     [--summary s.vsnp [--epsilon E] [--deep] "

@@ -35,6 +35,7 @@
 #include "core/vitri_builder.h"
 #include "serving/client.h"
 #include "serving/server.h"
+#include "storage/buffer_pool.h"
 #include "video/synthesizer.h"
 
 namespace {
@@ -83,6 +84,8 @@ void Usage() {
       "                  [--workers N] [--knn-threads N]\n"
       "                  [--trace-every N] [--exercise]\n"
       "                  [--no-checkpoint]\n"
+      "                  [--pool-shards N] [--readahead PAGES]\n"
+      "                  [--prefetch-threads N]\n"
       "  vitrid ping     (--socket PATH | --host IP --port N)\n"
       "  vitrid stats    (--socket PATH | --host IP --port N)\n"
       "  vitrid shutdown (--socket PATH | --host IP --port N)\n"
@@ -99,7 +102,9 @@ volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
 
 /// Builds a small synthetic index (the vitri CLI's --exercise world).
-Result<core::ViTriIndex> BuildSynthetic(double scale, double epsilon) {
+Result<core::ViTriIndex> BuildSynthetic(
+    double scale, double epsilon,
+    const storage::BufferPoolOptions& pool_options) {
   video::SynthesizerOptions so;
   so.seed = 2005;
   video::VideoSynthesizer synth(so);
@@ -111,7 +116,21 @@ Result<core::ViTriIndex> BuildSynthetic(double scale, double epsilon) {
   core::ViTriIndexOptions io;
   io.dimension = db.dimension;
   io.epsilon = epsilon;
+  io.buffer_pool_options = pool_options;
   return core::ViTriIndex::Build(set, io);
+}
+
+/// Buffer-pool tuning shared by every index source: 0 shards = auto
+/// (VITRI_POOL_SHARDS overrides auto; an explicit flag wins over both).
+storage::BufferPoolOptions PoolOptionsFromFlags(const Args& args) {
+  storage::BufferPoolOptions pool;
+  pool.shards =
+      static_cast<size_t>(std::max(args.GetLong("--pool-shards", 0), 0L));
+  pool.readahead_pages =
+      static_cast<size_t>(std::max(args.GetLong("--readahead", 8), 0L));
+  pool.prefetch_threads = static_cast<size_t>(
+      std::max(args.GetLong("--prefetch-threads", 0), 0L));
+  return pool;
 }
 
 /// Pre-serving warm-up: a few queries (query.knn.* series) and, on a
@@ -172,9 +191,11 @@ int CmdServe(const Args& args) {
     return 2;
   }
 
+  const storage::BufferPoolOptions pool_options = PoolOptionsFromFlags(args);
   Result<core::ViTriIndex> index = [&]() -> Result<core::ViTriIndex> {
     if (synthetic) {
-      return BuildSynthetic(args.GetDouble("--scale", 0.004), epsilon);
+      return BuildSynthetic(args.GetDouble("--scale", 0.004), epsilon,
+                            pool_options);
     }
     if (summary != nullptr) {
       VITRI_ASSIGN_OR_RETURN(core::ViTriSet set,
@@ -182,11 +203,13 @@ int CmdServe(const Args& args) {
       core::ViTriIndexOptions io;
       io.dimension = set.dimension;
       io.epsilon = epsilon;
+      io.buffer_pool_options = pool_options;
       return core::ViTriIndex::Build(set, io);
     }
     // --dir alone: recover a durable index.
     core::ViTriIndexOptions io;
     io.epsilon = epsilon;
+    io.buffer_pool_options = pool_options;
     return core::ViTriIndex::Open(dir, io);
   }();
   if (!index.ok()) return Fail(index.status());
