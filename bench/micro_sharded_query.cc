@@ -1,0 +1,380 @@
+// Sharded scatter-gather query bench (DESIGN.md §17): builds a
+// 10^5-video corpus out of core (chunked generate → summarize → insert;
+// raw frames never outlive their chunk), twice — once with per-shard
+// locally fitted reference points, once with one global reference point
+// pinned into every shard — from a single summarization pass, then
+// queries both and reports per-shard pruning ratios. A second,
+// adversarially clustered section shows the regime the local-O' design
+// targets: shard-aligned clusters elongated orthogonally to the global
+// spread, where the global reference point collapses every shard's keys
+// into a sliver and the local fits keep them discriminative.
+//
+// Both variants must return identical results (ids and similarities at
+// the repo-wide 6-decimal precision): key-range pruning is lossless for
+// any reference point, so the reference point is a pure I/O knob.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/index.h"
+#include "core/out_of_core.h"
+#include "core/sharded_index.h"
+#include "core/vitri.h"
+#include "harness/bench_common.h"
+#include "harness/bench_report.h"
+#include "linalg/vec.h"
+
+namespace {
+
+using namespace vitri;
+using namespace vitri::core;
+
+/// The repo-wide comparison precision: two results are "identical" when
+/// ids match and similarities agree at 6 decimals.
+bool SameMatches(const std::vector<VideoMatch>& a,
+                 const std::vector<VideoMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].video_id != b[i].video_id) return false;
+    char fa[32];
+    char fb[32];
+    std::snprintf(fa, sizeof(fa), "%.6f", a[i].similarity);
+    std::snprintf(fb, sizeof(fb), "%.6f", b[i].similarity);
+    if (std::string(fa) != fb) return false;
+  }
+  return true;
+}
+
+struct ShardTally {
+  uint64_t pages = 0;
+  uint64_t physical = 0;
+  uint64_t candidates = 0;
+  uint64_t range_searches = 0;
+};
+
+/// Runs every query against `index`, accumulating per-shard costs.
+/// Returns per-query result lists (for the cross-variant identity
+/// check) and fills `tallies` (resized to num_shards()).
+Result<std::vector<std::vector<VideoMatch>>> RunQueries(
+    ShardedViTriIndex* index, const std::vector<BatchQuery>& queries,
+    size_t k, std::vector<ShardTally>* tallies, double* wall_ms) {
+  tallies->assign(index->num_shards(), ShardTally{});
+  std::vector<std::vector<VideoMatch>> results;
+  results.reserve(queries.size());
+  Stopwatch timer;
+  std::vector<QueryCosts> shard_costs;
+  for (const BatchQuery& q : queries) {
+    QueryCosts costs;
+    VITRI_ASSIGN_OR_RETURN(
+        std::vector<VideoMatch> matches,
+        index->Knn(q.vitris, q.num_frames, k, KnnMethod::kComposed, &costs,
+                   &shard_costs));
+    for (size_t s = 0; s < shard_costs.size(); ++s) {
+      (*tallies)[s].pages += shard_costs[s].page_accesses;
+      (*tallies)[s].physical += shard_costs[s].physical_reads;
+      (*tallies)[s].candidates += shard_costs[s].candidates;
+      (*tallies)[s].range_searches += shard_costs[s].range_searches;
+    }
+    results.push_back(std::move(matches));
+  }
+  *wall_ms = timer.ElapsedMillis();
+  return results;
+}
+
+/// Per-shard report block for one variant over one corpus: prints the
+/// table and appends one row per shard plus a totals row.
+uint64_t Report(bench::BenchReport* report, const std::string& section,
+                const std::string& variant, ShardedViTriIndex* index,
+                const std::vector<ShardTally>& tallies, size_t num_queries,
+                double wall_ms) {
+  std::printf("%-8s %-6s %-9s %-9s %-12s %-12s %-10s\n", variant.c_str(),
+              "shard", "videos", "vitris", "pages/q", "cand/q", "pruned");
+  uint64_t total_pages = 0;
+  uint64_t total_candidates = 0;
+  for (size_t s = 0; s < index->num_shards(); ++s) {
+    const ViTriIndex* shard = index->shard(s);
+    const size_t vitris = shard != nullptr ? shard->num_vitris() : 0;
+    const ShardTally& t = tallies[s];
+    total_pages += t.pages;
+    total_candidates += t.candidates;
+    // Fraction of the shard's ViTris a query skipped, averaged over the
+    // batch — the pruning the 1-D key ranges buy on this shard.
+    const double scanned =
+        vitris == 0 ? 0.0
+                    : static_cast<double>(t.candidates) /
+                          (static_cast<double>(num_queries) *
+                           static_cast<double>(vitris));
+    const double pruned = 1.0 - std::min(1.0, scanned);
+    std::printf("%-8s %-6zu %-9zu %-9zu %-12.1f %-12.1f %-10.3f\n", "",
+                s, index->shard_videos(s), vitris,
+                static_cast<double>(t.pages) /
+                    static_cast<double>(num_queries),
+                static_cast<double>(t.candidates) /
+                    static_cast<double>(num_queries),
+                pruned);
+    report->AddRow()
+        .Set("section", section)
+        .Set("variant", variant)
+        .Set("shard", s)
+        .Set("videos", index->shard_videos(s))
+        .Set("vitris", vitris)
+        .Set("pages", t.pages)
+        .Set("physical_reads", t.physical)
+        .Set("candidates", t.candidates)
+        .Set("range_searches", t.range_searches)
+        .Set("pruning_ratio", pruned);
+  }
+  const size_t corpus_vitris = index->num_vitris();
+  const double scanned =
+      corpus_vitris == 0 ? 0.0
+                         : static_cast<double>(total_candidates) /
+                               (static_cast<double>(num_queries) *
+                                static_cast<double>(corpus_vitris));
+  report->AddRow()
+      .Set("section", section)
+      .Set("variant", variant)
+      .Set("shard", "total")
+      .Set("vitris", corpus_vitris)
+      .Set("pages", total_pages)
+      .Set("candidates", total_candidates)
+      .Set("pruning_ratio", 1.0 - std::min(1.0, scanned))
+      .Set("wall_ms", wall_ms)
+      .Set("queries", num_queries);
+  std::printf("%-8s total: %" PRIu64 " pages, %" PRIu64
+              " candidates, %.2f ms for %zu queries\n\n",
+              variant.c_str(), total_pages, total_candidates, wall_ms,
+              num_queries);
+  return total_pages;
+}
+
+/// The adversarial corpus of the clustered section: shard s (round
+/// robin, video_id % num_shards) gets one cluster centered at
+/// 100*s along axis 0 and elongated along axis 1+s. Globally, PCA sees
+/// the inter-center axis; the distance from a reference point on that
+/// axis to a whole cluster varies only quadratically in the elongation,
+/// so every shard's keys collapse. A per-shard fit sees the elongation
+/// axis and spreads the keys linearly.
+ViTriSet ClusteredCorpus(size_t num_shards, size_t videos_per_shard,
+                         size_t vitris_per_video, int dimension) {
+  ViTriSet set;
+  set.dimension = dimension;
+  const size_t num_videos = num_shards * videos_per_shard;
+  set.frame_counts.assign(num_videos, 100);
+  Rng rng(7);
+  for (uint32_t vid = 0; vid < num_videos; ++vid) {
+    const size_t s = vid % num_shards;
+    for (size_t i = 0; i < vitris_per_video; ++i) {
+      ViTri v;
+      v.video_id = vid;
+      v.cluster_size = 100 / static_cast<uint32_t>(vitris_per_video);
+      v.radius = 0.05;
+      v.position.assign(static_cast<size_t>(dimension), 0.0);
+      v.position[0] = 100.0 * static_cast<double>(s) +
+                      0.01 * (rng.NextDouble() - 0.5);
+      v.position[1 + s] = 5.0 * (2.0 * rng.NextDouble() - 1.0);
+      set.vitris.push_back(std::move(v));
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  const int num_videos = bench::EnvInt("VITRI_OOC_VIDEOS", 100000);
+  const int chunk_videos = bench::EnvInt("VITRI_OOC_CHUNK", 512);
+  const int num_shards = bench::EnvInt("VITRI_SHARDS", 4);
+  const int num_queries = bench::EnvInt("VITRI_QUERIES", 32);
+  const int dimension = bench::EnvInt("VITRI_DIM", 16);
+  const double clip_seconds = bench::EnvDouble("VITRI_CLIP_SECONDS", 2.0);
+  const size_t k = 10;
+
+  bench::PrintHeader("Sharded scatter-gather query",
+                     "per-shard pruning, local vs. global O'");
+  std::printf("# %d videos out of core, %d shards, dim %d, %d queries\n\n",
+              num_videos, num_shards, dimension, num_queries);
+
+  bench::BenchReport report("micro_sharded_query");
+
+  // --- Out-of-core corpus ------------------------------------------
+  // One streamed generate→summarize pass feeds both variants: the
+  // local-O' index through the builder, the global-O' index through the
+  // feed tee. Queries are summaries retained from the stream itself
+  // (every (N/Q)-th video), so they have known in-corpus matches.
+  SummaryStreamOptions so;
+  so.num_videos = static_cast<size_t>(num_videos);
+  so.chunk_videos = static_cast<size_t>(chunk_videos);
+  so.summarize_threads = ThreadPool::HardwareThreads();
+  so.clip_seconds = clip_seconds;
+  so.synthesizer.dimension = dimension;
+  so.builder.epsilon = bench::kDefaultEpsilon;
+
+  ShardedIndexOptions local_opts;
+  local_opts.num_shards = static_cast<size_t>(num_shards);
+  local_opts.local_reference_points = true;
+  local_opts.shard_options.dimension = dimension;
+  local_opts.shard_options.epsilon = bench::kDefaultEpsilon;
+
+  ShardedIndexOptions global_opts = local_opts;
+  global_opts.local_reference_points = false;
+
+  ShardedIndexBuilder global_builder(
+      global_opts, std::max<size_t>(1, so.chunk_videos) * 4);
+  std::vector<BatchQuery> queries;
+  const size_t query_stride =
+      std::max<size_t>(1, so.num_videos / std::max(num_queries, 1));
+
+  Stopwatch build_watch;
+  auto local = BuildShardedIndexOutOfCore(
+      so, local_opts,
+      [&](const OutOfCoreProgress& p) {
+        if (p.chunks_done % 32 == 0 || p.videos_done == p.total_videos) {
+          std::printf("# ingest: %zu/%zu videos, %zu ViTris, %.1f s "
+                      "(%.0f videos/s)\n",
+                      p.videos_done, p.total_videos, p.vitris_indexed,
+                      p.elapsed_seconds,
+                      static_cast<double>(p.videos_done) /
+                          std::max(p.elapsed_seconds, 1e-9));
+          std::fflush(stdout);
+        }
+      },
+      [&](const std::vector<SummarizedVideo>& chunk) -> Status {
+        for (const SummarizedVideo& v : chunk) {
+          if (v.video_id % query_stride == 0 &&
+              queries.size() < static_cast<size_t>(num_queries)) {
+            queries.push_back(BatchQuery{v.vitris, v.num_frames});
+          }
+          VITRI_RETURN_IF_ERROR(
+              global_builder.Add(v.video_id, v.num_frames,
+                                 std::vector<ViTri>(v.vitris)));
+        }
+        return Status::OK();
+      });
+  if (!local.ok()) {
+    std::fprintf(stderr, "out-of-core build failed: %s\n",
+                 local.status().ToString().c_str());
+    return 1;
+  }
+  auto global = std::move(global_builder).Finish();
+  if (!global.ok()) {
+    std::fprintf(stderr, "global-O' build failed: %s\n",
+                 global.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# built both variants in %.1f s; %zu videos, %zu ViTris, "
+              "%zu queries\n\n",
+              build_watch.ElapsedSeconds(), local->num_videos(),
+              local->num_vitris(), queries.size());
+  const Status valid = local->ValidateInvariants();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invariants: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ShardTally> tallies;
+  double wall_ms = 0.0;
+  auto local_results =
+      RunQueries(&*local, queries, k, &tallies, &wall_ms);
+  if (!local_results.ok()) return 1;
+  const uint64_t local_pages = Report(&report, "ooc", "local", &*local,
+                                      tallies, queries.size(), wall_ms);
+  auto global_results =
+      RunQueries(&*global, queries, k, &tallies, &wall_ms);
+  if (!global_results.ok()) return 1;
+  const uint64_t global_pages = Report(&report, "ooc", "global", &*global,
+                                       tallies, queries.size(), wall_ms);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!SameMatches((*local_results)[q], (*global_results)[q])) {
+      std::fprintf(stderr,
+                   "query %zu: local and global variants diverged\n", q);
+      return 1;
+    }
+  }
+  const double ooc_ratio =
+      global_pages == 0 ? 1.0
+                        : static_cast<double>(local_pages) /
+                              static_cast<double>(global_pages);
+  std::printf("local/global page ratio: %.3f (results identical)\n\n",
+              ooc_ratio);
+  report.AddRow()
+      .Set("section", "ooc_summary")
+      .Set("local_pages", local_pages)
+      .Set("global_pages", global_pages)
+      .Set("local_vs_global_page_ratio", ooc_ratio)
+      .Set("identical", true);
+
+  // --- Clustered corpus --------------------------------------------
+  // The engineered worst case for a single global reference point.
+  {
+    const size_t cl_shards = 4;
+    ViTriSet set = ClusteredCorpus(cl_shards, /*videos_per_shard=*/64,
+                                   /*vitris_per_video=*/4, dimension);
+    ShardedIndexOptions cl_local;
+    cl_local.num_shards = cl_shards;
+    cl_local.assignment = ShardAssignment::kRoundRobin;
+    cl_local.local_reference_points = true;
+    cl_local.shard_options.dimension = dimension;
+    cl_local.shard_options.epsilon = bench::kDefaultEpsilon;
+    ShardedIndexOptions cl_global = cl_local;
+    cl_global.local_reference_points = false;
+
+    auto cl_local_index = ShardedViTriIndex::Build(set, cl_local);
+    auto cl_global_index = ShardedViTriIndex::Build(set, cl_global);
+    if (!cl_local_index.ok() || !cl_global_index.ok()) return 1;
+
+    std::vector<BatchQuery> cl_queries;
+    for (uint32_t vid = 0; vid < 16; ++vid) {
+      BatchQuery q;
+      for (const ViTri& v : set.vitris) {
+        if (v.video_id == vid) q.vitris.push_back(v);
+      }
+      q.num_frames = set.frame_counts[vid];
+      cl_queries.push_back(std::move(q));
+    }
+
+    auto cl_local_results =
+        RunQueries(&*cl_local_index, cl_queries, k, &tallies, &wall_ms);
+    if (!cl_local_results.ok()) return 1;
+    const uint64_t cl_local_pages =
+        Report(&report, "clustered", "local", &*cl_local_index, tallies,
+               cl_queries.size(), wall_ms);
+    auto cl_global_results =
+        RunQueries(&*cl_global_index, cl_queries, k, &tallies, &wall_ms);
+    if (!cl_global_results.ok()) return 1;
+    const uint64_t cl_global_pages =
+        Report(&report, "clustered", "global", &*cl_global_index, tallies,
+               cl_queries.size(), wall_ms);
+    for (size_t q = 0; q < cl_queries.size(); ++q) {
+      if (!SameMatches((*cl_local_results)[q], (*cl_global_results)[q])) {
+        std::fprintf(stderr,
+                     "clustered query %zu: variants diverged\n", q);
+        return 1;
+      }
+    }
+    const double cl_ratio =
+        cl_global_pages == 0 ? 1.0
+                             : static_cast<double>(cl_local_pages) /
+                                   static_cast<double>(cl_global_pages);
+    std::printf("clustered local/global page ratio: %.3f "
+                "(results identical)\n",
+                cl_ratio);
+    report.AddRow()
+        .Set("section", "clustered_summary")
+        .Set("local_pages", cl_local_pages)
+        .Set("global_pages", cl_global_pages)
+        .Set("local_vs_global_page_ratio", cl_ratio)
+        .Set("identical", true);
+  }
+
+  std::printf("\n# expected shape: identical results in every variant; "
+              "local-O' at or below global-O' page counts, with the gap "
+              "widening sharply on the clustered corpus\n");
+  if (!report.WriteArtifact()) return 1;
+  return 0;
+}

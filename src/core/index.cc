@@ -66,8 +66,10 @@ Result<ViTriIndex> ViTriIndex::Build(const ViTriSet& set,
     }
     VITRI_ASSIGN_OR_RETURN(
         OneDimensionalTransform t,
-        OneDimensionalTransform::Fit(index.positions_, options.reference,
-                                     options.margin_factor));
+        options.transform_factory
+            ? options.transform_factory(index.positions_)
+            : OneDimensionalTransform::Fit(index.positions_, options.reference,
+                                           options.margin_factor));
     index.transform_ = std::make_unique<OneDimensionalTransform>(std::move(t));
     VITRI_RETURN_IF_ERROR(index.LoadTree());
   }
@@ -810,8 +812,10 @@ Status ViTriIndex::Rebuild() {
   VITRI_METRIC_COUNTER("index.rebuilds")->Increment();
   VITRI_ASSIGN_OR_RETURN(
       OneDimensionalTransform t,
-      OneDimensionalTransform::Fit(positions_, options_.reference,
-                                   options_.margin_factor));
+      options_.transform_factory
+          ? options_.transform_factory(positions_)
+          : OneDimensionalTransform::Fit(positions_, options_.reference,
+                                         options_.margin_factor));
   transform_ = std::make_unique<OneDimensionalTransform>(std::move(t));
   return LoadTree();
 }

@@ -47,6 +47,13 @@ struct ViTriIndexOptions {
       pager_factory;
   /// Durability knobs of the tree's buffer pool (sync_on_flush etc.).
   storage::BufferPoolOptions buffer_pool_options;
+  /// Optional transform override: when set, Build() and Rebuild() call
+  /// this with the indexed positions instead of fitting `reference` on
+  /// them. The sharded index uses it to pin one globally fitted
+  /// reference point into every shard (DESIGN.md §17).
+  std::function<Result<OneDimensionalTransform>(
+      const std::vector<linalg::Vec>& points)>
+      transform_factory;
 };
 
 /// Configuration of the durable-ingest subsystem (EnableDurability /
@@ -300,6 +307,16 @@ class ViTriIndex {
   size_t num_videos() const VITRI_EXCLUDES(*latch_) {
     ReaderLock lock(*latch_);
     return frame_counts_.size();
+  }
+  /// Videos with a recorded frame count — num_videos() minus id-space
+  /// gaps. The sharded index reports this per shard (each shard's frame
+  /// count table is keyed by global video id, so its extent is not its
+  /// population).
+  size_t stored_videos() const VITRI_EXCLUDES(*latch_) {
+    ReaderLock lock(*latch_);
+    size_t stored = 0;
+    for (const uint32_t frames : frame_counts_) stored += frames > 0 ? 1 : 0;
+    return stored;
   }
   uint32_t tree_height() const VITRI_EXCLUDES(*latch_) {
     ReaderLock lock(*latch_);

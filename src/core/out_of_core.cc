@@ -1,0 +1,107 @@
+#include "core/out_of_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "video/video.h"
+
+namespace vitri::core {
+
+SyntheticSummaryStream::SyntheticSummaryStream(
+    const SummaryStreamOptions& options)
+    : options_(options),
+      synthesizer_(options.synthesizer),
+      builder_(options.builder) {}
+
+Result<std::vector<SummarizedVideo>> SyntheticSummaryStream::NextChunk() {
+  std::vector<SummarizedVideo> chunk;
+  if (Done()) return chunk;
+  Stopwatch watch;
+  const size_t count =
+      std::min(std::max<size_t>(options_.chunk_videos, 1),
+               options_.num_videos - next_id_);
+
+  // Generation is sequential (the synthesizer's PRNG and shot pool are
+  // stateful); summarization fans out per video and the frames are
+  // dropped with `clips` when this call returns.
+  std::vector<video::VideoSequence> clips;
+  clips.reserve(count);
+  size_t chunk_frames = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const auto id = static_cast<uint32_t>(next_id_ + i);
+    clips.push_back(options_.clip_seconds > 0.0
+                        ? synthesizer_.GenerateClip(id, options_.clip_seconds)
+                        : synthesizer_.GenerateMixClip(id));
+    chunk_frames += clips.back().num_frames();
+  }
+
+  chunk.resize(count);
+  std::vector<Status> statuses(count);
+  const auto summarize_one = [&](size_t i) {
+    auto vitris = builder_.Build(clips[i]);
+    if (!vitris.ok()) {
+      statuses[i] = vitris.status();
+      return;
+    }
+    chunk[i].video_id = clips[i].id;
+    chunk[i].num_frames = static_cast<uint32_t>(clips[i].num_frames());
+    chunk[i].vitris = std::move(*vitris);
+  };
+  const size_t workers = std::min(options_.summarize_threads, count);
+  if (workers <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) summarize_one(i);
+  } else {
+    ThreadPool pool(workers);
+    pool.ParallelFor(count, summarize_one);
+  }
+  for (const Status& status : statuses) VITRI_RETURN_IF_ERROR(status);
+  next_id_ += count;
+
+  size_t chunk_vitris = 0;
+  for (const SummarizedVideo& v : chunk) chunk_vitris += v.vitris.size();
+  VITRI_METRIC_COUNTER("ingest.videos")->Increment(count);
+  VITRI_METRIC_COUNTER("ingest.frames")->Increment(chunk_frames);
+  VITRI_METRIC_COUNTER("ingest.vitris")->Increment(chunk_vitris);
+  VITRI_METRIC_COUNTER("ingest.chunks")->Increment();
+  VITRI_METRIC_HISTOGRAM("ingest.chunk_latency_us")
+      ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return chunk;
+}
+
+Result<ShardedViTriIndex> BuildShardedIndexOutOfCore(
+    const SummaryStreamOptions& stream_options,
+    const ShardedIndexOptions& index_options,
+    const OutOfCoreProgressFn& progress,
+    const std::function<Status(const std::vector<SummarizedVideo>&)>& feed) {
+  Stopwatch watch;
+  SyntheticSummaryStream stream(stream_options);
+  // Seed the bulk build with up to ~4 chunks so per-shard reference
+  // points are fitted on a real local sample, then insert the tail.
+  ShardedIndexBuilder builder(
+      index_options,
+      std::max<size_t>(stream_options.chunk_videos, 1) * 4);
+  OutOfCoreProgress report;
+  report.total_videos = stream_options.num_videos;
+  while (!stream.Done()) {
+    VITRI_ASSIGN_OR_RETURN(std::vector<SummarizedVideo> chunk,
+                           stream.NextChunk());
+    if (feed != nullptr) VITRI_RETURN_IF_ERROR(feed(chunk));
+    report.chunk_frames = 0;
+    for (SummarizedVideo& v : chunk) {
+      report.chunk_frames += v.num_frames;
+      report.vitris_indexed += v.vitris.size();
+      VITRI_RETURN_IF_ERROR(
+          builder.Add(v.video_id, v.num_frames, std::move(v.vitris)));
+    }
+    report.videos_done = stream.videos_emitted();
+    ++report.chunks_done;
+    report.elapsed_seconds = watch.ElapsedSeconds();
+    if (progress != nullptr) progress(report);
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace vitri::core

@@ -1,0 +1,97 @@
+#ifndef VITRI_CORE_OUT_OF_CORE_H_
+#define VITRI_CORE_OUT_OF_CORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sharded_index.h"
+#include "core/vitri.h"
+#include "core/vitri_builder.h"
+#include "video/synthesizer.h"
+
+namespace vitri::core {
+
+/// One video reduced to what indexing needs — id, frame count, ViTris.
+/// The raw frames are discarded as soon as a chunk is summarized, which
+/// is what keeps a ~10^6-video corpus out of core: a corpus that size
+/// holds ~10^8 frame vectors, but only ~10^7 ViTris.
+struct SummarizedVideo {
+  uint32_t video_id = 0;
+  uint32_t num_frames = 0;
+  std::vector<ViTri> vitris;
+};
+
+struct SummaryStreamOptions {
+  /// Total videos the stream emits.
+  size_t num_videos = 10000;
+  /// Videos generated (and then summarized and dropped) per chunk — the
+  /// memory high-water mark is one chunk of raw frames.
+  size_t chunk_videos = 256;
+  /// Worker threads the per-chunk summarization fans across (the
+  /// generator itself is stateful and runs on the calling thread).
+  size_t summarize_threads = 1;
+  /// Fixed clip length in seconds; 0 draws each clip's duration from
+  /// the paper's Table 2 mix (VideoSynthesizer::GenerateMixClip).
+  double clip_seconds = 0.0;
+  video::SynthesizerOptions synthesizer;
+  ViTriBuilderOptions builder;
+};
+
+/// Chunked generate → summarize pipeline over the synthetic corpus:
+/// each NextChunk() call materializes chunk_videos clips, summarizes
+/// them in parallel, and returns only the summaries — raw frames never
+/// outlive the call. Deterministic for a fixed options struct (one
+/// generator seed, summaries independent of thread count). Emits
+/// ingest.* metrics: videos/frames/vitris counters and a per-chunk
+/// latency histogram.
+class SyntheticSummaryStream {
+ public:
+  explicit SyntheticSummaryStream(const SummaryStreamOptions& options);
+
+  const SummaryStreamOptions& options() const { return options_; }
+  bool Done() const { return next_id_ >= options_.num_videos; }
+  size_t videos_emitted() const { return next_id_; }
+
+  /// The next chunk of summaries (empty once Done()).
+  Result<std::vector<SummarizedVideo>> NextChunk();
+
+ private:
+  SummaryStreamOptions options_;
+  video::VideoSynthesizer synthesizer_;
+  ViTriBuilder builder_;
+  size_t next_id_ = 0;
+};
+
+/// Progress of an out-of-core build, reported after every chunk.
+struct OutOfCoreProgress {
+  size_t videos_done = 0;
+  size_t total_videos = 0;
+  size_t vitris_indexed = 0;
+  size_t chunks_done = 0;
+  /// Frames generated and discarded for the last chunk.
+  size_t chunk_frames = 0;
+  double elapsed_seconds = 0.0;
+};
+
+using OutOfCoreProgressFn = std::function<void(const OutOfCoreProgress&)>;
+
+/// Drives a SyntheticSummaryStream into a ShardedIndexBuilder:
+/// generate → summarize → insert, chunk by chunk, so the corpus never
+/// fully resides in memory. `progress`, if given, is called after each
+/// chunk. `feed`, if given, receives every chunk before it is indexed —
+/// the sharded-query bench uses it to tee one summarization pass into a
+/// second (global-reference-point) builder instead of paying for the
+/// stream twice.
+Result<ShardedViTriIndex> BuildShardedIndexOutOfCore(
+    const SummaryStreamOptions& stream_options,
+    const ShardedIndexOptions& index_options,
+    const OutOfCoreProgressFn& progress = nullptr,
+    const std::function<Status(const std::vector<SummarizedVideo>&)>& feed =
+        nullptr);
+
+}  // namespace vitri::core
+
+#endif  // VITRI_CORE_OUT_OF_CORE_H_

@@ -15,6 +15,7 @@
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/os.h"
+#include "core/sharded_index.h"
 
 namespace vitri::serving {
 
@@ -44,6 +45,12 @@ const char* StateName(uint8_t state) {
 
 Server::Server(core::ViTriIndex* index, ServerOptions options)
     : index_(index),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+Server::Server(core::ShardedViTriIndex* sharded, ServerOptions options)
+    : index_(nullptr),
+      sharded_(sharded),
       options_(std::move(options)),
       queue_(options_.queue_capacity) {}
 
@@ -367,9 +374,15 @@ void Server::HandleKnn(WorkItem item) {
   Status failure = Status::OK();
   bool expired = false;
   if (item.deadline_us == 0) {
-    Result<std::vector<std::vector<core::VideoMatch>>> r = index_->BatchKnn(
-        item.knn.queries, item.knn.k, item.knn.method, options_.knn_threads,
-        nullptr, traced ? &traces : nullptr);
+    // Query tracing is a single-index feature; the sharded route
+    // scatter-gathers across shards without per-stage traces.
+    Result<std::vector<std::vector<core::VideoMatch>>> r =
+        sharded_ != nullptr
+            ? sharded_->BatchKnn(item.knn.queries, item.knn.k,
+                                 item.knn.method, options_.knn_threads)
+            : index_->BatchKnn(item.knn.queries, item.knn.k, item.knn.method,
+                               options_.knn_threads, nullptr,
+                               traced ? &traces : nullptr);
     if (r.ok()) {
       resp.results = std::move(*r);
     } else {
@@ -386,7 +399,11 @@ void Server::HandleKnn(WorkItem item) {
         break;
       }
       Result<std::vector<core::VideoMatch>> r =
-          index_->Knn(q.vitris, q.num_frames, item.knn.k, item.knn.method);
+          sharded_ != nullptr
+              ? sharded_->Knn(q.vitris, q.num_frames, item.knn.k,
+                              item.knn.method)
+              : index_->Knn(q.vitris, q.num_frames, item.knn.k,
+                            item.knn.method);
       if (!r.ok()) {
         failure = r.status();
         break;
@@ -425,8 +442,12 @@ void Server::HandleKnn(WorkItem item) {
 }
 
 void Server::HandleInsert(WorkItem item) {
-  Status st = index_->Insert(item.insert.video_id, item.insert.num_frames,
-                             item.insert.vitris);
+  Status st =
+      sharded_ != nullptr
+          ? sharded_->Insert(item.insert.video_id, item.insert.num_frames,
+                             item.insert.vitris)
+          : index_->Insert(item.insert.video_id, item.insert.num_frames,
+                           item.insert.vitris);
   if (st.ok()) {
     responses_ok_.fetch_add(1, std::memory_order_relaxed);
     RespondSimple(item.session, MessageType::kInsertResponse, item.request_id,
@@ -499,20 +520,45 @@ std::string Server::BuildStatsJson() {
   w.Uint(responses_ok_.load(std::memory_order_relaxed));
   w.Key("index");
   w.BeginObject();
-  w.Key("videos");
-  w.Uint(index_->num_videos());
-  w.Key("vitris");
-  w.Uint(index_->num_vitris());
-  w.Key("tree_height");
-  w.Uint(index_->tree_height());
-  w.Key("durable");
-  w.Bool(index_->durable());
-  w.Key("generation");
-  w.Uint(index_->generation());
-  w.Key("wal_commits");
-  w.Uint(index_->wal_commits());
-  w.Key("wal_durable_commits");
-  w.Uint(index_->wal_durable_commits());
+  if (sharded_ != nullptr) {
+    // Sharded route: per-shard contents live in the metrics registry as
+    // index.shard.<i>.* gauges; durability is single-index-only.
+    w.Key("videos");
+    w.Uint(sharded_->num_videos());
+    w.Key("vitris");
+    w.Uint(sharded_->num_vitris());
+    w.Key("tree_height");
+    w.Uint(sharded_->tree_height());
+    w.Key("shards");
+    w.Uint(sharded_->num_shards());
+    w.Key("live_shards");
+    w.Uint(sharded_->live_shards());
+    w.Key("assignment");
+    w.String(core::ShardAssignmentName(sharded_->assignment()));
+    w.Key("durable");
+    w.Bool(false);
+    w.Key("generation");
+    w.Uint(0);
+    w.Key("wal_commits");
+    w.Uint(0);
+    w.Key("wal_durable_commits");
+    w.Uint(0);
+  } else {
+    w.Key("videos");
+    w.Uint(index_->num_videos());
+    w.Key("vitris");
+    w.Uint(index_->num_vitris());
+    w.Key("tree_height");
+    w.Uint(index_->tree_height());
+    w.Key("durable");
+    w.Bool(index_->durable());
+    w.Key("generation");
+    w.Uint(index_->generation());
+    w.Key("wal_commits");
+    w.Uint(index_->wal_commits());
+    w.Key("wal_durable_commits");
+    w.Uint(index_->wal_durable_commits());
+  }
   w.EndObject();
   w.EndObject();
   w.Key("metrics");

@@ -17,6 +17,10 @@
 #include "serving/bounded_queue.h"
 #include "serving/protocol.h"
 
+namespace vitri::core {
+class ShardedViTriIndex;
+}  // namespace vitri::core
+
 namespace vitri::serving {
 
 /// Configuration of a vitrid server instance.
@@ -81,6 +85,11 @@ struct ServerOptions {
 class Server {
  public:
   Server(core::ViTriIndex* index, ServerOptions options);
+  /// Routing-layer variant: requests scatter-gather across the sharded
+  /// index's shards instead of one ViTriIndex. Durability (and thus
+  /// checkpoint_on_shutdown) and query tracing are single-index-only
+  /// features; the sharded path serves knn/insert/stats.
+  Server(core::ShardedViTriIndex* sharded, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -169,7 +178,9 @@ class Server {
     if (options_.stage_hook) options_.stage_hook(point);
   }
 
+  /// Exactly one of these is non-null.
   core::ViTriIndex* index_;
+  core::ShardedViTriIndex* sharded_ = nullptr;
   ServerOptions options_;
 
   int listen_fd_ = -1;

@@ -209,6 +209,14 @@ VideoDatabase VideoSynthesizer::GenerateDatabase(double scale) {
   return db;
 }
 
+VideoSequence VideoSynthesizer::GenerateMixClip(uint32_t id) {
+  // Same Table 2 weights as GenerateDatabase, sampled per clip so an
+  // unbounded stream converges to the paper's duration mix.
+  const double u = rng_.NextDouble() * (2934.0 + 2519.0 + 1134.0);
+  const double seconds = u < 2934.0 ? 30.0 : (u < 2934.0 + 2519.0 ? 15.0 : 10.0);
+  return GenerateClip(id, seconds);
+}
+
 Image VideoSynthesizer::RenderShotFrame(uint64_t shot_seed,
                                         int frame_in_shot, int width,
                                         int height) {

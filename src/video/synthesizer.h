@@ -98,6 +98,13 @@ class VideoSynthesizer {
   /// paper (2934/2519/1134 clips).
   VideoDatabase GenerateDatabase(double scale);
 
+  /// One clip whose duration is drawn from the Table 2 mix
+  /// (30s/15s/10s, weighted by the table's clip counts) — the streaming
+  /// counterpart of GenerateDatabase() for out-of-core corpus
+  /// construction, where clips are generated, summarized, and discarded
+  /// chunk by chunk instead of materializing the whole database.
+  VideoSequence GenerateMixClip(uint32_t id);
+
   /// Renders one frame image for a shot appearance; consecutive calls
   /// with increasing `frame_in_shot` produce slowly varying images of
   /// the same scene. Used by the image-pipeline examples.

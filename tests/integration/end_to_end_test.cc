@@ -13,6 +13,7 @@
 #include "core/index.h"
 #include "core/similarity.h"
 #include "core/keyframe_baseline.h"
+#include "core/sharded_index.h"
 #include "core/vitri_builder.h"
 #include "video/feature_extractor.h"
 #include "video/synthesizer.h"
@@ -402,6 +403,67 @@ TEST_F(EndToEndTest, GoldenKnnResultsAndIoCostsArePinned) {
     }
   }
   if (regen) GTEST_SKIP() << "golden table printed, assertions skipped";
+}
+
+TEST_F(EndToEndTest, ShardedIndexMatchesSingleShardOnGoldenCorpus) {
+  // The sharding merge contract on the pinned seed-99 corpus: a 4-shard
+  // scatter-gather index (per-shard reference points and all) returns
+  // the same video ids in the same ranks with the same similarities at
+  // the golden 6-decimal precision as the single index above — for both
+  // methods, per-query and batched. Key-range pruning is lossless per
+  // shard, so per-shard O' fits cannot change the answer.
+  ViTriIndexOptions options;
+  options.epsilon = kEpsilon;
+  auto single = ViTriIndex::Build(set_, options);
+  ASSERT_TRUE(single.ok());
+
+  ShardedIndexOptions sharded_options;
+  sharded_options.num_shards = 4;
+  sharded_options.shard_options = options;
+  auto sharded = ShardedViTriIndex::Build(set_, sharded_options);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(sharded->ValidateInvariants().ok());
+
+  std::vector<BatchQuery> batch;
+  for (const video::VideoSequence& query : queries_) {
+    batch.push_back(BatchQuery{
+        Summarize(query), static_cast<uint32_t>(query.num_frames())});
+  }
+  for (const KnnMethod method :
+       {KnnMethod::kComposed, KnnMethod::kNaive}) {
+    std::vector<std::vector<VideoMatch>> expected;
+    for (const BatchQuery& q : batch) {
+      auto result = single->Knn(q.vitris, q.num_frames, 5, method);
+      ASSERT_TRUE(result.ok());
+      expected.push_back(std::move(*result));
+    }
+    for (size_t q = 0; q < batch.size(); ++q) {
+      auto result =
+          sharded->Knn(batch[q].vitris, batch[q].num_frames, 5, method);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->size(), expected[q].size()) << "query " << q;
+      for (size_t i = 0; i < expected[q].size(); ++i) {
+        EXPECT_EQ((*result)[i].video_id, expected[q][i].video_id)
+            << "query " << q << " rank " << i;
+        EXPECT_EQ(FormatSimilarity((*result)[i].similarity),
+                  FormatSimilarity(expected[q][i].similarity))
+            << "query " << q << " rank " << i;
+      }
+    }
+    auto batched = sharded->BatchKnn(batch, 5, method, 4);
+    ASSERT_TRUE(batched.ok());
+    ASSERT_EQ(batched->size(), expected.size());
+    for (size_t q = 0; q < expected.size(); ++q) {
+      ASSERT_EQ((*batched)[q].size(), expected[q].size()) << "query " << q;
+      for (size_t i = 0; i < expected[q].size(); ++i) {
+        EXPECT_EQ((*batched)[q][i].video_id, expected[q][i].video_id)
+            << "query " << q << " rank " << i;
+        EXPECT_EQ(FormatSimilarity((*batched)[q][i].similarity),
+                  FormatSimilarity(expected[q][i].similarity))
+            << "query " << q << " rank " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

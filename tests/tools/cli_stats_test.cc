@@ -74,5 +74,78 @@ TEST(CliStatsTest, TextOutputListsTheRegistry) {
   EXPECT_NE(out.find("query.knn.latency_us"), std::string::npos) << out;
 }
 
+TEST(CliStatsTest, ExerciseReportsShardGauges) {
+  // The exercise workload also runs its corpus through a sharded index
+  // (shard count via VITRI_INDEX_SHARDS, >= 1), so the per-shard gauges
+  // of DESIGN.md §17 must be live in the JSON document.
+  const std::string out =
+      RunAndCapture(std::string(VITRI_CLI_PATH) + " stats --exercise --json");
+  auto parsed = json::ParseJson(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << out;
+  const json::JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const json::JsonValue* gauges = metrics->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_TRUE(gauges->is_object());
+  for (const char* name : {"index.shard.0.videos", "index.shard.0.vitris",
+                           "index.shard.0.height"}) {
+    const json::JsonValue* g = gauges->Find(name);
+    ASSERT_NE(g, nullptr) << name << "\n" << out;
+    EXPECT_TRUE(g->is_number()) << name;
+    EXPECT_GT(g->number, 0.0) << name;
+  }
+}
+
+/// Keeps only the result lines ("  video N  similarity S") of a `vitri
+/// query` transcript, so shard-dependent preamble and cost lines don't
+/// enter the comparison.
+std::string ResultLines(const std::string& out) {
+  std::string kept;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t end = out.find('\n', pos);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(pos, end - pos);
+    if (line.rfind("  video ", 0) == 0) kept += line + "\n";
+    pos = end + 1;
+  }
+  return kept;
+}
+
+TEST(CliStatsTest, ShardedQueryRoundTripMatchesSingleShard) {
+  // generate -> summarize --index-shards -> query --index-shards: the
+  // whole CLI surface of the sharded path, pinned against the
+  // single-shard answer (merge determinism, DESIGN.md §17).
+  const std::string dir = ::testing::TempDir();
+  const std::string db = dir + "/cli_sharded.vvdb";
+  const std::string snap = dir + "/cli_sharded.vsnp";
+  RunAndCapture(std::string(VITRI_CLI_PATH) + " generate --out " + db +
+                " --scale 0.004");
+
+  const std::string summarize =
+      RunAndCapture(std::string(VITRI_CLI_PATH) + " summarize --db " + db +
+                    " --out " + snap + " --index-shards 4");
+  EXPECT_NE(summarize.find("index shards: 4 (hash assignment)"),
+            std::string::npos)
+      << summarize;
+  EXPECT_NE(summarize.find("shard 3:"), std::string::npos) << summarize;
+
+  const std::string query_base = std::string(VITRI_CLI_PATH) +
+                                 " query --db " + db + " --summary " +
+                                 snap + " --video 0 --k 10";
+  const std::string sharded =
+      RunAndCapture(query_base + " --index-shards 4");
+  // Pin the control run to one shard explicitly so the comparison holds
+  // even under the VITRI_INDEX_SHARDS CI leg (the flag beats the env).
+  const std::string single = RunAndCapture(query_base + " --index-shards 1");
+  EXPECT_NE(sharded.find("index shards: 4 (4 live, hash assignment)"),
+            std::string::npos)
+      << sharded;
+  EXPECT_EQ(single.find("index shards:"), std::string::npos) << single;
+  const std::string sharded_results = ResultLines(sharded);
+  EXPECT_FALSE(sharded_results.empty()) << sharded;
+  EXPECT_EQ(sharded_results, ResultLines(single));
+}
+
 }  // namespace
 }  // namespace vitri

@@ -17,6 +17,7 @@
 
 #include "common/json.h"
 #include "core/index.h"
+#include "core/sharded_index.h"
 #include "core/vitri_builder.h"
 #include "serving/server.h"
 #include "video/synthesizer.h"
@@ -164,6 +165,158 @@ TEST(VitridSmokeTest, StatsSubcommandReportsWalAndQueryMetrics) {
   EXPECT_TRUE(server.Shutdown().ok());
 
   // Best-effort cleanup of the temp tree (db dir contents + socket).
+  [[maybe_unused]] int ignored =
+      std::system(("rm -rf " + dir).c_str());  // NOLINT(concurrency-mt-unsafe)
+}
+
+TEST(VitridSmokeTest, StatsReportsShardedIndexBlock) {
+  // An in-process Server over a 4-shard scatter-gather index: the stats
+  // document must carry the sharded index block (shards, live_shards,
+  // assignment, durable=false) and the per-shard index.shard.<i>.*
+  // gauges registered at build time (DESIGN.md §17).
+  char tmpl[] = "/tmp/vitrid_sharded_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string socket = dir + "/vitrid.sock";
+
+  video::SynthesizerOptions so;
+  so.seed = 2005;
+  video::VideoSynthesizer synth(so);
+  const video::VideoDatabase db = synth.GenerateDatabase(0.004);
+  core::ViTriBuilderOptions bo;
+  bo.epsilon = 0.15;
+  core::ViTriBuilder builder(bo);
+  auto set = builder.BuildDatabase(db);
+  ASSERT_TRUE(set.ok());
+  core::ShardedIndexOptions sio;
+  sio.num_shards = 4;
+  sio.shard_options.dimension = db.dimension;
+  sio.shard_options.epsilon = 0.15;
+  auto index = core::ShardedViTriIndex::Build(*set, sio);
+  ASSERT_TRUE(index.ok());
+
+  serving::ServerOptions opts;
+  opts.unix_socket_path = socket;
+  serving::Server server(&*index, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  int rc = -1;
+  const std::string pong =
+      RunAndCapture(std::string(VITRID_PATH) + " ping --socket " + socket,
+                    &rc);
+  EXPECT_EQ(rc, 0) << pong;
+  EXPECT_NE(pong.find("pong"), std::string::npos) << pong;
+
+  const std::string out =
+      RunAndCapture(std::string(VITRID_PATH) + " stats --socket " + socket,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  auto parsed = json::ParseJson(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << out;
+
+  const json::JsonValue* srv = parsed->Find("server");
+  ASSERT_NE(srv, nullptr) << out;
+  const json::JsonValue* idx = srv->Find("index");
+  ASSERT_NE(idx, nullptr) << out;
+  const json::JsonValue* shards = idx->Find("shards");
+  ASSERT_NE(shards, nullptr) << out;
+  EXPECT_EQ(shards->number, 4.0) << out;
+  const json::JsonValue* live = idx->Find("live_shards");
+  ASSERT_NE(live, nullptr) << out;
+  EXPECT_GE(live->number, 1.0) << out;
+  EXPECT_LE(live->number, 4.0) << out;
+  const json::JsonValue* assignment = idx->Find("assignment");
+  ASSERT_NE(assignment, nullptr) << out;
+  ASSERT_TRUE(assignment->is_string()) << out;
+  EXPECT_EQ(assignment->string_value, "hash") << out;
+  const json::JsonValue* durable = idx->Find("durable");
+  ASSERT_NE(durable, nullptr) << out;
+  EXPECT_FALSE(durable->bool_value) << out;
+  const json::JsonValue* videos = idx->Find("videos");
+  ASSERT_NE(videos, nullptr) << out;
+  EXPECT_EQ(videos->number, static_cast<double>(index->num_videos())) << out;
+
+  const json::JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr) << out;
+  const json::JsonValue* gauges = metrics->Find("gauges");
+  ASSERT_NE(gauges, nullptr) << out;
+  double gauge_videos = 0.0;
+  for (size_t s = 0; s < 4; ++s) {
+    for (const char* suffix : {"videos", "vitris", "height"}) {
+      const std::string name =
+          "index.shard." + std::to_string(s) + "." + suffix;
+      const json::JsonValue* g = gauges->Find(name);
+      ASSERT_NE(g, nullptr) << name << "\n" << out;
+      if (std::string(suffix) == "videos") gauge_videos += g->number;
+    }
+  }
+  // The per-shard gauges tile the corpus exactly.
+  EXPECT_EQ(gauge_videos, static_cast<double>(index->num_videos())) << out;
+
+  const std::string ack = RunAndCapture(
+      std::string(VITRID_PATH) + " shutdown --socket " + socket, &rc);
+  EXPECT_EQ(rc, 0) << ack;
+  EXPECT_TRUE(server.WaitForShutdownRequest(10'000));
+  EXPECT_TRUE(server.Shutdown().ok());
+
+  [[maybe_unused]] int ignored =
+      std::system(("rm -rf " + dir).c_str());  // NOLINT(concurrency-mt-unsafe)
+}
+
+TEST(VitridSmokeTest, ServeIndexShardsFlagRoundTrip) {
+  // The full binary surface: `vitrid serve --synthetic --index-shards 4`
+  // must come up, report a 4-shard index over the wire, and drain on an
+  // in-band shutdown.
+  char tmpl[] = "/tmp/vitrid_shardserve_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string socket = dir + "/vitrid.sock";
+
+  FILE* serve = popen((std::string(VITRID_PATH) +  // NOLINT
+                       " serve --synthetic --index-shards 4 --socket " +
+                       socket + " 2>&1")
+                          .c_str(),
+                      "r");
+  ASSERT_NE(serve, nullptr);
+
+  // Wait for the listening socket (synthetic build takes a moment).
+  bool up = false;
+  for (int i = 0; i < 300 && !up; ++i) {
+    up = access(socket.c_str(), F_OK) == 0;
+    if (!up) usleep(100 * 1000);
+  }
+  ASSERT_TRUE(up) << "server socket never appeared";
+
+  int rc = -1;
+  const std::string out =
+      RunAndCapture(std::string(VITRID_PATH) + " stats --socket " + socket,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  auto parsed = json::ParseJson(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << out;
+  const json::JsonValue* srv = parsed->Find("server");
+  ASSERT_NE(srv, nullptr) << out;
+  const json::JsonValue* idx = srv->Find("index");
+  ASSERT_NE(idx, nullptr) << out;
+  const json::JsonValue* shards = idx->Find("shards");
+  ASSERT_NE(shards, nullptr) << out;
+  EXPECT_EQ(shards->number, 4.0) << out;
+
+  const std::string ack = RunAndCapture(
+      std::string(VITRID_PATH) + " shutdown --socket " + socket, &rc);
+  EXPECT_EQ(rc, 0) << ack;
+
+  // The serve process drains and exits 0; its transcript carries the
+  // announce line with the shard count.
+  std::string transcript;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), serve)) > 0) transcript.append(buf, n);
+  const int serve_rc = pclose(serve);
+  EXPECT_EQ(serve_rc, 0) << transcript;
+  EXPECT_NE(transcript.find("listening on"), std::string::npos) << transcript;
+  EXPECT_NE(transcript.find("4 shards"), std::string::npos) << transcript;
+
   [[maybe_unused]] int ignored =
       std::system(("rm -rf " + dir).c_str());  // NOLINT(concurrency-mt-unsafe)
 }

@@ -2,13 +2,13 @@
 //
 //   vitri generate  --out db.vvdb [--scale 0.01] [--dim 64] [--seed N]
 //   vitri summarize --db db.vvdb --out summary.vsnp [--epsilon 0.15]
-//                   [--threads N]
+//                   [--threads N] [--index-shards N]
 //   vitri stats     [--summary summary.vsnp] [--exercise] [--json]
 //   vitri query     --db db.vvdb --summary summary.vsnp --video ID
 //                   [--k 10] [--epsilon 0.15] [--method composed|naive]
 //                   [--threads N] [--trace] [--json]
 //                   [--pool-shards N] [--readahead PAGES]
-//                   [--prefetch-threads N]
+//                   [--prefetch-threads N] [--index-shards N]
 //   vitri verify    [--summary summary.vsnp] [--pages tree.vpag
 //                   [--page-size 4096]]
 //   vitri check     [--summary summary.vsnp [--epsilon E] [--deep]
@@ -43,6 +43,7 @@
 #include "core/query_trace.h"
 #include "linalg/kernels.h"
 #include "core/index.h"
+#include "core/sharded_index.h"
 #include "core/snapshot.h"
 #include "core/validate.h"
 #include "core/vitri_builder.h"
@@ -129,6 +130,31 @@ int CmdSummarize(const Args& args) {
               "to %s\n",
               stats.num_clusters, stats.average_cluster_size, bo.epsilon,
               out);
+  // With sharding configured (flag > VITRI_INDEX_SHARDS > 1), preview
+  // the shard distribution the snapshot would index into.
+  const size_t index_shards = core::ResolveIndexShards(
+      static_cast<size_t>(std::max(args.GetLong("--index-shards", 0), 0L)));
+  if (index_shards > 1) {
+    const auto assignment = core::ShardAssignment::kHash;
+    std::vector<size_t> videos(index_shards, 0);
+    std::vector<size_t> vitris(index_shards, 0);
+    for (uint32_t vid = 0; vid < set->frame_counts.size(); ++vid) {
+      if (set->frame_counts[vid] > 0) {
+        ++videos[core::ShardedViTriIndex::ShardOf(vid, index_shards,
+                                                  assignment)];
+      }
+    }
+    for (const core::ViTri& v : set->vitris) {
+      ++vitris[core::ShardedViTriIndex::ShardOf(v.video_id, index_shards,
+                                                assignment)];
+    }
+    std::printf("index shards: %zu (%s assignment)\n", index_shards,
+                core::ShardAssignmentName(assignment));
+    for (size_t shard = 0; shard < index_shards; ++shard) {
+      std::printf("  shard %zu: %zu videos, %zu ViTris\n", shard,
+                  videos[shard], vitris[shard]);
+    }
+  }
   return 0;
 }
 
@@ -163,6 +189,16 @@ int ExerciseMetrics() {
   }
   auto batched = index->BatchKnn(batch, 10, core::KnnMethod::kComposed, 2);
   if (!batched.ok()) return Fail(batched.status());
+  // The same corpus behind a sharded index (count resolved via
+  // VITRI_INDEX_SHARDS, >= 1), so the index.shard.<i>.* gauges report
+  // live data too.
+  core::ShardedIndexOptions sharded_opts;
+  sharded_opts.shard_options = io;
+  auto sharded = core::ShardedViTriIndex::Build(*set, sharded_opts);
+  if (!sharded.ok()) return Fail(sharded.status());
+  auto sharded_batch =
+      sharded->BatchKnn(batch, 10, core::KnnMethod::kComposed, 2);
+  if (!sharded_batch.ok()) return Fail(sharded_batch.status());
   return 0;
 }
 
@@ -270,8 +306,6 @@ int CmdQuery(const Args& args) {
       static_cast<size_t>(std::max(args.GetLong("--readahead", 8), 0L));
   io.buffer_pool_options.prefetch_threads = static_cast<size_t>(
       std::max(args.GetLong("--prefetch-threads", 0), 0L));
-  auto index = core::LoadIndexSnapshot(snapshot, io);
-  if (!index.ok()) return Fail(index.status());
 
   video::VideoSynthesizer synth;
   const video::VideoSequence query =
@@ -297,10 +331,41 @@ int CmdQuery(const Args& args) {
   batch[0].num_frames = static_cast<uint32_t>(query.num_frames());
   const bool traced = args.Has("--trace");
   std::vector<core::QueryTrace> traces;
-  auto batch_results = index->BatchKnn(batch, k, method, threads, &costs,
-                                       traced ? &traces : nullptr);
-  if (!batch_results.ok()) return Fail(batch_results.status());
-  const std::vector<core::VideoMatch>& results = (*batch_results)[0];
+  // Sharding: flag > VITRI_INDEX_SHARDS > 1. More than one shard routes
+  // the query through the scatter-gather index (results are identical
+  // to the single-shard path — the merge contract of DESIGN.md §17).
+  const size_t index_shards = core::ResolveIndexShards(
+      static_cast<size_t>(std::max(args.GetLong("--index-shards", 0), 0L)));
+  std::vector<std::vector<core::VideoMatch>> batch_results;
+  if (index_shards > 1) {
+    if (traced) {
+      std::fprintf(stderr,
+                   "query: --trace is single-shard only; ignoring it with "
+                   "--index-shards %zu\n",
+                   index_shards);
+    }
+    auto set = core::LoadViTriSet(snapshot);
+    if (!set.ok()) return Fail(set.status());
+    core::ShardedIndexOptions sharded_opts;
+    sharded_opts.num_shards = index_shards;
+    sharded_opts.shard_options = io;
+    auto sharded = core::ShardedViTriIndex::Build(*set, sharded_opts);
+    if (!sharded.ok()) return Fail(sharded.status());
+    std::printf("index shards: %zu (%zu live, %s assignment)\n",
+                sharded->num_shards(), sharded->live_shards(),
+                core::ShardAssignmentName(sharded->assignment()));
+    auto r = sharded->BatchKnn(batch, k, method, threads, &costs);
+    if (!r.ok()) return Fail(r.status());
+    batch_results = std::move(*r);
+  } else {
+    auto index = core::LoadIndexSnapshot(snapshot, io);
+    if (!index.ok()) return Fail(index.status());
+    auto r = index->BatchKnn(batch, k, method, threads, &costs,
+                             traced ? &traces : nullptr);
+    if (!r.ok()) return Fail(r.status());
+    batch_results = std::move(*r);
+  }
+  const std::vector<core::VideoMatch>& results = batch_results[0];
 
   std::printf("query: near-duplicate of video %u (%zu frames, %zu "
               "ViTris)\n",
@@ -516,13 +581,15 @@ void Usage() {
                "[flags]\n"
                "  generate  --out db.vvdb [--scale S] [--dim N] [--seed X]\n"
                "  summarize --db db.vvdb --out s.vsnp [--epsilon E] "
-               "[--threads N]\n"
+               "[--threads N] [--index-shards N]\n"
                "  stats     [--summary s.vsnp] [--exercise] [--json]\n"
                "  query     --db db.vvdb --summary s.vsnp --video ID\n"
                "            [--k K] [--epsilon E] [--method composed|naive]\n"
                "            [--threads N] [--trace] [--json]\n"
                "            [--pool-shards N] [--readahead PAGES] "
                "[--prefetch-threads N]\n"
+               "            [--index-shards N  scatter-gather across N "
+               "index shards]\n"
                "  verify    [--summary s.vsnp] [--pages tree.vpag "
                "[--page-size N]]\n"
                "  check     [--summary s.vsnp [--epsilon E] [--deep] "

@@ -7,7 +7,7 @@
 //                    --dir index_dir)
 //                   [--dir index_dir] [--epsilon 0.15] [--queue 256]
 //                   [--workers 4] [--knn-threads 1] [--trace-every 0]
-//                   [--exercise] [--no-checkpoint]
+//                   [--exercise] [--no-checkpoint] [--index-shards N]
 //   vitrid ping     (--socket PATH | --host 127.0.0.1 --port N)
 //   vitrid stats    (--socket PATH | --host 127.0.0.1 --port N)
 //   vitrid shutdown (--socket PATH | --host 127.0.0.1 --port N)
@@ -21,6 +21,10 @@
 // `stats` prints the server's JSON stats document (server block, metrics
 // registry, recent query traces) to stdout. `shutdown` asks the server
 // to drain and stop; the ack returns before the drain completes.
+// `--index-shards N` (or VITRI_INDEX_SHARDS when the flag is absent and
+// the index is not durable) serves a sharded scatter-gather index built
+// from --synthetic/--summary; it is incompatible with --dir because
+// durability is single-index-only (DESIGN.md §17).
 
 #include <algorithm>
 #include <csignal>
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "core/index.h"
+#include "core/sharded_index.h"
 #include "core/snapshot.h"
 #include "core/vitri_builder.h"
 #include "serving/client.h"
@@ -83,7 +88,7 @@ void Usage() {
       "                  [--dir DIR] [--epsilon E] [--queue N]\n"
       "                  [--workers N] [--knn-threads N]\n"
       "                  [--trace-every N] [--exercise]\n"
-      "                  [--no-checkpoint]\n"
+      "                  [--no-checkpoint] [--index-shards N]\n"
       "                  [--pool-shards N] [--readahead PAGES]\n"
       "                  [--prefetch-threads N]\n"
       "  vitrid ping     (--socket PATH | --host IP --port N)\n"
@@ -101,10 +106,9 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void OnSignal(int) { g_stop = 1; }
 
-/// Builds a small synthetic index (the vitri CLI's --exercise world).
-Result<core::ViTriIndex> BuildSynthetic(
-    double scale, double epsilon,
-    const storage::BufferPoolOptions& pool_options) {
+/// Builds the small synthetic summary set (the vitri CLI's --exercise
+/// world) that both the single-index and sharded serve paths index.
+Result<core::ViTriSet> BuildSyntheticSet(double scale, double epsilon) {
   video::SynthesizerOptions so;
   so.seed = 2005;
   video::VideoSynthesizer synth(so);
@@ -112,12 +116,7 @@ Result<core::ViTriIndex> BuildSynthetic(
   core::ViTriBuilderOptions bo;
   bo.epsilon = epsilon;
   core::ViTriBuilder builder(bo);
-  VITRI_ASSIGN_OR_RETURN(core::ViTriSet set, builder.BuildDatabase(db));
-  core::ViTriIndexOptions io;
-  io.dimension = db.dimension;
-  io.epsilon = epsilon;
-  io.buffer_pool_options = pool_options;
-  return core::ViTriIndex::Build(set, io);
+  return builder.BuildDatabase(db);
 }
 
 /// Buffer-pool tuning shared by every index source: 0 shards = auto
@@ -136,21 +135,28 @@ storage::BufferPoolOptions PoolOptionsFromFlags(const Args& args) {
 /// Pre-serving warm-up: a few queries (query.knn.* series) and, on a
 /// durable index, one insert (wal.* series), so `vitrid stats` has live
 /// metrics straight after startup.
-Status Exercise(core::ViTriIndex* index) {
-  core::ViTriSet snapshot = index->Snapshot();
+Status FirstVideoQuery(const core::ViTriSet& snapshot,
+                       std::vector<core::ViTri>* query, uint32_t* frames) {
   if (snapshot.vitris.empty()) {
     return Status::InvalidArgument("cannot exercise an empty index");
   }
-  // Query the index with its own first video's summary.
-  std::vector<core::ViTri> query;
+  // The index's own first video's summary makes a guaranteed-hit query.
   const uint32_t video = snapshot.vitris.front().video_id;
-  uint32_t frames = 0;
+  *frames = 0;
   for (const core::ViTri& v : snapshot.vitris) {
     if (v.video_id == video) {
-      query.push_back(v);
-      frames += v.cluster_size;
+      query->push_back(v);
+      *frames += v.cluster_size;
     }
   }
+  return Status::OK();
+}
+
+Status Exercise(core::ViTriIndex* index) {
+  core::ViTriSet snapshot = index->Snapshot();
+  std::vector<core::ViTri> query;
+  uint32_t frames = 0;
+  VITRI_RETURN_IF_ERROR(FirstVideoQuery(snapshot, &query, &frames));
   VITRI_ASSIGN_OR_RETURN(
       std::vector<core::VideoMatch> matches,
       index->Knn(query, frames, 10, core::KnnMethod::kComposed));
@@ -166,6 +172,63 @@ Status Exercise(core::ViTriIndex* index) {
     VITRI_RETURN_IF_ERROR(index->Insert(next_id, frames, vitris));
   }
   return Status::OK();
+}
+
+/// Sharded warm-up: a scatter-gather query so query.knn.* and the
+/// index.shard.<i>.* gauges are live before the first stats request.
+Status ExerciseSharded(core::ShardedViTriIndex* index) {
+  core::ViTriSet snapshot = index->Snapshot();
+  std::vector<core::ViTri> query;
+  uint32_t frames = 0;
+  VITRI_RETURN_IF_ERROR(FirstVideoQuery(snapshot, &query, &frames));
+  VITRI_ASSIGN_OR_RETURN(
+      std::vector<core::VideoMatch> matches,
+      index->Knn(query, frames, 10, core::KnnMethod::kComposed));
+  (void)matches;
+  return Status::OK();
+}
+
+serving::ServerOptions ServerOptionsFromFlags(const Args& args,
+                                              const char* socket_path,
+                                              long port) {
+  serving::ServerOptions so;
+  if (socket_path != nullptr) so.unix_socket_path = socket_path;
+  if (port >= 0) so.tcp_port = static_cast<int>(port);
+  so.queue_capacity = static_cast<size_t>(args.GetLong("--queue", 256));
+  so.num_workers = static_cast<size_t>(args.GetLong("--workers", 4));
+  so.knn_threads = static_cast<size_t>(args.GetLong("--knn-threads", 1));
+  so.trace_every = static_cast<size_t>(args.GetLong("--trace-every", 0));
+  so.checkpoint_on_shutdown = !args.Has("--no-checkpoint");
+  return so;
+}
+
+/// Start, announce, block until SIGINT/SIGTERM or an in-band shutdown
+/// request, then drain. Shared by the single-index and sharded paths.
+int ServeLoop(serving::Server* server, const char* socket_path,
+              const std::string& what) {
+  const Status st = server->Start();
+  if (!st.ok()) return Fail(st);
+  if (socket_path != nullptr) {
+    std::printf("vitrid: listening on %s (%s)\n", socket_path, what.c_str());
+  } else {
+    std::printf("vitrid: listening on 127.0.0.1:%d (%s)\n",
+                server->tcp_port(), what.c_str());
+  }
+  std::fflush(stdout);
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  while (!server->WaitForShutdownRequest(200)) {
+    if (g_stop != 0) break;
+  }
+  std::printf("vitrid: draining\n");
+  std::fflush(stdout);
+  const Status down = server->Shutdown();
+  if (!down.ok()) return Fail(down);
+  std::printf("vitrid: stopped\n");
+  return 0;
 }
 
 int CmdServe(const Args& args) {
@@ -191,11 +254,59 @@ int CmdServe(const Args& args) {
     return 2;
   }
 
+  // Shard-count resolution: flag > VITRI_INDEX_SHARDS > 1. The env
+  // never hijacks a durable (--dir) index — durability is
+  // single-index-only, and the sharded CI leg exports the env for the
+  // whole suite. An explicit flag plus --dir is a hard conflict.
+  const long shards_flag = std::max(args.GetLong("--index-shards", 0), 0L);
+  if (shards_flag > 1 && dir != nullptr) {
+    std::fprintf(stderr,
+                 "serve: --index-shards is incompatible with --dir "
+                 "(durability is single-index-only)\n");
+    return 2;
+  }
+  const size_t index_shards =
+      dir != nullptr
+          ? 1
+          : core::ResolveIndexShards(static_cast<size_t>(shards_flag));
+
   const storage::BufferPoolOptions pool_options = PoolOptionsFromFlags(args);
+
+  if (index_shards > 1) {
+    Result<core::ViTriSet> set =
+        synthetic ? BuildSyntheticSet(args.GetDouble("--scale", 0.004),
+                                      epsilon)
+                  : core::LoadViTriSet(summary);
+    if (!set.ok()) return Fail(set.status());
+    core::ShardedIndexOptions sharded_options;
+    sharded_options.num_shards = index_shards;
+    sharded_options.shard_options.dimension = set->dimension;
+    sharded_options.shard_options.epsilon = epsilon;
+    sharded_options.shard_options.buffer_pool_options = pool_options;
+    Result<core::ShardedViTriIndex> index =
+        core::ShardedViTriIndex::Build(*set, sharded_options);
+    if (!index.ok()) return Fail(index.status());
+    if (args.Has("--exercise")) {
+      const Status st = ExerciseSharded(&*index);
+      if (!st.ok()) return Fail(st);
+    }
+    serving::Server server(&*index,
+                           ServerOptionsFromFlags(args, socket_path, port));
+    return ServeLoop(&server, socket_path,
+                     std::to_string(index->num_videos()) + " videos, " +
+                         std::to_string(index->num_shards()) + " shards");
+  }
+
   Result<core::ViTriIndex> index = [&]() -> Result<core::ViTriIndex> {
     if (synthetic) {
-      return BuildSynthetic(args.GetDouble("--scale", 0.004), epsilon,
-                            pool_options);
+      VITRI_ASSIGN_OR_RETURN(
+          core::ViTriSet set,
+          BuildSyntheticSet(args.GetDouble("--scale", 0.004), epsilon));
+      core::ViTriIndexOptions io;
+      io.dimension = set.dimension;
+      io.epsilon = epsilon;
+      io.buffer_pool_options = pool_options;
+      return core::ViTriIndex::Build(set, io);
     }
     if (summary != nullptr) {
       VITRI_ASSIGN_OR_RETURN(core::ViTriSet set,
@@ -223,40 +334,10 @@ int CmdServe(const Args& args) {
     if (!st.ok()) return Fail(st);
   }
 
-  serving::ServerOptions so;
-  if (socket_path != nullptr) so.unix_socket_path = socket_path;
-  if (port >= 0) so.tcp_port = static_cast<int>(port);
-  so.queue_capacity = static_cast<size_t>(args.GetLong("--queue", 256));
-  so.num_workers = static_cast<size_t>(args.GetLong("--workers", 4));
-  so.knn_threads = static_cast<size_t>(args.GetLong("--knn-threads", 1));
-  so.trace_every = static_cast<size_t>(args.GetLong("--trace-every", 0));
-  so.checkpoint_on_shutdown = !args.Has("--no-checkpoint");
-
-  serving::Server server(&*index, so);
-  const Status st = server.Start();
-  if (!st.ok()) return Fail(st);
-  if (socket_path != nullptr) {
-    std::printf("vitrid: listening on %s (%zu videos)\n", socket_path,
-                index->num_videos());
-  } else {
-    std::printf("vitrid: listening on 127.0.0.1:%d (%zu videos)\n",
-                server.tcp_port(), index->num_videos());
-  }
-  std::fflush(stdout);
-
-  struct sigaction sa = {};
-  sa.sa_handler = OnSignal;
-  ::sigaction(SIGINT, &sa, nullptr);
-  ::sigaction(SIGTERM, &sa, nullptr);
-  while (!server.WaitForShutdownRequest(200)) {
-    if (g_stop != 0) break;
-  }
-  std::printf("vitrid: draining\n");
-  std::fflush(stdout);
-  const Status down = server.Shutdown();
-  if (!down.ok()) return Fail(down);
-  std::printf("vitrid: stopped\n");
-  return 0;
+  serving::Server server(&*index,
+                         ServerOptionsFromFlags(args, socket_path, port));
+  return ServeLoop(&server, socket_path,
+                   std::to_string(index->num_videos()) + " videos");
 }
 
 Result<serving::Client> ConnectFromArgs(const Args& args) {
